@@ -1,0 +1,53 @@
+//! Figure 1: post-disclosure surge and decay, with the §4.3 KS verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use synscan_bench::{banner, world};
+use synscan_core::analysis::events::{event_curve, ks_return_to_normal, EventSpec};
+use synscan_synthesis::yearcfg::YearConfig;
+
+fn print_reproduction() {
+    banner("Figure 1", "disclosure surges die down within days (§4.3)");
+    for year in &world().years {
+        for event in &YearConfig::for_year(year.analysis.year).events {
+            let spec = EventSpec {
+                port: event.port,
+                disclosure_day: event.day,
+            };
+            let curve = event_curve(&year.analysis, spec, 4);
+            let ks = ks_return_to_normal(&year.analysis, spec, 2, 2);
+            let series: Vec<String> = curve.relative.iter().map(|r| format!("{r:.1}x")).collect();
+            println!(
+                "{} port {:>5}: day0..4 = [{}] | KS(after) D={}",
+                year.analysis.year,
+                event.port,
+                series.join(" "),
+                ks.map(|k| format!("{:.3}", k.statistic))
+                    .unwrap_or_else(|| "n/a".to_string())
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let analysis = world().year(2020);
+    let spec = EventSpec {
+        port: 9200,
+        disclosure_day: 2,
+    };
+    c.bench_function("fig1/event_curve", |b| {
+        b.iter(|| event_curve(black_box(analysis), spec, 4))
+    });
+    c.bench_function("fig1/ks_return_to_normal", |b| {
+        b.iter(|| ks_return_to_normal(black_box(analysis), spec, 2, 2))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

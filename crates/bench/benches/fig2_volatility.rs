@@ -1,0 +1,46 @@
+//! Figure 2: period-over-period change of scanning per /16 netblock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use synscan_bench::{banner, world};
+use synscan_core::analysis::volatility;
+
+fn print_reproduction() {
+    banner(
+        "Figure 2",
+        ">50% of /16s change activity by >=2x period over period (§4.4)",
+    );
+    for year in &world().years {
+        let v = volatility::weekly_change(&year.analysis);
+        if v.packets.is_empty() {
+            continue;
+        }
+        let (s2, c2, p2) = v.fraction_changing_by(2.0);
+        let (s3, _, p3) = v.fraction_changing_by(3.0);
+        println!(
+            "{}: >=2x sources {:>3.0}% campaigns {:>3.0}% packets {:>3.0}% | >=3x sources {:>3.0}% packets {:>3.0}%",
+            year.analysis.year,
+            s2 * 100.0,
+            c2 * 100.0,
+            p2 * 100.0,
+            s3 * 100.0,
+            p3 * 100.0
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let analysis = world().year(2022);
+    c.bench_function("fig2/weekly_change_2022", |b| {
+        b.iter(|| volatility::weekly_change(black_box(analysis)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

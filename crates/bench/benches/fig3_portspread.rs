@@ -1,0 +1,52 @@
+//! Figure 3 + §5.1: ports per source, co-scanning, privileged coverage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use synscan_bench::{banner, world};
+use synscan_core::analysis::portspread;
+
+fn print_reproduction() {
+    banner(
+        "Figure 3",
+        "single-port sources: 83% (2015) -> 74% (2020) -> 65% (2022)",
+    );
+    for year in &world().years {
+        let a = &year.analysis;
+        let cdf = portspread::ports_per_source_cdf(a);
+        println!(
+            "{}: 1-port {:>3.0}% | >=3 {:>4.1}% | >=5 {:>4.1}% | >=10 {:>4.1}% | 80->8080 co-scan {:>3.0}% | privileged coverage {:>3.0}%",
+            a.year,
+            portspread::single_port_fraction(a) * 100.0,
+            portspread::at_least_n_ports_fraction(a, 3) * 100.0,
+            portspread::at_least_n_ports_fraction(a, 5) * 100.0,
+            portspread::at_least_n_ports_fraction(a, 10) * 100.0,
+            portspread::campaign_co_scan_fraction(a, 80, 8080).unwrap_or(0.0) * 100.0,
+            portspread::privileged_port_coverage(a, 0.01) * 100.0,
+        );
+        // CDF head for the figure series.
+        let head: Vec<String> = [1.0, 2.0, 5.0, 10.0]
+            .iter()
+            .map(|&x| format!("F({x})={:.2}", cdf.eval(x)))
+            .collect();
+        println!("        {}", head.join(" "));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let analysis = world().year(2022);
+    c.bench_function("fig3/ports_per_source_cdf", |b| {
+        b.iter(|| portspread::ports_per_source_cdf(black_box(analysis)))
+    });
+    c.bench_function("fig3/co_scan_fraction", |b| {
+        b.iter(|| portspread::campaign_co_scan_fraction(black_box(analysis), 80, 8080))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 4: top traffic ports × tool mix, plus the §6.1 tracked-traffic
+//! share series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use synscan_bench::{banner, world};
+use synscan_core::analysis::toolports;
+
+fn print_reproduction() {
+    banner(
+        "Figure 4",
+        "tool mixes per top port; tracked tools carry 25% (2015) -> 92% (2020) -> <40% (2024) of traffic",
+    );
+    for year in &world().years {
+        let tracked = toolports::tracked_tool_traffic_share(&year.analysis);
+        println!(
+            "{} | tracked tools {:>3.0}% of traffic",
+            year.analysis.year,
+            tracked * 100.0
+        );
+        for row in toolports::tool_mix_by_port(&year.analysis, 10)
+            .iter()
+            .take(3)
+        {
+            let mix: Vec<String> = row
+                .mix
+                .iter()
+                .filter(|(_, s)| **s > 0.01)
+                .map(|(t, s)| format!("{t}:{:.0}%", s * 100.0))
+                .collect();
+            println!(
+                "    port {:>5} ({:>4.1}% of traffic): {}",
+                row.port,
+                row.traffic_share * 100.0,
+                mix.join(" ")
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let analysis = world().year(2020);
+    c.bench_function("fig4/tool_mix_by_port", |b| {
+        b.iter(|| toolports::tool_mix_by_port(black_box(analysis), 10))
+    });
+    c.bench_function("fig4/tracked_tool_traffic_share", |b| {
+        b.iter(|| toolports::tracked_tool_traffic_share(black_box(analysis)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

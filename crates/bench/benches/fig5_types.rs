@@ -1,0 +1,43 @@
+//! Figure 5: scanner-class distribution over the top targeted ports
+//! (HTTPS institutional-heavy, JSON-RPC enterprise-heavy, the rest
+//! residential).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use synscan_bench::{banner, world};
+use synscan_core::analysis::types;
+
+fn print_reproduction() {
+    banner(
+        "Figure 5",
+        "class mix per port: 443 is 41% institutional, 8545 enterprise-heavy (§6.7)",
+    );
+    let w = world();
+    let analysis = w.year(2024);
+    for row in types::class_mix_by_port(analysis, &w.registry, 15) {
+        let mix: Vec<String> = row
+            .mix
+            .iter()
+            .filter(|(_, s)| **s > 0.02)
+            .map(|(class, s)| format!("{}:{:.0}%", class.label(), s * 100.0))
+            .collect();
+        println!("  port {:>5}: {}", row.port, mix.join(" "));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let w = world();
+    let analysis = w.year(2024);
+    c.bench_function("fig5/class_mix_by_port", |b| {
+        b.iter(|| types::class_mix_by_port(black_box(analysis), &w.registry, 15))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

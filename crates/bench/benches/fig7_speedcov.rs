@@ -1,0 +1,89 @@
+//! Figure 7 + §6.3: speed and coverage per scanner class and per tool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use synscan_bench::{banner, world};
+use synscan_core::analysis::speedcov;
+use synscan_netmodel::ScannerClass;
+use synscan_scanners::traits::ToolKind;
+
+fn print_reproduction() {
+    banner(
+        "Figure 7",
+        "institutional scanners are ~92x faster than average; Mirai is slowest (§6.3, §6.8)",
+    );
+    let w = world();
+    let campaigns = w.all_campaigns();
+    let by_class = speedcov::by_class(&campaigns, &w.registry, w.monitored);
+    for class in ScannerClass::ALL {
+        if let Some(mean) = by_class.mean_speed(&class) {
+            let fast = by_class.fraction_faster_than(&class, 1000.0).unwrap();
+            let cov = by_class
+                .coverage
+                .get(&class)
+                .map(|e| e.mean())
+                .unwrap_or(0.0);
+            println!(
+                "  {:<14} mean {:>12.0} pps | >1000 pps {:>5.1}% | mean coverage {:>7.4}%",
+                class.label(),
+                mean,
+                fast * 100.0,
+                cov * 100.0
+            );
+        }
+    }
+    println!("\n  per tool (§6.3: NMap averages faster than Masscan; Mirai slowest):");
+    let by_tool = speedcov::by_tool(&campaigns, w.monitored);
+    for tool in [
+        ToolKind::Zmap,
+        ToolKind::Nmap,
+        ToolKind::Masscan,
+        ToolKind::Custom,
+        ToolKind::Mirai,
+    ] {
+        if let Some(mean) = by_tool.mean_speed(&tool) {
+            println!("  {:<10} mean {:>12.0} pps", tool.name(), mean);
+        }
+    }
+    // §5.3 / §6.3 correlations.
+    if let Some(r) = speedcov::speed_ports_correlation(&campaigns, w.monitored) {
+        println!("\n  speed<->ports R = {:.2} (paper 0.88)", r.r);
+    }
+    let years: Vec<(u16, &[synscan_core::Campaign], u64)> = w
+        .years
+        .iter()
+        .map(|y| {
+            (
+                y.analysis.year,
+                y.analysis.campaigns.as_slice(),
+                w.monitored,
+            )
+        })
+        .collect();
+    if let Some(trend) = speedcov::top_speed_trend(&years, 100) {
+        println!("  top-100 speed trend R = {:.2} (paper 0.356)", trend.r);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let w = world();
+    let campaigns = w.all_campaigns();
+    c.bench_function("fig7/by_class", |b| {
+        b.iter(|| speedcov::by_class(black_box(&campaigns), &w.registry, w.monitored))
+    });
+    c.bench_function("fig7/speed_ports_correlation", |b| {
+        b.iter(|| speedcov::speed_ports_correlation(black_box(&campaigns), w.monitored))
+    });
+    c.bench_function("fig7/coverage_modes", |b| {
+        b.iter(|| speedcov::coverage_modes(black_box(&campaigns), w.monitored, 0.001))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figures 8, 9 and 10: port coverage of the known scanning organizations
+//! in 2023 and 2024.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use synscan_bench::{banner, world};
+use synscan_core::analysis::institutions;
+
+fn print_reproduction() {
+    let w = world();
+    for (fig, year) in [("Figure 9 (2023)", 2023u16), ("Figures 8+10 (2024)", 2024)] {
+        banner(
+            fig,
+            "known-org port coverage: Censys/Palo Alto full range, universities flat",
+        );
+        let analysis = w.year(year);
+        let rows = institutions::org_port_coverage(&analysis.campaigns, &w.registry);
+        for row in &rows {
+            println!(
+                "  {:<24} {:>6} ports ({:>5.1}% of range) | {:>4} campaigns | {:>3} sources",
+                row.org,
+                row.ports_scanned,
+                row.port_range_fraction * 100.0,
+                row.campaigns,
+                row.sources
+            );
+        }
+        let (src_share, pkt_share) = institutions::known_org_shares(
+            &analysis.campaigns,
+            &w.registry,
+            analysis.distinct_sources,
+            analysis.total_packets,
+        );
+        println!(
+            "  known orgs: {:.2}% of sources, {:.1}% of traffic (paper {}: 0.36%/51.3% resp. 0.62%/50.9%)",
+            src_share * 100.0,
+            pkt_share * 100.0,
+            year
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let w = world();
+    let analysis = w.year(2024);
+    c.bench_function("fig8/org_port_coverage_2024", |b| {
+        b.iter(|| institutions::org_port_coverage(black_box(&analysis.campaigns), &w.registry))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Generation throughput: how fast the decade synthesizer produces
+//! telescope arrivals, and end-to-end year processing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use synscan_core::analysis::YearCollector;
+use synscan_core::CampaignConfig;
+use synscan_netmodel::InternetRegistry;
+use synscan_synthesis::generate::{generate_year, GeneratorConfig};
+use synscan_synthesis::yearcfg::YearConfig;
+use synscan_telescope::{AddressSet, CaptureSession};
+
+fn bench(c: &mut Criterion) {
+    let gen = GeneratorConfig {
+        telescope_denominator: 16,
+        population_denominator: 2400,
+        days: 3.0,
+        ..GeneratorConfig::default()
+    };
+    let telescope = gen.telescope();
+    let dark = AddressSet::build(&telescope);
+    let registry = InternetRegistry::build(gen.seed, &telescope.blocks);
+    let cfg = YearConfig::for_year(2020);
+
+    // Establish the record count for throughput reporting.
+    let probe_run = generate_year(&cfg, &gen, &registry, &dark);
+    let n = probe_run.records.len() as u64;
+    println!("generator bench: {n} records per 2020-year at bench scale");
+
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("year_2020", |b| {
+        b.iter(|| {
+            generate_year(black_box(&cfg), &gen, &registry, &dark)
+                .records
+                .len()
+        })
+    });
+    group.finish();
+
+    let mut pipeline = c.benchmark_group("end_to_end");
+    pipeline.sample_size(10);
+    pipeline.throughput(Throughput::Elements(n));
+    pipeline.bench_function("capture_plus_analysis_year_2020", |b| {
+        b.iter(|| {
+            let mut session = CaptureSession::new(&dark, 2020);
+            let mut collector = YearCollector::new(2020, CampaignConfig::scaled(dark.len() as u64));
+            for record in &probe_run.records {
+                if session.offer(black_box(record)) {
+                    collector.offer(record);
+                }
+            }
+            collector.finish().campaigns.len()
+        })
+    });
+    pipeline.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Micro-benchmarks of the pipeline's hot paths: wire parsing, pcap
+//! framing, fingerprint evaluation, campaign detection, and the tools'
+//! target-selection algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use synscan_core::campaign::{CampaignConfig, CampaignDetector};
+use synscan_core::fingerprint::rules::single_packet_verdict;
+use synscan_core::FingerprintEngine;
+use synscan_scanners::blackrock::BlackRock;
+use synscan_scanners::masscan::MasscanScanner;
+use synscan_scanners::traits::{craft_record, ProbeCrafter};
+use synscan_scanners::zmap::ZmapScanner;
+use synscan_scanners::CyclicIter;
+use synscan_wire::{Ipv4Address, ProbeRecord, SynFrameBuilder};
+
+fn sample_records(n: usize) -> Vec<ProbeRecord> {
+    let zmap = ZmapScanner::new(1);
+    let masscan = MasscanScanner::new(2);
+    (0..n)
+        .map(|i| {
+            let dst = Ipv4Address(0x0a00_0000 + (i as u32) * 977);
+            let port = (i % 60_000) as u16 + 1;
+            if i % 2 == 0 {
+                craft_record(
+                    &zmap,
+                    Ipv4Address(100),
+                    dst,
+                    port,
+                    i as u64,
+                    i as u64 * 100,
+                    8,
+                )
+            } else {
+                craft_record(
+                    &masscan,
+                    Ipv4Address(200),
+                    dst,
+                    port,
+                    i as u64,
+                    i as u64 * 100,
+                    8,
+                )
+            }
+        })
+        .collect()
+}
+
+fn wire_benches(c: &mut Criterion) {
+    let record = sample_records(1)[0];
+    let builder = SynFrameBuilder::default();
+    let frame = builder.build(&record);
+
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("build_frame", |b| {
+        let mut buf = vec![0u8; ProbeRecord::frame_len()];
+        b.iter(|| builder.build_into(black_box(&record), &mut buf))
+    });
+    group.bench_function("parse_frame", |b| {
+        b.iter(|| ProbeRecord::from_ethernet(0, black_box(&frame)).unwrap())
+    });
+    group.finish();
+}
+
+fn fingerprint_benches(c: &mut Criterion) {
+    let records = sample_records(10_000);
+    let mut group = c.benchmark_group("fingerprint");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("single_packet_rules_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for r in &records {
+                if single_packet_verdict(black_box(r)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("engine_with_pairwise_10k", |b| {
+        b.iter(|| {
+            let mut engine = FingerprintEngine::new();
+            let mut hits = 0usize;
+            for r in &records {
+                if engine.classify(black_box(r)).tool().is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn campaign_benches(c: &mut Criterion) {
+    let records = sample_records(10_000);
+    let config = CampaignConfig {
+        min_distinct_dests: 10,
+        min_rate_pps: 1.0,
+        expiry_secs: 3600.0,
+        monitored_addresses: 1 << 16,
+    };
+    let mut group = c.benchmark_group("campaign");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("detector_10k_records", |b| {
+        b.iter(|| {
+            let mut detector = CampaignDetector::new(config);
+            for r in &records {
+                detector.offer(black_box(r), None);
+            }
+            detector.finish().0.len()
+        })
+    });
+    group.finish();
+}
+
+fn scan_order_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_order");
+    group.throughput(Throughput::Elements(65_536));
+    group.bench_function("cyclic_group_walk_64k", |b| {
+        b.iter(|| CyclicIter::new(1 << 16, black_box(7)).count())
+    });
+    group.bench_function("blackrock_shuffle_64k", |b| {
+        let br = BlackRock::new(1 << 16, 9);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..(1u64 << 16) {
+                acc ^= br.shuffle(black_box(i));
+            }
+            acc
+        })
+    });
+    group.finish();
+
+    let zmap = ZmapScanner::new(3);
+    let masscan = MasscanScanner::new(4);
+    let mut craft = c.benchmark_group("craft");
+    craft.throughput(Throughput::Elements(1));
+    craft.bench_function("zmap_probe", |b| {
+        b.iter(|| zmap.craft(black_box(Ipv4Address(12345)), 443, 0))
+    });
+    craft.bench_function("masscan_probe", |b| {
+        b.iter(|| masscan.craft(black_box(Ipv4Address(12345)), 443, 0))
+    });
+    craft.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = wire_benches, fingerprint_benches, campaign_benches, scan_order_benches
+}
+criterion_main!(benches);

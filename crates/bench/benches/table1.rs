@@ -1,0 +1,42 @@
+//! Table 1: scan volume, top targeted ports, scans/month, and tool shares
+//! per year — printed as the paper formats it, then the per-year
+//! summarization measured with Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use synscan_bench::{banner, world};
+use synscan_core::analysis::yearly;
+use synscan_core::report::DecadeReport;
+
+fn print_reproduction() {
+    banner("Table 1", "scan volume and tool shares, 2015-2024");
+    let report = DecadeReport {
+        years: world()
+            .years
+            .iter()
+            .map(|y| yearly::summarize(&y.analysis, 5))
+            .collect(),
+    };
+    println!("{}", report.render_table1());
+    println!(
+        "packets/day growth 2015->2024: {:.1}x (paper: ~31x) | scans/month growth: {:.1}x (paper: ~39x)",
+        report.packets_per_day_growth().unwrap_or(f64::NAN),
+        report.scans_per_month_growth().unwrap_or(f64::NAN),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let analysis = world().year(2024);
+    c.bench_function("table1/summarize_year_2024", |b| {
+        b.iter(|| yearly::summarize(black_box(analysis), 5))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

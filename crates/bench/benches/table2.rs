@@ -1,0 +1,66 @@
+//! Table 2: sources / scans / packets shares per scanner type, aggregated
+//! over the decade, then the classification pass measured with Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+use synscan_bench::{banner, world};
+use synscan_core::analysis::types;
+use synscan_netmodel::ScannerClass;
+
+fn print_reproduction() {
+    banner(
+        "Table 2",
+        "scanner types: Institutional 0.16%/7.45%/32.63% in the paper",
+    );
+    let w = world();
+    let mut agg: BTreeMap<ScannerClass, [f64; 3]> = BTreeMap::new();
+    let mut totals = [0.0f64; 3];
+    for year in &w.years {
+        let shares = types::class_shares(&year.analysis, &w.registry);
+        let weights = [
+            year.analysis.distinct_sources as f64,
+            year.analysis.campaigns.len() as f64,
+            year.analysis.total_packets as f64,
+        ];
+        for i in 0..3 {
+            totals[i] += weights[i];
+        }
+        for (class, share) in shares {
+            let entry = agg.entry(class).or_default();
+            entry[0] += share.sources * weights[0];
+            entry[1] += share.scans * weights[1];
+            entry[2] += share.packets * weights[2];
+        }
+    }
+    println!(
+        "{:<15} {:>9} {:>9} {:>9}",
+        "type", "sources", "scans", "packets"
+    );
+    for (class, sums) in &agg {
+        println!(
+            "{:<15} {:>8.2}% {:>8.2}% {:>8.2}%",
+            class.label(),
+            sums[0] / totals[0] * 100.0,
+            sums[1] / totals[1] * 100.0,
+            sums[2] / totals[2] * 100.0
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let w = world();
+    let analysis = w.year(2022);
+    c.bench_function("table2/class_shares_2022", |b| {
+        b.iter(|| types::class_shares(black_box(analysis), &w.registry))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Shared setup for the benchmark harness.
+//!
+//! Every table/figure bench follows the same pattern:
+//!
+//! 1. build the bench-scale decade **once** (cached in a process-wide
+//!    `OnceLock`),
+//! 2. print the reproduced table/figure series to stdout — the bench run
+//!    doubles as the experiment regenerator, mirroring the `repro` binary,
+//! 3. let Criterion measure the analysis computation itself.
+//!
+//! Absolute volumes are bench-scale (1/16 telescope, 1/1200 population,
+//! 5 days/year); EXPERIMENTS.md records the default-scale numbers.
+
+use std::sync::OnceLock;
+
+use synscan_core::analysis::{YearAnalysis, YearCollector};
+use synscan_core::{Campaign, CampaignConfig};
+use synscan_netmodel::InternetRegistry;
+use synscan_synthesis::generate::{generate_year, GeneratorConfig};
+use synscan_synthesis::yearcfg::YearConfig;
+use synscan_telescope::{AddressSet, CaptureSession};
+
+/// One processed year at bench scale.
+pub struct BenchYear {
+    /// Analysis bundle.
+    pub analysis: YearAnalysis,
+}
+
+/// The shared bench world.
+pub struct BenchWorld {
+    /// Per-year analyses, 2015..=2024.
+    pub years: Vec<BenchYear>,
+    /// The registry for enrichment lookups.
+    pub registry: InternetRegistry,
+    /// Telescope size.
+    pub monitored: u64,
+}
+
+impl BenchWorld {
+    /// The year `y`'s analysis.
+    pub fn year(&self, y: u16) -> &YearAnalysis {
+        &self
+            .years
+            .iter()
+            .find(|b| b.analysis.year == y)
+            .expect("year in range")
+            .analysis
+    }
+
+    /// All campaigns of the decade.
+    pub fn all_campaigns(&self) -> Vec<Campaign> {
+        self.years
+            .iter()
+            .flat_map(|y| y.analysis.campaigns.iter().cloned())
+            .collect()
+    }
+}
+
+/// The bench-scale generator configuration.
+pub fn bench_config() -> GeneratorConfig {
+    GeneratorConfig {
+        telescope_denominator: 16,
+        population_denominator: 1200,
+        days: 5.0,
+        ..GeneratorConfig::default()
+    }
+}
+
+/// Build (or fetch) the shared decade.
+pub fn world() -> &'static BenchWorld {
+    static WORLD: OnceLock<BenchWorld> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let gen = bench_config();
+        let telescope = gen.telescope();
+        let dark = AddressSet::build(&telescope);
+        let registry = InternetRegistry::build(gen.seed, &telescope.blocks);
+        let config = CampaignConfig::scaled(dark.len() as u64);
+        let years = YearConfig::decade()
+            .iter()
+            .map(|cfg| {
+                let output = generate_year(cfg, &gen, &registry, &dark);
+                let mut session = CaptureSession::new(&dark, cfg.year);
+                let mut collector = YearCollector::with_period(cfg.year, config, 1.0);
+                for record in &output.records {
+                    if session.offer(record) {
+                        collector.offer(record);
+                    }
+                }
+                BenchYear {
+                    analysis: collector.finish(),
+                }
+            })
+            .collect();
+        BenchWorld {
+            years,
+            monitored: dark.len() as u64,
+            registry,
+        }
+    })
+}
+
+/// Print a header naming the regenerated artifact.
+pub fn banner(artifact: &str, paper_ref: &str) {
+    println!("\n================================================================");
+    println!("regenerating {artifact}  ({paper_ref})");
+    println!("================================================================");
+}

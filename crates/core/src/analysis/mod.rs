@@ -1,0 +1,33 @@
+//! Longitudinal analysis: every table and figure of the paper's evaluation.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`collect`] | the streaming per-year aggregator feeding everything below |
+//! | [`yearly`] | Table 1 (volumes, top ports, scans/month, tool shares) |
+//! | [`types`] | Table 2 + Figure 5 (scanner classes) |
+//! | [`events`] | Figure 1 (post-disclosure decay, KS verification) |
+//! | [`volatility`] | Figure 2 (weekly /16 change CDFs) |
+//! | [`portspread`] | Figure 3 + §5.1 (ports per source, co-scanning, coverage) |
+//! | [`toolports`] | Figure 4 (top ports × tool mix) |
+//! | [`recurrence`] | Figure 6 (scanner recurrence & downtime) |
+//! | [`speedcov`] | Figure 7 + §6.3–6.4 (speed & coverage by type/tool) |
+//! | [`institutions`] | Figures 8–10 (known-org port coverage) |
+//! | [`vertical`] | §5.2 (vertical scans) |
+//! | [`geo`] | §5.4 + §6.5 (origin countries, port-country bias) |
+//! | [`blocklist`] | the §4.4/§6.6 implication: scanner blocklists decay within days |
+
+pub mod blocklist;
+pub mod collect;
+pub mod events;
+pub mod geo;
+pub mod institutions;
+pub mod portspread;
+pub mod recurrence;
+pub mod speedcov;
+pub mod toolports;
+pub mod types;
+pub mod vertical;
+pub mod volatility;
+pub mod yearly;
+
+pub use collect::{YearAnalysis, YearCollector};

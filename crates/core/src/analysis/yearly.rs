@@ -1,0 +1,190 @@
+//! Table 1: per-year scan volume, top targeted ports, and tool shares.
+
+use std::collections::BTreeMap;
+
+use synscan_scanners::traits::ToolKind;
+
+use super::collect::YearAnalysis;
+
+/// One "top ports" ranking: `(port, share)` pairs, descending by share.
+pub type PortRanking = Vec<(u16, f64)>;
+
+/// One Table 1 column.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct YearSummary {
+    /// Calendar year.
+    pub year: u16,
+    /// Average admitted packets per day.
+    pub packets_per_day: f64,
+    /// Distinct scanning sources over the window.
+    pub distinct_sources: u64,
+    /// Campaigns per 30-day month.
+    pub scans_per_month: f64,
+    /// Total campaigns in the window.
+    pub total_scans: u64,
+    /// Top ports by packets: `(port, share of packets)`.
+    pub top_ports_by_packets: PortRanking,
+    /// Top ports by distinct sources: `(port, share of sources)`.
+    pub top_ports_by_sources: PortRanking,
+    /// Top ports by campaigns: `(port, share of campaigns)`.
+    pub top_ports_by_scans: PortRanking,
+    /// Share of campaigns per tracked tool (the Table 1 "Tools by scans").
+    pub tool_scan_shares: BTreeMap<String, f64>,
+    /// Share of packets per tracked tool.
+    pub tool_packet_shares: BTreeMap<String, f64>,
+}
+
+/// Build a Table 1 column from a year's aggregates.
+///
+/// `top_n` controls ranking depth (the paper prints 5).
+pub fn summarize(analysis: &YearAnalysis, top_n: usize) -> YearSummary {
+    let total_packets = analysis.total_packets.max(1) as f64;
+
+    let top_ports_by_packets = rank(
+        analysis.port_packets.iter().map(|(p, c)| (*p, *c as f64)),
+        total_packets,
+        top_n,
+    );
+    let top_ports_by_sources = rank(
+        analysis.port_sources.iter().map(|(p, c)| (*p, *c as f64)),
+        analysis.distinct_sources.max(1) as f64,
+        top_n,
+    );
+
+    // Campaigns are attributed to their dominant port (most packets).
+    let mut scan_port_counts: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut tool_scans: BTreeMap<Option<ToolKind>, u64> = BTreeMap::new();
+    for campaign in &analysis.campaigns {
+        if let Some((port, _)) = campaign
+            .port_packets
+            .iter()
+            .max_by_key(|(_, count)| **count)
+        {
+            *scan_port_counts.entry(*port).or_default() += 1;
+        }
+        *tool_scans.entry(campaign.tool()).or_default() += 1;
+    }
+    let total_scans = analysis.campaigns.len() as u64;
+    let top_ports_by_scans = rank(
+        scan_port_counts.iter().map(|(p, c)| (*p, *c as f64)),
+        total_scans.max(1) as f64,
+        top_n,
+    );
+
+    let tool_scan_shares = ToolKind::ALL
+        .iter()
+        .map(|tool| {
+            let count = tool_scans.get(&Some(*tool)).copied().unwrap_or(0);
+            (
+                tool.name().to_string(),
+                count as f64 / total_scans.max(1) as f64,
+            )
+        })
+        .collect();
+
+    let mut tool_packets: BTreeMap<String, f64> = BTreeMap::new();
+    for ((tool, _), count) in &analysis.tool_port_packets {
+        let name = tool.map(|t| t.name()).unwrap_or("custom");
+        *tool_packets.entry(name.to_string()).or_default() += *count as f64 / total_packets;
+    }
+
+    YearSummary {
+        year: analysis.year,
+        packets_per_day: analysis.packets_per_day(),
+        distinct_sources: analysis.distinct_sources,
+        scans_per_month: analysis.scans_per_month(),
+        total_scans,
+        top_ports_by_packets,
+        top_ports_by_sources,
+        top_ports_by_scans,
+        tool_scan_shares,
+        tool_packet_shares: tool_packets,
+    }
+}
+
+fn rank(counts: impl Iterator<Item = (u16, f64)>, total: f64, top_n: usize) -> PortRanking {
+    let mut entries: Vec<(u16, f64)> = counts.map(|(p, c)| (p, c / total)).collect();
+    entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    entries.truncate(top_n);
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::collect::YearCollector;
+    use crate::campaign::CampaignConfig;
+    use synscan_wire::{Ipv4Address, ProbeRecord, TcpFlags};
+
+    fn record(src: u32, dst: u32, port: u16, ts: u64) -> ProbeRecord {
+        ProbeRecord {
+            ts_micros: ts,
+            src_ip: Ipv4Address(src),
+            dst_ip: Ipv4Address(dst),
+            src_port: 999,
+            dst_port: port,
+            seq: 1,
+            ip_id: 3,
+            ttl: 61,
+            flags: TcpFlags::SYN,
+            window: 512,
+        }
+    }
+
+    fn analysis() -> YearAnalysis {
+        let cfg = CampaignConfig {
+            min_distinct_dests: 5,
+            min_rate_pps: 1.0,
+            expiry_secs: 3600.0,
+            monitored_addresses: 1 << 16,
+        };
+        let mut collector = YearCollector::new(2020, cfg);
+        // 30 packets on 80 from src 1; 10 on 22 from src 2; 10 on 443 from src 3.
+        for i in 0..30u32 {
+            collector.offer(&record(1, 100 + i, 80, (i as u64) * 1000));
+        }
+        for i in 0..10u32 {
+            collector.offer(&record(2, 200 + i, 22, (i as u64) * 1000 + 1));
+        }
+        for i in 0..10u32 {
+            collector.offer(&record(3, 300 + i, 443, (i as u64) * 1000 + 2));
+        }
+        collector.finish()
+    }
+
+    #[test]
+    fn top_ports_by_packets_are_ranked() {
+        let summary = summarize(&analysis(), 3);
+        assert_eq!(summary.top_ports_by_packets[0].0, 80);
+        assert!((summary.top_ports_by_packets[0].1 - 0.6).abs() < 1e-9);
+        assert_eq!(summary.top_ports_by_packets.len(), 3);
+    }
+
+    #[test]
+    fn top_ports_by_sources_normalizes_by_sources() {
+        let summary = summarize(&analysis(), 5);
+        // Each port contacted by exactly one of 3 sources: share 1/3.
+        for (_, share) in &summary.top_ports_by_sources {
+            assert!((share - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scans_attributed_to_dominant_port() {
+        let summary = summarize(&analysis(), 5);
+        assert_eq!(summary.total_scans, 3);
+        let scan_ports: Vec<u16> = summary.top_ports_by_scans.iter().map(|(p, _)| *p).collect();
+        assert!(scan_ports.contains(&80));
+        assert!(scan_ports.contains(&22));
+        assert!(scan_ports.contains(&443));
+    }
+
+    #[test]
+    fn tool_shares_default_to_zero_without_fingerprints() {
+        let summary = summarize(&analysis(), 5);
+        assert_eq!(summary.tool_scan_shares["zmap"], 0.0);
+        assert_eq!(summary.tool_scan_shares["masscan"], 0.0);
+        // All packets fall under the custom/unattributed bucket.
+        assert!((summary.tool_packet_shares["custom"] - 1.0).abs() < 1e-9);
+    }
+}

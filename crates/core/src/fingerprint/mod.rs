@@ -1,0 +1,224 @@
+//! Scanning-tool fingerprinting (§3.3).
+//!
+//! Two classes of evidence link a probe to the tool that crafted it:
+//!
+//! * **Single-packet invariants** ([`rules`]) verifiable on one frame in
+//!   isolation — Masscan's identification relation, ZMap's constant
+//!   identification, Mirai's destination-as-sequence quirk.
+//! * **Pairwise relations** ([`pairwise`]) that hold between any two frames
+//!   of one tool session — NMap's reused keystream and Unicornscan's XOR
+//!   encoding. These need per-source state: the engine keeps a small window
+//!   of recent probes per source and tests new arrivals against it.
+//!
+//! [`FingerprintEngine`] combines both into per-packet verdicts and
+//! per-source/per-campaign attributions.
+
+pub mod pairwise;
+pub mod rules;
+
+use std::collections::HashMap;
+
+use synscan_wire::{Ipv4Address, ProbeRecord};
+
+use synscan_scanners::traits::ToolKind;
+
+use self::pairwise::PairwiseState;
+use self::rules::single_packet_verdict;
+
+/// The verdict for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketVerdict {
+    /// A single-packet invariant matched.
+    Single(ToolKind),
+    /// A pairwise relation matched against an earlier probe of this source.
+    Paired(ToolKind),
+    /// No tracked tool matched.
+    Unattributed,
+}
+
+impl PacketVerdict {
+    /// The attributed tool, if any.
+    pub fn tool(&self) -> Option<ToolKind> {
+        match self {
+            PacketVerdict::Single(t) | PacketVerdict::Paired(t) => Some(*t),
+            PacketVerdict::Unattributed => None,
+        }
+    }
+}
+
+/// Streaming fingerprint engine with bounded per-source state.
+#[derive(Debug, Default)]
+pub struct FingerprintEngine {
+    pairwise: HashMap<Ipv4Address, PairwiseState>,
+}
+
+impl FingerprintEngine {
+    /// Fresh engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classify one probe, updating per-source pairwise state.
+    ///
+    /// Precedence: single-packet invariants are checked first (they are
+    /// verifiable without history and far more specific); pairwise relations
+    /// only fire for packets with no single-packet match, which prevents two
+    /// Mirai probes (whose sequence numbers both equal their destinations)
+    /// from accidentally satisfying the NMap half-equality and being
+    /// double-attributed.
+    pub fn classify(&mut self, record: &ProbeRecord) -> PacketVerdict {
+        if let Some(tool) = single_packet_verdict(record) {
+            // A single-packet match still refreshes pairwise history so a
+            // later unmarked packet can pair against it if needed.
+            self.pairwise.entry(record.src_ip).or_default().push(record);
+            return PacketVerdict::Single(tool);
+        }
+        let state = self.pairwise.entry(record.src_ip).or_default();
+        let verdict = state.test(record);
+        state.push(record);
+        match verdict {
+            Some(tool) => PacketVerdict::Paired(tool),
+            None => PacketVerdict::Unattributed,
+        }
+    }
+
+    /// Drop per-source state for sources idle since before `cutoff_micros`
+    /// (bounded-memory operation over long streams).
+    pub fn evict_idle(&mut self, cutoff_micros: u64) {
+        self.pairwise
+            .retain(|_, state| state.last_seen_micros() >= cutoff_micros);
+    }
+
+    /// Number of sources currently tracked.
+    pub fn tracked_sources(&self) -> usize {
+        self.pairwise.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synscan_scanners::custom::CustomScanner;
+    use synscan_scanners::masscan::MasscanScanner;
+    use synscan_scanners::mirai::MiraiScanner;
+    use synscan_scanners::nmap::NmapScanner;
+    use synscan_scanners::traits::{craft_record, ProbeCrafter};
+    use synscan_scanners::unicorn::UnicornScanner;
+    use synscan_scanners::zmap::ZmapScanner;
+
+    fn records_for<C: ProbeCrafter>(crafter: &C, src: u32, n: u64) -> Vec<ProbeRecord> {
+        (0..n)
+            .map(|i| {
+                let dst = Ipv4Address(0x0b00_0000 + (i as u32) * 977);
+                let port = (i * 37 % 60_000) as u16 + 1;
+                craft_record(crafter, Ipv4Address(src), dst, port, i, i * 1000, 10)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zmap_is_attributed_on_the_first_packet() {
+        let mut engine = FingerprintEngine::new();
+        for rec in records_for(&ZmapScanner::new(1), 100, 10) {
+            assert_eq!(engine.classify(&rec), PacketVerdict::Single(ToolKind::Zmap));
+        }
+    }
+
+    #[test]
+    fn masscan_is_attributed_on_the_first_packet() {
+        let mut engine = FingerprintEngine::new();
+        for rec in records_for(&MasscanScanner::new(2), 101, 10) {
+            assert_eq!(
+                engine.classify(&rec),
+                PacketVerdict::Single(ToolKind::Masscan)
+            );
+        }
+    }
+
+    #[test]
+    fn mirai_is_attributed_on_the_first_packet() {
+        let mut engine = FingerprintEngine::new();
+        let m = MiraiScanner::new(3);
+        for i in 0..10u64 {
+            let dst = m.pick_target(i);
+            let rec = craft_record(&m, Ipv4Address(102), dst, m.pick_port(i), i, i, 5);
+            assert_eq!(
+                engine.classify(&rec),
+                PacketVerdict::Single(ToolKind::Mirai)
+            );
+        }
+    }
+
+    #[test]
+    fn nmap_needs_two_packets() {
+        let mut engine = FingerprintEngine::new();
+        let recs = records_for(&NmapScanner::new(4), 103, 10);
+        assert_eq!(engine.classify(&recs[0]), PacketVerdict::Unattributed);
+        for rec in &recs[1..] {
+            assert_eq!(engine.classify(rec), PacketVerdict::Paired(ToolKind::Nmap));
+        }
+    }
+
+    #[test]
+    fn unicorn_needs_two_packets() {
+        let mut engine = FingerprintEngine::new();
+        let recs = records_for(&UnicornScanner::new(5), 104, 10);
+        assert_eq!(engine.classify(&recs[0]), PacketVerdict::Unattributed);
+        for rec in &recs[1..] {
+            assert_eq!(
+                engine.classify(rec),
+                PacketVerdict::Paired(ToolKind::Unicorn)
+            );
+        }
+    }
+
+    #[test]
+    fn custom_tools_stay_unattributed() {
+        let mut engine = FingerprintEngine::new();
+        let mut attributed = 0;
+        for rec in records_for(&CustomScanner::new(6), 105, 500) {
+            if engine.classify(&rec).tool().is_some() {
+                attributed += 1;
+            }
+        }
+        // Pairwise chance matches are ~2^-16 per candidate pair.
+        assert!(attributed <= 2, "{attributed} false attributions");
+    }
+
+    #[test]
+    fn sources_do_not_cross_contaminate() {
+        let mut engine = FingerprintEngine::new();
+        // Interleave an NMap source and a custom source: the NMap pairing
+        // must only consider same-source history.
+        let nmap = records_for(&NmapScanner::new(7), 200, 5);
+        let custom = records_for(&CustomScanner::new(8), 201, 5);
+        for i in 0..5 {
+            let vn = engine.classify(&nmap[i]);
+            let vc = engine.classify(&custom[i]);
+            if i > 0 {
+                assert_eq!(vn, PacketVerdict::Paired(ToolKind::Nmap));
+            }
+            assert_eq!(vc.tool(), None);
+        }
+    }
+
+    #[test]
+    fn eviction_bounds_memory() {
+        let mut engine = FingerprintEngine::new();
+        for src in 0..100u32 {
+            let rec = craft_record(
+                &CustomScanner::new(9),
+                Ipv4Address(src),
+                Ipv4Address(0x0c00_0001),
+                80,
+                0,
+                u64::from(src), // distinct, increasing timestamps
+                4,
+            );
+            engine.classify(&rec);
+        }
+        assert_eq!(engine.tracked_sources(), 100);
+        engine.evict_idle(50);
+        assert_eq!(engine.tracked_sources(), 50);
+    }
+}

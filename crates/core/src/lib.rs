@@ -1,0 +1,41 @@
+//! # synscan-core
+//!
+//! The measurement pipeline of *Have you SYN me? Characterizing Ten Years of
+//! Internet Scanning* (IMC 2024) — the paper's primary contribution,
+//! reimplemented as a library:
+//!
+//! 1. **Tool fingerprinting** ([`fingerprint`], §3.3): per-packet invariants
+//!    (ZMap's `ip_id = 54321`, Masscan's `ip_id = dstIP⊕dstPort⊕seq`,
+//!    Mirai's `seq = dstIP`) and stateful pairwise matchers (NMap's
+//!    keystream reuse, Unicornscan's XOR encoding).
+//! 2. **Campaign identification** ([`campaign`], §3.4): grouping per-source
+//!    probe sequences into scan campaigns with the paper's thresholds
+//!    (≥100 distinct telescope destinations, ≥100 pps Internet-wide
+//!    estimated rate, 1 h idle expiry), plus speed and IPv4-coverage
+//!    estimation via the geometric telescope model.
+//! 3. **Scanner-type classification** ([`classify`], §6.6): labeling sources
+//!    institutional / hosting / enterprise / residential / unknown.
+//! 4. **Longitudinal analysis** ([`analysis`]): every table and figure of
+//!    the evaluation — yearly summaries (Table 1), scanner types (Table 2),
+//!    event decay (Fig. 1), weekly /16 volatility (Fig. 2), ports per source
+//!    (Fig. 3), tool×port mixes (Fig. 4), type×port mixes (Fig. 5),
+//!    recurrence (Fig. 6), speed/coverage (Fig. 7), institutional port
+//!    coverage (Figs. 8–10), and the in-prose correlation analyses.
+//!
+//! The pipeline consumes time-ordered [`synscan_wire::ProbeRecord`] streams —
+//! from a pcap, from the live capture session, or from the synthetic decade
+//! generator — and produces serializable reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod campaign;
+pub mod classify;
+pub mod fingerprint;
+pub mod report;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignDetector};
+pub use classify::classify_source;
+pub use fingerprint::{FingerprintEngine, PacketVerdict};
+pub use synscan_scanners::traits::ToolKind;

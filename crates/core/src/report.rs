@@ -1,0 +1,174 @@
+//! Report assembly and rendering: turns analysis results into the tables the
+//! paper prints and into JSON artifacts for EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+use crate::analysis::yearly::YearSummary;
+
+/// A multi-year (Table 1 style) report.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct DecadeReport {
+    /// One summary per simulated year, ascending.
+    pub years: Vec<YearSummary>,
+}
+
+impl DecadeReport {
+    /// Growth factor of packets/day between the first and last year —
+    /// the paper's headline "30-fold over ten years".
+    pub fn packets_per_day_growth(&self) -> Option<f64> {
+        let first = self.years.first()?;
+        let last = self.years.last()?;
+        if first.packets_per_day <= 0.0 {
+            return None;
+        }
+        Some(last.packets_per_day / first.packets_per_day)
+    }
+
+    /// Growth factor of campaigns/month between the first and last year
+    /// (paper: ×39).
+    pub fn scans_per_month_growth(&self) -> Option<f64> {
+        let first = self.years.first()?;
+        let last = self.years.last()?;
+        if first.scans_per_month <= 0.0 {
+            return None;
+        }
+        Some(last.scans_per_month / first.scans_per_month)
+    }
+
+    /// Render the Table 1 reproduction as fixed-width text.
+    pub fn render_table1(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<6} {:>14} {:>12} {:>10}  {:<28} {:<28} {:<40}",
+            "year",
+            "packets/day",
+            "scans/month",
+            "sources",
+            "top ports (packets)",
+            "top ports (sources)",
+            "tool shares by scans"
+        );
+        for year in &self.years {
+            let fmt_ports = |ranking: &[(u16, f64)]| -> String {
+                ranking
+                    .iter()
+                    .take(3)
+                    .map(|(p, s)| format!("{p}({:.1}%)", s * 100.0))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            let tools = ["masscan", "nmap", "mirai", "zmap"]
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{t}:{:.1}%",
+                        year.tool_scan_shares.get(*t).copied().unwrap_or(0.0) * 100.0
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "{:<6} {:>14.0} {:>12.1} {:>10}  {:<28} {:<28} {:<40}",
+                year.year,
+                year.packets_per_day,
+                year.scans_per_month,
+                year.distinct_sources,
+                fmt_ports(&year.top_ports_by_packets),
+                fmt_ports(&year.top_ports_by_sources),
+                tools
+            );
+        }
+        out
+    }
+
+    /// Serialize the whole report to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// Render any `(label, value)` series as an aligned two-column text block —
+/// the benches use this to print figure series.
+pub fn render_series<L: std::fmt::Display, V: std::fmt::Display>(
+    title: &str,
+    rows: impl IntoIterator<Item = (L, V)>,
+) -> String {
+    let mut out = format!("# {title}\n");
+    for (label, value) in rows {
+        let _ = writeln!(out, "{label:>16}  {value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn summary(year: u16, ppd: f64, spm: f64) -> YearSummary {
+        YearSummary {
+            year,
+            packets_per_day: ppd,
+            distinct_sources: 100,
+            scans_per_month: spm,
+            total_scans: 10,
+            top_ports_by_packets: vec![(22, 0.15), (8080, 0.087)],
+            top_ports_by_sources: vec![(80, 0.33)],
+            top_ports_by_scans: vec![(3389, 0.23)],
+            tool_scan_shares: BTreeMap::from([
+                ("masscan".into(), 0.005),
+                ("nmap".into(), 0.317),
+                ("mirai".into(), 0.0),
+                ("zmap".into(), 0.021),
+            ]),
+            tool_packet_shares: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn growth_factors() {
+        let report = DecadeReport {
+            years: vec![summary(2015, 11e6, 33_000.0), summary(2024, 345e6, 1.3e6)],
+        };
+        let growth = report.packets_per_day_growth().unwrap();
+        assert!((growth - 31.36).abs() < 0.1);
+        let scans = report.scans_per_month_growth().unwrap();
+        assert!((scans - 39.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_report_has_no_growth() {
+        assert!(DecadeReport::default().packets_per_day_growth().is_none());
+    }
+
+    #[test]
+    fn table_renders_every_year() {
+        let report = DecadeReport {
+            years: vec![summary(2015, 11e6, 33_000.0), summary(2016, 19e6, 38_000.0)],
+        };
+        let table = report.render_table1();
+        assert!(table.contains("2015"));
+        assert!(table.contains("2016"));
+        assert!(table.contains("22(15.0%)"));
+        assert!(table.contains("nmap:31.7%"));
+    }
+
+    #[test]
+    fn json_round_trips_structurally() {
+        let report = DecadeReport {
+            years: vec![summary(2020, 283e6, 222_000.0)],
+        };
+        let json = report.to_json();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["years"][0]["year"], 2020);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let text = render_series("cdf", vec![(1, 0.5), (2, 1.0)]);
+        assert!(text.starts_with("# cdf"));
+        assert!(text.contains("1  0.5"));
+    }
+}

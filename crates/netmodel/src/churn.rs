@@ -1,0 +1,110 @@
+//! Residential DHCP churn model.
+//!
+//! §4.2 of the paper: *"botnet infections are often in residential network
+//! spaces where DHCP churn is more likely to occur, inflating the number of
+//! sources measured in studies"* (Böck et al., Griffioen & Doerr). The model
+//! here lets the synthesizer re-address a long-lived residential scanner
+//! identity across multiple IPs, and the recurrence analysis (§6.6) observe
+//! the resulting non-persistence of residential sources.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use synscan_wire::Ipv4Address;
+
+/// Lease-rotation model: a device identity holds an IP for an exponentially
+/// distributed lease, then jumps to another address in the same /16 (ISPs
+/// re-assign within their pools).
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnModel {
+    /// Mean lease duration in seconds (residential DSL/cable: ~1–7 days).
+    pub mean_lease_secs: f64,
+}
+
+impl Default for ChurnModel {
+    fn default() -> Self {
+        // 2-day mean lease: aggressive but within reported ISP behaviour,
+        // and the regime where churn visibly inflates source counts.
+        Self {
+            mean_lease_secs: 2.0 * 86_400.0,
+        }
+    }
+}
+
+impl ChurnModel {
+    /// Create a model with the given mean lease length.
+    pub fn new(mean_lease_secs: f64) -> Self {
+        assert!(mean_lease_secs > 0.0);
+        Self { mean_lease_secs }
+    }
+
+    /// Draw one lease duration (exponential via inverse CDF).
+    pub fn sample_lease_secs(&self, rng: &mut StdRng) -> f64 {
+        let u: f64 = 1.0 - rng.random::<f64>();
+        -self.mean_lease_secs * u.ln()
+    }
+
+    /// The next address after a lease expires: a uniformly random host in
+    /// the same /16 pool.
+    pub fn rotate(&self, rng: &mut StdRng, current: Ipv4Address) -> Ipv4Address {
+        let block = (current.0 >> 16) << 16;
+        let low: u32 = rng.random_range(1..65_535);
+        Ipv4Address(block | low)
+    }
+
+    /// Expected number of distinct IPs a device shows over `duration_secs`:
+    /// `1 + duration / mean_lease` (renewals are a Poisson process).
+    pub fn expected_identities(&self, duration_secs: f64) -> f64 {
+        1.0 + duration_secs / self.mean_lease_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lease_durations_are_positive_with_correct_mean() {
+        let m = ChurnModel::new(1000.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let lease = m.sample_lease_secs(&mut rng);
+            assert!(lease > 0.0);
+            total += lease;
+        }
+        let mean = total / n as f64;
+        assert!((mean / 1000.0 - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn rotation_stays_in_the_slash16() {
+        let m = ChurnModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let start = Ipv4Address::new(83, 41, 7, 9);
+        let mut current = start;
+        let mut changed = false;
+        for _ in 0..100 {
+            let next = m.rotate(&mut rng, current);
+            assert_eq!(next.slash16(), start.slash16());
+            changed |= next != current;
+            current = next;
+        }
+        assert!(changed, "rotation must actually move the address");
+    }
+
+    #[test]
+    fn expected_identities_grows_with_observation_window() {
+        let m = ChurnModel::new(86_400.0); // 1-day lease
+        assert!((m.expected_identities(0.0) - 1.0).abs() < 1e-12);
+        assert!((m.expected_identities(7.0 * 86_400.0) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_lease_is_rejected() {
+        ChurnModel::new(0.0);
+    }
+}

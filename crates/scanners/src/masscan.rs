@@ -1,0 +1,159 @@
+//! Masscan (Robert Graham, 2014).
+//!
+//! Behavioural model:
+//!
+//! * **Stateless cookie**: Masscan must recognize replies without a state
+//!   table, so it derives the SYN's sequence number from a keyed hash of the
+//!   flow ("syn-cookie") and — crucially for fingerprinting — initializes the
+//!   IP identification as `ip_id = dstIP ⊕ dstPort ⊕ seq` (§3.3, after
+//!   Durumeric et al. 2014). The telescope can verify this relation on every
+//!   single packet, making Masscan the easiest tool to attribute.
+//! * **Target order**: the BlackRock cipher over the (address × port) space
+//!   ([`crate::blackrock`]).
+//! * **Source port**: Masscan picks a run-constant source port ≥ 40000 by
+//!   default (`--source-port`), which we model.
+
+use synscan_wire::Ipv4Address;
+
+use crate::blackrock::BlackRock;
+use crate::traits::{mix64, ProbeCrafter, ProbeHeaders, ToolKind};
+
+/// A Masscan instance.
+#[derive(Debug, Clone)]
+pub struct MasscanScanner {
+    /// The run's entropy (masscan's `--seed`).
+    entropy: u64,
+    /// Run-constant source port.
+    src_port: u16,
+}
+
+impl MasscanScanner {
+    /// New instance with the given entropy.
+    pub fn new(entropy: u64) -> Self {
+        Self {
+            entropy,
+            src_port: 40_000 + (mix64(entropy ^ 0x6d61_7373) % 24_000) as u16,
+        }
+    }
+
+    /// The syn-cookie: a keyed hash of the flow tuple (masscan `syn-cookie.c`).
+    fn syn_cookie(&self, dst: Ipv4Address, dst_port: u16) -> u32 {
+        mix64(
+            self.entropy
+                ^ u64::from(dst.0)
+                ^ (u64::from(dst_port) << 36)
+                ^ (u64::from(self.src_port) << 52),
+        ) as u32
+    }
+
+    /// The characteristic IP identification relation. Exposed so tests and
+    /// the fingerprint engine share one definition.
+    pub fn ip_id_for(dst: Ipv4Address, dst_port: u16, seq: u32) -> u16 {
+        // dstIP ⊕ dstPort ⊕ seq, folded to 16 bits the way masscan does
+        // (xor of the low half only — the identification field is 16 bits
+        // and masscan xors the raw 32-bit quantities then truncates).
+        ((dst.0 ^ u32::from(dst_port) ^ seq) & 0xffff) as u16
+    }
+
+    /// Iterate a scan of `ips × ports` in BlackRock order, yielding
+    /// `(ip_index, port_index)` pairs. The caller maps indices to real
+    /// addresses/ports (supports arbitrary target sets, like masscan's
+    /// ranges).
+    pub fn target_order(
+        ip_count: u64,
+        port_count: u64,
+        entropy: u64,
+    ) -> impl Iterator<Item = (u64, u64)> {
+        assert!(ip_count > 0 && port_count > 0, "empty target space");
+        let range = ip_count
+            .checked_mul(port_count)
+            .expect("target space fits in u64");
+        let br = BlackRock::new(range, entropy);
+        (0..range).map(move |i| {
+            let x = br.shuffle(i);
+            // masscan splits the permuted index as (ip, port) = divmod.
+            (x / port_count, x % port_count)
+        })
+    }
+}
+
+impl ProbeCrafter for MasscanScanner {
+    fn craft(&self, dst: Ipv4Address, dst_port: u16, _probe_idx: u64) -> ProbeHeaders {
+        let seq = self.syn_cookie(dst, dst_port);
+        ProbeHeaders {
+            src_port: self.src_port,
+            seq,
+            ip_id: Self::ip_id_for(dst, dst_port, seq),
+            ttl: 255, // masscan templates default to TTL 255
+            window: 1024,
+        }
+    }
+
+    fn tool(&self) -> ToolKind {
+        ToolKind::Masscan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ip_id_relation_holds_on_every_probe() {
+        let m = MasscanScanner::new(0xc0ffee);
+        for i in 0..200u32 {
+            let dst = Ipv4Address(0x0a00_0000 + i * 977);
+            let port = (i * 131 % 65_535) as u16;
+            let h = m.craft(dst, port, i as u64);
+            assert_eq!(
+                h.ip_id,
+                ((dst.0 ^ u32::from(port) ^ h.seq) & 0xffff) as u16,
+                "relation must hold for {dst}:{port}"
+            );
+        }
+    }
+
+    #[test]
+    fn cookie_binds_the_flow() {
+        let m = MasscanScanner::new(1);
+        let a = m.craft(Ipv4Address(10), 80, 0).seq;
+        let b = m.craft(Ipv4Address(11), 80, 0).seq;
+        let c = m.craft(Ipv4Address(10), 81, 0).seq;
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // And is stable for retransmits.
+        assert_eq!(a, m.craft(Ipv4Address(10), 80, 99).seq);
+    }
+
+    #[test]
+    fn target_order_is_a_permutation() {
+        let pairs: Vec<(u64, u64)> = MasscanScanner::target_order(50, 7, 9).collect();
+        assert_eq!(pairs.len(), 350);
+        let set: HashSet<(u64, u64)> = pairs.iter().copied().collect();
+        assert_eq!(set.len(), 350, "every (ip, port) exactly once");
+        assert!(pairs.iter().all(|&(ip, p)| ip < 50 && p < 7));
+    }
+
+    #[test]
+    fn target_order_interleaves_ports_and_ips() {
+        // Unlike nmap's host-by-host sweep, masscan's permutation mixes
+        // addresses and ports: the first few probes should not share an IP.
+        let head: Vec<(u64, u64)> = MasscanScanner::target_order(1000, 10, 3).take(10).collect();
+        let distinct_ips: HashSet<u64> = head.iter().map(|&(ip, _)| ip).collect();
+        assert!(distinct_ips.len() >= 7, "{head:?}");
+    }
+
+    #[test]
+    fn entropy_changes_the_order() {
+        let a: Vec<_> = MasscanScanner::target_order(100, 4, 1).take(20).collect();
+        let b: Vec<_> = MasscanScanner::target_order(100, 4, 2).take(20).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn default_ttl_is_255() {
+        let m = MasscanScanner::new(5);
+        assert_eq!(m.craft(Ipv4Address(1), 1, 0).ttl, 255);
+    }
+}

@@ -1,0 +1,168 @@
+//! The Mirai scanning routine (Antonakakis et al., USENIX Security 2017).
+//!
+//! Every Mirai-infected device runs a continuous SYN scanner with a highly
+//! recognizable quirk: **the TCP sequence number is set to the destination
+//! address** (`scanner.c`: `syn->seq = iph->daddr`). §3.3 keys on exactly
+//! this. Further routine behaviour reproduced here:
+//!
+//! * targets are independent uniform draws, re-rolled while they land in a
+//!   hardcoded blacklist (private space, loopback, multicast, DoD ranges —
+//!   we model the structural ones);
+//! * destination port 23, with a 1-in-10 chance of 2323 instead
+//!   (`scanner.c`: `rand_next() & 0x0f == 0 ? 2323 : 23`) — §3.2 notes this
+//!   is why the telescope still sees Mirai despite the port-23 ingress block;
+//! * Mirai *descendants* re-use the routine against other ports (§6.2: by
+//!   2020 the fingerprint appears on 99.6% of all TCP ports), which the
+//!   `with_ports` constructor models;
+//! * embedded devices scan slowly — the timing lives in the synthesizer.
+
+use synscan_wire::Ipv4Address;
+
+use crate::traits::{mix64, ProbeCrafter, ProbeHeaders, ToolKind};
+
+/// A Mirai-like bot scanner.
+#[derive(Debug, Clone)]
+pub struct MiraiScanner {
+    /// Per-bot RNG seed (`rand_init` on the device).
+    seed: u64,
+    /// The port set this strain targets; classic Mirai is `[23]` with the
+    /// built-in 2323 dice-roll, descendants override.
+    ports: Vec<u16>,
+    /// Classic 1-in-10 2323 behaviour (only when `ports == [23]`).
+    telnet_dice: bool,
+}
+
+impl MiraiScanner {
+    /// The original Telnet strain.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ports: vec![23],
+            telnet_dice: true,
+        }
+    }
+
+    /// A descendant strain targeting the given ports.
+    pub fn with_ports(seed: u64, ports: Vec<u16>) -> Self {
+        assert!(!ports.is_empty(), "a strain must target at least one port");
+        Self {
+            seed,
+            ports,
+            telnet_dice: false,
+        }
+    }
+
+    /// The port for the `idx`-th probe.
+    pub fn pick_port(&self, idx: u64) -> u16 {
+        if self.telnet_dice {
+            // rand_next() & 0x0f == 0 -> 2323 (1 in 16 in the real code;
+            // the paper and [28] describe it as "also scan 2323").
+            if mix64(self.seed ^ idx) & 0x0f == 0 {
+                2323
+            } else {
+                23
+            }
+        } else {
+            self.ports[(mix64(self.seed ^ idx) % self.ports.len() as u64) as usize]
+        }
+    }
+
+    /// The `idx`-th random target, re-rolled around the blacklist.
+    pub fn pick_target(&self, idx: u64) -> Ipv4Address {
+        // Chain through mix64 (a bijection) so re-rolls never collide with
+        // another seed's first draw: seed 4 with salt 1 must not equal
+        // seed 5 with salt 0, which a plain `seed ^ salt` would allow.
+        let mut x = mix64(self.seed).wrapping_add(idx.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        loop {
+            x = mix64(x);
+            let addr = Ipv4Address(x as u32);
+            if !addr.is_reserved() {
+                return addr;
+            }
+        }
+    }
+}
+
+impl ProbeCrafter for MiraiScanner {
+    fn craft(&self, dst: Ipv4Address, _dst_port: u16, probe_idx: u64) -> ProbeHeaders {
+        ProbeHeaders {
+            // Mirai uses a random ephemeral source port per probe.
+            src_port: 1024 + (mix64(self.seed ^ probe_idx ^ 0x5172) % 64_000) as u16,
+            // The fingerprint: sequence number equals the destination IP.
+            seq: dst.0,
+            ip_id: (mix64(self.seed ^ probe_idx) & 0xffff) as u16,
+            ttl: 64,
+            window: 14_600,
+        }
+    }
+
+    fn tool(&self) -> ToolKind {
+        ToolKind::Mirai
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_equals_destination_address() {
+        let m = MiraiScanner::new(5);
+        for i in 0..100u64 {
+            let dst = m.pick_target(i);
+            let h = m.craft(dst, 23, i);
+            assert_eq!(h.seq, dst.0);
+        }
+    }
+
+    #[test]
+    fn telnet_dice_hits_2323_about_one_in_sixteen() {
+        let m = MiraiScanner::new(1);
+        let n = 50_000u64;
+        let count_2323 = (0..n).filter(|&i| m.pick_port(i) == 2323).count() as f64;
+        let frac = count_2323 / n as f64;
+        assert!(
+            (frac - 1.0 / 16.0).abs() < 0.01,
+            "2323 fraction = {frac}, expected ~0.0625"
+        );
+        assert!((0..n).all(|i| matches!(m.pick_port(i), 23 | 2323)));
+    }
+
+    #[test]
+    fn descendants_spread_over_their_port_set() {
+        let ports = vec![80u16, 8080, 8291];
+        let m = MiraiScanner::with_ports(2, ports.clone());
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            let p = m.pick_port(i);
+            assert!(ports.contains(&p));
+            seen.insert(p);
+        }
+        assert_eq!(seen.len(), ports.len(), "all strain ports must be used");
+    }
+
+    #[test]
+    fn targets_avoid_reserved_space() {
+        let m = MiraiScanner::new(3);
+        for i in 0..5000u64 {
+            assert!(!m.pick_target(i).is_reserved());
+        }
+    }
+
+    #[test]
+    fn targets_are_pseudo_random_draws() {
+        let m = MiraiScanner::new(4);
+        let a = m.pick_target(0);
+        let b = m.pick_target(1);
+        assert_ne!(a, b);
+        // Deterministic per seed and index.
+        assert_eq!(m.pick_target(0), a);
+        assert_ne!(MiraiScanner::new(5).pick_target(0), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_port_set_rejected() {
+        MiraiScanner::with_ports(1, vec![]);
+    }
+}

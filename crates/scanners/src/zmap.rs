@@ -1,0 +1,176 @@
+//! ZMap (Durumeric, Wustrow, Halderman — USENIX Security 2013).
+//!
+//! Behavioural model:
+//!
+//! * **Marker**: the IPv4 identification field is the constant **54321**
+//!   (§3.3 of the paper; `zmap/src/probe_modules/packet.c`). This is the
+//!   fingerprint the paper keys on — and the one that scanning organizations
+//!   stopped shipping after 2023, collapsing fingerprint coverage.
+//! * **Statelessness**: the sequence number carries a *validation* cookie
+//!   derived from the destination, so replies can be matched without a
+//!   state table.
+//! * **Target order**: the multiplicative cyclic-group walk of [`crate::cyclic`].
+//! * **Sharding** (`--shards`/`--shard`): the cycle is partitioned between
+//!   cooperating hosts; shard *i* of *n* takes every *n*-th group element.
+//!   §4.1 attributes the 2024 surge of small ZMap scans to exactly this.
+
+use synscan_wire::Ipv4Address;
+
+use crate::cyclic::CyclicIter;
+use crate::traits::{mix64, ProbeCrafter, ProbeHeaders, ToolKind};
+
+/// The IP identification constant ZMap stamps on every probe.
+pub const ZMAP_IP_ID: u16 = 54_321;
+
+/// A ZMap instance.
+#[derive(Debug, Clone)]
+pub struct ZmapScanner {
+    /// Per-run validation secret (ZMap: AES key; model: 64-bit key).
+    secret: u64,
+    /// Fixed source port for the run (ZMap default behaviour: a constant
+    /// source port range; we model the common single-port configuration).
+    src_port: u16,
+    /// Whether this build stamps the 54321 marker. Versions patched by
+    /// scanning institutions after 2023 randomize it (§6 intro).
+    marked: bool,
+}
+
+impl ZmapScanner {
+    /// A stock ZMap with the classic fingerprint.
+    pub fn new(secret: u64) -> Self {
+        Self {
+            secret,
+            src_port: 40_000 + (mix64(secret) % 20_000) as u16,
+            marked: true,
+        }
+    }
+
+    /// A de-fingerprinted build (post-2023 institutional scanners): the
+    /// IP identification is randomized per probe.
+    pub fn unmarked(secret: u64) -> Self {
+        Self {
+            marked: false,
+            ..Self::new(secret)
+        }
+    }
+
+    /// The validation cookie ZMap embeds in the sequence number.
+    fn validation(&self, dst: Ipv4Address, dst_port: u16) -> u32 {
+        mix64(self.secret ^ u64::from(dst.0) ^ (u64::from(dst_port) << 32)) as u32
+    }
+
+    /// Iterate a sharded cyclic walk over `domain` targets: shard `shard` of
+    /// `shards` takes every `shards`-th element, exactly like `--shards N
+    /// --shard i`. All shards together partition the permutation.
+    pub fn shard_targets(
+        domain: u64,
+        seed: u64,
+        shard: u32,
+        shards: u32,
+    ) -> impl Iterator<Item = u64> {
+        assert!(shards > 0 && shard < shards, "invalid shard spec");
+        CyclicIter::new(domain, seed)
+            .enumerate()
+            .filter(move |(i, _)| (*i as u64) % shards as u64 == shard as u64)
+            .map(|(_, v)| v)
+    }
+}
+
+impl ProbeCrafter for ZmapScanner {
+    fn craft(&self, dst: Ipv4Address, dst_port: u16, probe_idx: u64) -> ProbeHeaders {
+        ProbeHeaders {
+            src_port: self.src_port,
+            seq: self.validation(dst, dst_port),
+            ip_id: if self.marked {
+                ZMAP_IP_ID
+            } else {
+                (mix64(self.secret ^ probe_idx) & 0xffff) as u16
+            },
+            ttl: 64,
+            window: 65_535,
+        }
+    }
+
+    fn tool(&self) -> ToolKind {
+        ToolKind::Zmap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn stock_zmap_stamps_54321() {
+        let z = ZmapScanner::new(7);
+        for (ip, port) in [(0x0102_0304u32, 80u16), (0xff00_0001, 65_535)] {
+            let h = z.craft(Ipv4Address(ip), port, 0);
+            assert_eq!(h.ip_id, 54_321);
+        }
+    }
+
+    #[test]
+    fn unmarked_zmap_randomizes_ip_id() {
+        let z = ZmapScanner::unmarked(7);
+        let ids: HashSet<u16> = (0..50u64)
+            .map(|i| z.craft(Ipv4Address(100 + i as u32), 443, i).ip_id)
+            .collect();
+        assert!(ids.len() > 10, "ip_id must vary: {ids:?}");
+        assert!(!ids.contains(&54_321) || ids.len() > 1);
+    }
+
+    #[test]
+    fn validation_is_destination_bound_and_stable() {
+        let z = ZmapScanner::new(99);
+        let a = z.craft(Ipv4Address(1), 80, 0).seq;
+        let b = z.craft(Ipv4Address(1), 80, 5).seq;
+        let c = z.craft(Ipv4Address(2), 80, 0).seq;
+        let d = z.craft(Ipv4Address(1), 81, 0).seq;
+        assert_eq!(a, b, "same destination, same cookie");
+        assert_ne!(a, c, "cookie binds address");
+        assert_ne!(a, d, "cookie binds port");
+    }
+
+    #[test]
+    fn different_runs_have_different_cookies() {
+        let z1 = ZmapScanner::new(1);
+        let z2 = ZmapScanner::new(2);
+        assert_ne!(
+            z1.craft(Ipv4Address(9), 22, 0).seq,
+            z2.craft(Ipv4Address(9), 22, 0).seq
+        );
+    }
+
+    #[test]
+    fn shards_partition_the_domain() {
+        let domain = 1000u64;
+        let shards = 4u32;
+        let mut all: Vec<u64> = Vec::new();
+        let mut sizes = Vec::new();
+        for s in 0..shards {
+            let part: Vec<u64> = ZmapScanner::shard_targets(domain, 11, s, shards).collect();
+            sizes.push(part.len());
+            all.extend(part);
+        }
+        let set: HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(set.len() as u64, domain, "shards must cover everything");
+        assert_eq!(all.len() as u64, domain, "shards must be disjoint");
+        // Shards are balanced to within one element per group-cycle skip.
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= domain as usize / 100 + 2, "{sizes:?}");
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_walk() {
+        let full: Vec<u64> = CyclicIter::new(500, 3).collect();
+        let sharded: Vec<u64> = ZmapScanner::shard_targets(500, 3, 0, 1).collect();
+        assert_eq!(full, sharded);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shard")]
+    fn out_of_range_shard_panics() {
+        let _ = ZmapScanner::shard_targets(10, 1, 3, 3).count();
+    }
+}

@@ -1,0 +1,194 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Every CDF figure in the paper (weekly volatility, ports-per-source,
+//! recurrence, speed/coverage per scanner type) is an ECDF over one metric;
+//! this module provides construction, evaluation, quantiles, and fixed-grid
+//! series export for the benchmark harness to print.
+
+/// An empirical CDF over `f64` samples.
+///
+/// ```
+/// use synscan_stats::Ecdf;
+///
+/// let speeds = Ecdf::new(vec![100.0, 900.0, 1_500.0, 80_000.0]);
+/// // "84% of institutional scans exceed 1,000 pps"-style tail queries:
+/// assert_eq!(speeds.tail(1_000.0), 0.5);
+/// assert_eq!(speeds.median(), 900.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from unsorted samples. NaN values are rejected.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|v| !v.is_nan()),
+            "ECDF samples must not contain NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { sorted: samples }
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were provided.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` — fraction of samples `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`) using the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty ECDF");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Median shorthand.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Smallest and largest sample.
+    pub fn range(&self) -> (f64, f64) {
+        (
+            *self.sorted.first().expect("empty ECDF"),
+            *self.sorted.last().expect("empty ECDF"),
+        )
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples strictly greater than `x` — the "survival" tail
+    /// used for statements like "84% of institutional scans exceed 1,000 pps".
+    pub fn tail(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// Export `(x, F(x))` pairs at each distinct sample point, suitable for
+    /// printing a figure series.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            if i + 1 == self.sorted.len() || self.sorted[i + 1] > x {
+                out.push((x, (i + 1) as f64 / n));
+            }
+        }
+        out
+    }
+
+    /// Export `F` evaluated on a caller-supplied grid (for aligned figures).
+    pub fn series_on_grid(&self, grid: &[f64]) -> Vec<(f64, f64)> {
+        grid.iter().map(|&x| (x, self.eval(x))).collect()
+    }
+
+    /// Direct access to the sorted samples (for KS tests on the same data).
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_a_step_function() {
+        let ecdf = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(ecdf.eval(0.5), 0.0);
+        assert_eq!(ecdf.eval(1.0), 0.25);
+        assert_eq!(ecdf.eval(1.5), 0.25);
+        assert_eq!(ecdf.eval(2.0), 0.75);
+        assert_eq!(ecdf.eval(3.9), 0.75);
+        assert_eq!(ecdf.eval(4.0), 1.0);
+        assert_eq!(ecdf.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let ecdf = Ecdf::new((1..=10).map(|i| i as f64).collect());
+        assert_eq!(ecdf.quantile(0.0), 1.0);
+        assert_eq!(ecdf.quantile(0.1), 1.0);
+        assert_eq!(ecdf.quantile(0.5), 5.0);
+        assert_eq!(ecdf.median(), 5.0);
+        assert_eq!(ecdf.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn tail_fraction() {
+        let ecdf = Ecdf::new(vec![10.0, 100.0, 1000.0, 10000.0]);
+        assert_eq!(ecdf.tail(99.0), 0.75);
+        assert_eq!(ecdf.tail(1000.0), 0.25);
+        assert_eq!(ecdf.tail(1e9), 0.0);
+    }
+
+    #[test]
+    fn series_deduplicates_ties() {
+        let ecdf = Ecdf::new(vec![1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(ecdf.series(), vec![(1.0, 0.75), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn series_on_grid_aligns() {
+        let ecdf = Ecdf::new(vec![1.0, 3.0]);
+        assert_eq!(
+            ecdf.series_on_grid(&[0.0, 1.0, 2.0, 3.0]),
+            vec![(0.0, 0.0), (1.0, 0.5), (2.0, 0.5), (3.0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn mean_and_range() {
+        let ecdf = Ecdf::new(vec![2.0, 4.0, 6.0]);
+        assert_eq!(ecdf.mean(), 4.0);
+        assert_eq!(ecdf.range(), (2.0, 6.0));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let ecdf: Ecdf = [3.0, 1.0, 2.0].into_iter().collect();
+        assert_eq!(ecdf.samples(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        Ecdf::new(vec![]).quantile(0.5);
+    }
+}

@@ -1,0 +1,228 @@
+//! Linear and logarithmic histograms.
+//!
+//! Scanning metrics span many orders of magnitude (packet rates from < 1 pps
+//! to > 10⁵ pps, coverage from 0.003% to 100%), so the figure code uses
+//! [`LogHistogram`]; per-port counters use the dense [`Histogram`].
+
+/// A dense fixed-width histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0, "invalid histogram domain");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let width = (self.hi - self.lo) / n as f64;
+            let idx = (((value - self.lo) / width) as usize).min(n - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations, including out-of-range ones.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below `lo` / at or above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Iterate `(bin_center, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * width, c))
+    }
+
+    /// The raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+}
+
+/// A base-`b` logarithmic histogram for positive values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    base: f64,
+    min_exp: i32,
+    bins: Vec<u64>,
+    zero_or_negative: u64,
+    count: u64,
+}
+
+impl LogHistogram {
+    /// Histogram with one bucket per power of `base`, covering exponents
+    /// `min_exp..min_exp + bins`.
+    pub fn new(base: f64, min_exp: i32, bins: usize) -> Self {
+        assert!(base > 1.0 && bins > 0, "invalid log histogram");
+        Self {
+            base,
+            min_exp,
+            bins: vec![0; bins],
+            zero_or_negative: 0,
+            count: 0,
+        }
+    }
+
+    /// Decade histogram (base 10) — the common case for rate plots.
+    pub fn decades(min_exp: i32, bins: usize) -> Self {
+        Self::new(10.0, min_exp, bins)
+    }
+
+    /// Record one observation; non-positive values go to a dedicated bucket.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        if value <= 0.0 {
+            self.zero_or_negative += 1;
+            return;
+        }
+        let exp = Self::exponent(self.base, value);
+        let idx = (exp - self.min_exp).clamp(0, self.bins.len() as i32 - 1) as usize;
+        self.bins[idx] += 1;
+    }
+
+    /// Bucket exponent of a value, robust to floating-point log error at
+    /// exact powers of the base (log10(1000) evaluates to 2.999...96).
+    fn exponent(base: f64, value: f64) -> i32 {
+        (value.log(base) + 1e-9).floor() as i32
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations that were zero or negative.
+    pub fn zero_or_negative(&self) -> u64 {
+        self.zero_or_negative
+    }
+
+    /// Iterate `(bucket_lower_bound, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.base.powi(self.min_exp + i as i32), c))
+    }
+
+    /// Fraction of positive samples at or above `threshold`.
+    pub fn tail_fraction(&self, threshold: f64) -> f64 {
+        let positive: u64 = self.bins.iter().sum();
+        if positive == 0 {
+            return 0.0;
+        }
+        let exp = Self::exponent(self.base, threshold);
+        let idx = ((exp - self.min_exp).max(0) as usize).min(self.bins.len());
+        let above: u64 = self.bins[idx..].iter().sum();
+        above as f64 / positive as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_histogram_bins_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for v in [0.0, 0.5, 1.0, 5.5, 9.99] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bins()[0], 2); // 0.0 and 0.5
+        assert_eq!(h.bins()[1], 1); // 1.0
+        assert_eq!(h.bins()[5], 1); // 5.5
+        assert_eq!(h.bins()[9], 1); // 9.99
+    }
+
+    #[test]
+    fn linear_histogram_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-1.0);
+        h.record(2.0);
+        h.record(1.0); // hi is exclusive
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn linear_histogram_centers() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let centers: Vec<f64> = h.iter().map(|(c, _)| c).collect();
+        assert_eq!(centers, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn log_histogram_decade_binning() {
+        let mut h = LogHistogram::decades(0, 6); // 1..1e6
+        for v in [1.0, 5.0, 10.0, 99.0, 100.0, 1e5, 9.9e5] {
+            h.record(v);
+        }
+        let counts: Vec<u64> = h.iter().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![2, 2, 1, 0, 0, 2]);
+    }
+
+    #[test]
+    fn log_histogram_clamps_extremes() {
+        let mut h = LogHistogram::decades(0, 3);
+        h.record(0.5); // below min_exp -> clamped into bin 0
+        h.record(1e9); // above top -> clamped into last
+        let counts: Vec<u64> = h.iter().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn log_histogram_zero_bucket() {
+        let mut h = LogHistogram::decades(0, 3);
+        h.record(0.0);
+        h.record(-5.0);
+        assert_eq!(h.zero_or_negative(), 2);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn tail_fraction_over_threshold() {
+        let mut h = LogHistogram::decades(0, 6);
+        // 3 samples below 1000, 1 above.
+        for v in [1.0, 10.0, 100.0, 10_000.0] {
+            h.record(v);
+        }
+        assert!((h.tail_fraction(1000.0) - 0.25).abs() < 1e-12);
+        assert!((h.tail_fraction(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn invalid_domain_panics() {
+        Histogram::new(5.0, 5.0, 10);
+    }
+}

@@ -1,0 +1,171 @@
+//! Streaming mean/variance via Welford's algorithm.
+//!
+//! Used for single-pass aggregation over packet streams where holding the raw
+//! samples would be prohibitive (e.g. per-year mean scan speed).
+
+/// Numerically stable one-pass accumulator for mean, variance, min and max.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamingMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingMoments {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merge another accumulator (parallel reduction), Chan et al. formula.
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (NaN when empty).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation (NaN when count < 2).
+    pub fn sample_std_dev(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (infinity when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (negative infinity when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let mut m = StreamingMoments::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            m.push(v);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(m.min(), 2.0);
+        assert_eq!(m.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 100.0).collect();
+        let mut all = StreamingMoments::new();
+        for &v in &values {
+            all.push(v);
+        }
+        let mut left = StreamingMoments::new();
+        let mut right = StreamingMoments::new();
+        for &v in &values[..37] {
+            left.push(v);
+        }
+        for &v in &values[37..] {
+            right.push(v);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merging_with_empty_is_identity() {
+        let mut m = StreamingMoments::new();
+        m.push(1.0);
+        m.push(3.0);
+        let before = m;
+        m.merge(&StreamingMoments::new());
+        assert_eq!(m, before);
+
+        let mut empty = StreamingMoments::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn empty_accumulator_yields_nan() {
+        let m = StreamingMoments::new();
+        assert!(m.mean().is_nan());
+        assert!(m.variance().is_nan());
+        assert!(m.sample_std_dev().is_nan());
+    }
+
+    #[test]
+    fn numerical_stability_with_large_offset() {
+        // Catastrophic cancellation check: variance of {1e9, 1e9+1, 1e9+2}.
+        let mut m = StreamingMoments::new();
+        for v in [1e9, 1e9 + 1.0, 1e9 + 2.0] {
+            m.push(v);
+        }
+        assert!((m.variance() - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

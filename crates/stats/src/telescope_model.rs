@@ -1,0 +1,184 @@
+//! The geometric telescope-detection model of Moore et al. (CAIDA TR-2004).
+//!
+//! §3.4 of the paper: *"we model our telescope using a geometric distribution
+//! to find that a scanner probing random IPv4 addresses at the rate of 100 pps
+//! will appear in our dataset within 1 hour with a probability of 99.9%"*.
+//!
+//! For a telescope monitoring `n` of the `2³²` IPv4 addresses, each uniformly
+//! random probe lands in the telescope with probability `p = n / 2³²`; the
+//! number of probes until the first hit is geometric, so after `k` probes the
+//! telescope has seen the scanner with probability `1 − (1 − p)^k`.
+
+/// Size of the IPv4 address space.
+pub const IPV4_SPACE: f64 = 4_294_967_296.0;
+
+/// Detection and extrapolation maths for a telescope of a given size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelescopeModel {
+    /// Number of monitored addresses.
+    pub monitored: u64,
+}
+
+impl TelescopeModel {
+    /// The paper's telescope: on average 71,536 unrouted addresses,
+    /// roughly one /16.
+    pub const PAPER: TelescopeModel = TelescopeModel { monitored: 71_536 };
+
+    /// Create a model for `monitored` addresses.
+    pub fn new(monitored: u64) -> Self {
+        assert!(monitored > 0, "telescope must monitor at least one address");
+        Self { monitored }
+    }
+
+    /// Per-probe hit probability `p = n / 2³²`.
+    pub fn hit_probability(&self) -> f64 {
+        self.monitored as f64 / IPV4_SPACE
+    }
+
+    /// Probability the scanner is observed at least once after `probes`
+    /// uniformly random probes: `1 − (1 − p)^probes`.
+    pub fn detection_probability(&self, probes: u64) -> f64 {
+        let p = self.hit_probability();
+        1.0 - (1.0 - p).powf(probes as f64)
+    }
+
+    /// Probability a scanner probing at `rate_pps` is seen within
+    /// `duration_secs` seconds.
+    pub fn detection_within(&self, rate_pps: f64, duration_secs: f64) -> f64 {
+        assert!(rate_pps >= 0.0 && duration_secs >= 0.0);
+        self.detection_probability((rate_pps * duration_secs) as u64)
+    }
+
+    /// Expected number of probes until first telescope hit (`1/p`).
+    pub fn expected_probes_to_detection(&self) -> f64 {
+        1.0 / self.hit_probability()
+    }
+
+    /// Expected telescope hits for a scan that sends `total_probes` uniformly
+    /// random probes Internet-wide.
+    pub fn expected_hits(&self, total_probes: u64) -> f64 {
+        total_probes as f64 * self.hit_probability()
+    }
+
+    /// Extrapolate an Internet-wide probe rate from the observed telescope
+    /// hit rate: `rate ≈ hits_per_sec / p`. This is how campaign speed (§3.4,
+    /// 100 pps threshold) is estimated from telescope arrivals.
+    pub fn extrapolate_rate(&self, telescope_hits_per_sec: f64) -> f64 {
+        telescope_hits_per_sec / self.hit_probability()
+    }
+
+    /// Extrapolate how many Internet addresses a scan targeted from the
+    /// number of *distinct* telescope addresses it hit, inverting the
+    /// coupon-collector expectation `E[d] = n(1 − (1 − 1/n)^T)`:
+    /// `T = ln(1 − d/n) / ln(1 − 1/n)`.
+    ///
+    /// Saturates at the full IPv4 space when `d == n` (every telescope address
+    /// was hit, so the scan covered essentially everything).
+    pub fn extrapolate_targets(&self, distinct_hits: u64) -> f64 {
+        let n = self.monitored as f64;
+        let d = (distinct_hits as f64).min(n);
+        if d >= n {
+            return IPV4_SPACE;
+        }
+        let t = (1.0 - d / n).ln() / (1.0 - 1.0 / n).ln();
+        // One telescope probe corresponds to 2³²/n Internet-wide targets.
+        (t * IPV4_SPACE / n).min(IPV4_SPACE)
+    }
+
+    /// Fraction of IPv4 a scan covered, from its distinct telescope hits.
+    pub fn coverage_fraction(&self, distinct_hits: u64) -> f64 {
+        (self.extrapolate_targets(distinct_hits) / IPV4_SPACE).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_claim_100pps_within_one_hour() {
+        // The §3.4 calibration: 100 pps seen within 1 h w.p. ~99.9%.
+        let p = TelescopeModel::PAPER.detection_within(100.0, 3600.0);
+        assert!(p > 0.997, "p = {p}");
+        assert!(p < 1.0);
+    }
+
+    #[test]
+    fn hit_probability_magnitude() {
+        let p = TelescopeModel::PAPER.hit_probability();
+        // 71,536 / 2^32 ≈ 1.6655e-5 — the 0.0015% sensitivity noted in §3.4
+        // ("at least 0.15% of the Internet" for the 100-hit threshold).
+        assert!((p - 1.6655e-5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn detection_probability_monotone_in_probes() {
+        let m = TelescopeModel::PAPER;
+        let mut last = 0.0;
+        for probes in [0u64, 100, 10_000, 1_000_000, 100_000_000] {
+            let p = m.detection_probability(probes);
+            assert!(p >= last);
+            last = p;
+        }
+        assert_eq!(m.detection_probability(0), 0.0);
+    }
+
+    #[test]
+    fn expected_probes_is_inverse_probability() {
+        let m = TelescopeModel::new(1 << 16);
+        assert!((m.expected_probes_to_detection() - 65536.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_extrapolation_round_trips() {
+        let m = TelescopeModel::PAPER;
+        // A 10,000 pps Internet-wide scan yields p*10k hits/sec at the scope.
+        let hits_per_sec = 10_000.0 * m.hit_probability();
+        assert!((m.extrapolate_rate(hits_per_sec) - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn target_extrapolation_small_counts_are_linear() {
+        let m = TelescopeModel::PAPER;
+        // Far from saturation the inverse coupon-collector is ~linear:
+        // d distinct hits ≈ d * (2^32 / n) targets.
+        let est = m.extrapolate_targets(100);
+        let linear = 100.0 * IPV4_SPACE / m.monitored as f64;
+        assert!(
+            (est / linear - 1.0).abs() < 0.01,
+            "est={est} linear={linear}"
+        );
+    }
+
+    #[test]
+    fn target_extrapolation_saturates_at_full_space() {
+        let m = TelescopeModel::new(1000);
+        assert_eq!(m.extrapolate_targets(1000), IPV4_SPACE);
+        assert_eq!(m.coverage_fraction(1000), 1.0);
+        assert_eq!(m.extrapolate_targets(5000), IPV4_SPACE); // clamped
+    }
+
+    #[test]
+    fn coverage_fraction_of_full_scan() {
+        let m = TelescopeModel::PAPER;
+        // A full IPv4 scan hits every telescope address.
+        assert_eq!(m.coverage_fraction(m.monitored), 1.0);
+        // Half the telescope hit -> ~69% of probes sent (coupon collector),
+        // i.e. ln(2) ≈ 0.693 of the full space.
+        let half = m.coverage_fraction(m.monitored / 2);
+        assert!((half - 0.693).abs() < 0.01, "half = {half}");
+    }
+
+    #[test]
+    fn expected_hits_scales_linearly() {
+        let m = TelescopeModel::PAPER;
+        let one_full_pass = m.expected_hits(1u64 << 32);
+        assert!((one_full_pass - m.monitored as f64).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_telescope_panics() {
+        TelescopeModel::new(0);
+    }
+}

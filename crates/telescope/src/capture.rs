@@ -1,0 +1,328 @@
+//! The capture session: what the telescope records and forwards to analysis.
+//!
+//! Applies, in order: destination membership (only dark addresses are routed
+//! here), the ingress port policy (§3.2), and the SYN-only scan filter that
+//! separates scanning from backscatter. Everything dropped is counted, so
+//! studies can report filter efficacy. Raw admitted frames can be exported
+//! to pcap for interoperability.
+
+use std::io::Write;
+
+use synscan_wire::{pcap, ProbeRecord, SynFrameBuilder, TcpFlags};
+
+use crate::addrset::AddressSet;
+use crate::ingress::IngressPolicy;
+
+/// The TCP scan techniques of §3.1. SYN scans dominate (>98% of TCP scans);
+/// the "stealthy" variants of hacker folklore are classified but rare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum ScanTechnique {
+    /// A pure SYN — the standard probe and the paper's subject.
+    Syn,
+    /// FIN without an established connection.
+    Fin,
+    /// No control bits at all.
+    Null,
+    /// FIN|PSH|URG — "all candles lit".
+    Xmas,
+    /// A bare ACK to a packet never sent.
+    Ack,
+    /// Not a scan probe: SYN/ACK or RST replies — attack backscatter.
+    Backscatter,
+    /// Anything else (odd flag combinations).
+    Other,
+}
+
+/// Classify a TCP frame's flags into the §3.1 taxonomy.
+pub fn classify_technique(flags: TcpFlags) -> ScanTechnique {
+    if flags.is_pure_syn() {
+        ScanTechnique::Syn
+    } else if flags.contains(TcpFlags::SYN | TcpFlags::ACK) || flags.contains(TcpFlags::RST) {
+        ScanTechnique::Backscatter
+    } else if flags == TcpFlags::NULL {
+        ScanTechnique::Null
+    } else if flags == TcpFlags::XMAS {
+        ScanTechnique::Xmas
+    } else if flags == TcpFlags::FIN {
+        ScanTechnique::Fin
+    } else if flags == TcpFlags::ACK {
+        ScanTechnique::Ack
+    } else {
+        ScanTechnique::Other
+    }
+}
+
+/// Counters describing one capture run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CaptureStats {
+    /// Frames offered to the session.
+    pub offered: u64,
+    /// Dropped: destination not in the dark set.
+    pub not_dark: u64,
+    /// Dropped: arrived during a telescope outage window.
+    pub outage_lost: u64,
+    /// Dropped: ingress port policy (23/445 from 2017).
+    pub ingress_blocked: u64,
+    /// Dropped: SYN/ACK or RST replies — attack backscatter.
+    pub backscatter: u64,
+    /// Dropped: non-SYN scan techniques (FIN/NULL/XMAS/ACK probes) — real
+    /// scans, but outside the paper's SYN-scan scope (<2% of TCP scans).
+    pub other_scan_techniques: u64,
+    /// Admitted scan probes.
+    pub admitted: u64,
+}
+
+/// A streaming capture session.
+#[derive(Debug)]
+pub struct CaptureSession<'a> {
+    set: &'a AddressSet,
+    policy: IngressPolicy,
+    stats: CaptureStats,
+    outages: Vec<(u64, u64)>,
+}
+
+impl<'a> CaptureSession<'a> {
+    /// New session over the given dark set and capture year.
+    pub fn new(set: &'a AddressSet, year: u16) -> Self {
+        Self {
+            set,
+            policy: IngressPolicy::for_year(year),
+            stats: CaptureStats::default(),
+            outages: Vec::new(),
+        }
+    }
+
+    /// New session with outage windows (µs, relative to capture start)
+    /// during which frames are lost — §3.2's telescope outages.
+    pub fn with_outages(set: &'a AddressSet, year: u16, outages: Vec<(u64, u64)>) -> Self {
+        Self {
+            outages,
+            ..Self::new(set, year)
+        }
+    }
+
+    /// Offer one record; returns `true` when it is admitted as a scan probe.
+    pub fn offer(&mut self, record: &ProbeRecord) -> bool {
+        self.stats.offered += 1;
+        if self
+            .outages
+            .iter()
+            .any(|&(s, e)| record.ts_micros >= s && record.ts_micros < e)
+        {
+            self.stats.outage_lost += 1;
+            return false;
+        }
+        if !self.set.contains(record.dst_ip) {
+            self.stats.not_dark += 1;
+            return false;
+        }
+        if !self.policy.admits(record) {
+            self.stats.ingress_blocked += 1;
+            return false;
+        }
+        match classify_technique(record.flags) {
+            ScanTechnique::Syn => {}
+            ScanTechnique::Backscatter => {
+                self.stats.backscatter += 1;
+                return false;
+            }
+            _ => {
+                self.stats.other_scan_techniques += 1;
+                return false;
+            }
+        }
+        self.stats.admitted += 1;
+        true
+    }
+
+    /// Filter a batch, returning the admitted records.
+    pub fn filter(&mut self, records: impl IntoIterator<Item = ProbeRecord>) -> Vec<ProbeRecord> {
+        records.into_iter().filter(|r| self.offer(r)).collect()
+    }
+
+    /// The running counters.
+    pub fn stats(&self) -> CaptureStats {
+        self.stats
+    }
+}
+
+/// Write records to a classic pcap stream as full Ethernet frames.
+pub fn export_pcap<W: Write>(records: &[ProbeRecord], writer: W) -> std::io::Result<W> {
+    let mut pcap_writer = pcap::PcapWriter::new(writer, pcap::LINKTYPE_ETHERNET)?;
+    let builder = SynFrameBuilder::default();
+    let mut buf = vec![0u8; ProbeRecord::frame_len()];
+    for record in records {
+        builder.build_into(record, &mut buf);
+        pcap_writer.write_record(record.ts_micros, &buf)?;
+    }
+    pcap_writer.into_inner()
+}
+
+/// Read records back from a pcap stream produced by [`export_pcap`] (or any
+/// Ethernet pcap of TCP traffic); non-TCP frames are skipped.
+pub fn import_pcap<R: std::io::Read>(
+    reader: R,
+) -> Result<Vec<ProbeRecord>, synscan_wire::WireError> {
+    let pcap_reader = pcap::PcapReader::new(reader)?;
+    let mut records = Vec::new();
+    for item in pcap_reader {
+        let rec = item?;
+        if let Ok(parsed) = ProbeRecord::from_ethernet(rec.ts_micros, &rec.data) {
+            records.push(parsed);
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TelescopeConfig;
+    use synscan_wire::{Ipv4Address, TcpFlags};
+
+    fn set() -> AddressSet {
+        AddressSet::build(&TelescopeConfig::paper_scaled(128))
+    }
+
+    fn record(dst: Ipv4Address, port: u16, flags: TcpFlags) -> ProbeRecord {
+        ProbeRecord {
+            ts_micros: 1,
+            src_ip: Ipv4Address::new(203, 0, 113, 1),
+            dst_ip: dst,
+            src_port: 55_555,
+            dst_port: port,
+            seq: 42,
+            ip_id: 54_321,
+            ttl: 55,
+            flags,
+            window: 1024,
+        }
+    }
+
+    #[test]
+    fn filters_apply_in_order() {
+        let set = set();
+        let dark = set.addresses()[0];
+        let mut session = CaptureSession::new(&set, 2020);
+
+        assert!(session.offer(&record(dark, 80, TcpFlags::SYN)));
+        assert!(!session.offer(&record(Ipv4Address::new(8, 8, 8, 8), 80, TcpFlags::SYN)));
+        assert!(!session.offer(&record(dark, 23, TcpFlags::SYN)));
+        assert!(!session.offer(&record(dark, 445, TcpFlags::SYN)));
+        assert!(!session.offer(&record(dark, 80, TcpFlags::SYN_ACK)));
+        assert!(!session.offer(&record(dark, 80, TcpFlags::RST)));
+
+        let stats = session.stats();
+        assert_eq!(stats.offered, 6);
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.not_dark, 1);
+        assert_eq!(stats.ingress_blocked, 2);
+        assert_eq!(stats.backscatter, 2);
+        assert_eq!(stats.other_scan_techniques, 0);
+    }
+
+    #[test]
+    fn stealth_scan_techniques_are_classified_not_lumped_with_backscatter() {
+        let set = set();
+        let dark = set.addresses()[2];
+        let mut session = CaptureSession::new(&set, 2020);
+        assert!(!session.offer(&record(dark, 80, TcpFlags::FIN)));
+        assert!(!session.offer(&record(dark, 80, TcpFlags::NULL)));
+        assert!(!session.offer(&record(dark, 80, TcpFlags::XMAS)));
+        assert!(!session.offer(&record(dark, 80, TcpFlags::ACK)));
+        assert!(!session.offer(&record(dark, 80, TcpFlags::SYN_ACK)));
+        let stats = session.stats();
+        assert_eq!(stats.other_scan_techniques, 4);
+        assert_eq!(stats.backscatter, 1);
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn outage_windows_lose_frames() {
+        let set = set();
+        let dark = set.addresses()[0];
+        let mut session = CaptureSession::with_outages(&set, 2020, vec![(1_000_000, 2_000_000)]);
+        let mut r = record(dark, 80, TcpFlags::SYN);
+        r.ts_micros = 500_000;
+        assert!(session.offer(&r));
+        r.ts_micros = 1_500_000;
+        assert!(!session.offer(&r));
+        r.ts_micros = 2_000_000;
+        assert!(session.offer(&r));
+        assert_eq!(session.stats().outage_lost, 1);
+        assert_eq!(session.stats().admitted, 2);
+    }
+
+    #[test]
+    fn technique_taxonomy() {
+        assert_eq!(classify_technique(TcpFlags::SYN), ScanTechnique::Syn);
+        assert_eq!(
+            classify_technique(TcpFlags::SYN | TcpFlags::PSH),
+            ScanTechnique::Syn
+        );
+        assert_eq!(
+            classify_technique(TcpFlags::SYN_ACK),
+            ScanTechnique::Backscatter
+        );
+        assert_eq!(
+            classify_technique(TcpFlags::RST),
+            ScanTechnique::Backscatter
+        );
+        assert_eq!(
+            classify_technique(TcpFlags::RST | TcpFlags::ACK),
+            ScanTechnique::Backscatter
+        );
+        assert_eq!(classify_technique(TcpFlags::FIN), ScanTechnique::Fin);
+        assert_eq!(classify_technique(TcpFlags::NULL), ScanTechnique::Null);
+        assert_eq!(classify_technique(TcpFlags::XMAS), ScanTechnique::Xmas);
+        assert_eq!(classify_technique(TcpFlags::ACK), ScanTechnique::Ack);
+        assert_eq!(
+            classify_technique(TcpFlags::FIN | TcpFlags::ACK),
+            ScanTechnique::Other
+        );
+    }
+
+    #[test]
+    fn year_2016_admits_telnet() {
+        let set = set();
+        let dark = set.addresses()[0];
+        let mut session = CaptureSession::new(&set, 2016);
+        assert!(session.offer(&record(dark, 23, TcpFlags::SYN)));
+        assert!(session.offer(&record(dark, 445, TcpFlags::SYN)));
+    }
+
+    #[test]
+    fn batch_filter_returns_admitted_only() {
+        let set = set();
+        let dark = set.addresses()[1];
+        let mut session = CaptureSession::new(&set, 2019);
+        let batch = vec![
+            record(dark, 80, TcpFlags::SYN),
+            record(dark, 80, TcpFlags::SYN_ACK),
+            record(dark, 445, TcpFlags::SYN),
+            record(dark, 2323, TcpFlags::SYN),
+        ];
+        let admitted = session.filter(batch);
+        assert_eq!(admitted.len(), 2);
+        assert!(admitted.iter().all(|r| r.is_syn_scan()));
+    }
+
+    #[test]
+    fn pcap_export_import_round_trip() {
+        let set = set();
+        let records: Vec<ProbeRecord> = set
+            .addresses()
+            .iter()
+            .take(10)
+            .enumerate()
+            .map(|(i, &dst)| ProbeRecord {
+                ts_micros: 1_000 + i as u64,
+                dst_ip: dst,
+                ..record(dst, 443, TcpFlags::SYN)
+            })
+            .collect();
+        let bytes = export_pcap(&records, Vec::new()).unwrap();
+        let parsed = import_pcap(std::io::Cursor::new(bytes)).unwrap();
+        assert_eq!(parsed, records);
+    }
+}

@@ -1,0 +1,341 @@
+//! Classic libpcap capture file format (the `.pcap` tcpdump format).
+//!
+//! The telescope stores raw traffic as pcap; this module implements the
+//! format from scratch: the 24-byte global header (magic `0xa1b2c3d4`,
+//! microsecond timestamps) and per-record headers, in both byte orders on
+//! read, native-order little-endian on write.
+
+use std::io::{self, Read, Write};
+
+use crate::{Result, WireError};
+
+/// Magic number for microsecond-resolution pcap, as written.
+pub const MAGIC_MICROS: u32 = 0xa1b2_c3d4;
+/// Magic for nanosecond-resolution pcap (accepted on read).
+pub const MAGIC_NANOS: u32 = 0xa1b2_3c4d;
+/// Link type LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Link type LINKTYPE_RAW (raw IP).
+pub const LINKTYPE_RAW: u32 = 101;
+
+/// One captured record: timestamp plus frame bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapRecord {
+    /// Timestamp in microseconds since the epoch.
+    pub ts_micros: u64,
+    /// Original length of the frame on the wire.
+    pub orig_len: u32,
+    /// Captured bytes (may be shorter than `orig_len` if snapped).
+    pub data: Vec<u8>,
+}
+
+/// Streaming pcap writer.
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    inner: W,
+    snaplen: u32,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Create a writer and emit the global header for the given link type.
+    pub fn new(mut inner: W, linktype: u32) -> io::Result<Self> {
+        let snaplen: u32 = 65535;
+        inner.write_all(&MAGIC_MICROS.to_le_bytes())?;
+        inner.write_all(&2u16.to_le_bytes())?; // version major
+        inner.write_all(&4u16.to_le_bytes())?; // version minor
+        inner.write_all(&0i32.to_le_bytes())?; // thiszone
+        inner.write_all(&0u32.to_le_bytes())?; // sigfigs
+        inner.write_all(&snaplen.to_le_bytes())?;
+        inner.write_all(&linktype.to_le_bytes())?;
+        Ok(Self { inner, snaplen })
+    }
+
+    /// Append one record, truncating to the snap length if needed.
+    pub fn write_record(&mut self, ts_micros: u64, frame: &[u8]) -> io::Result<()> {
+        let ts_sec = (ts_micros / 1_000_000) as u32;
+        let ts_usec = (ts_micros % 1_000_000) as u32;
+        let incl = frame.len().min(self.snaplen as usize);
+        self.inner.write_all(&ts_sec.to_le_bytes())?;
+        self.inner.write_all(&ts_usec.to_le_bytes())?;
+        self.inner.write_all(&(incl as u32).to_le_bytes())?;
+        self.inner.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.inner.write_all(&frame[..incl])?;
+        Ok(())
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Streaming pcap reader handling both byte orders and both time resolutions.
+#[derive(Debug)]
+pub struct PcapReader<R: Read> {
+    inner: R,
+    swapped: bool,
+    nanos: bool,
+    linktype: u32,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Open a pcap stream, parsing and validating the global header.
+    pub fn new(mut inner: R) -> Result<Self> {
+        let mut header = [0u8; 24];
+        inner
+            .read_exact(&mut header)
+            .map_err(|_| WireError::Truncated)?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let (swapped, nanos) = match magic {
+            MAGIC_MICROS => (false, false),
+            MAGIC_NANOS => (false, true),
+            m if m.swap_bytes() == MAGIC_MICROS => (true, false),
+            m if m.swap_bytes() == MAGIC_NANOS => (true, true),
+            _ => return Err(WireError::Malformed),
+        };
+        let read_u32 = |bytes: &[u8]| -> u32 {
+            let v = u32::from_le_bytes(bytes.try_into().unwrap());
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let linktype = read_u32(&header[20..24]);
+        Ok(Self {
+            inner,
+            swapped,
+            nanos,
+            linktype,
+        })
+    }
+
+    /// The link type declared in the global header.
+    pub fn linktype(&self) -> u32 {
+        self.linktype
+    }
+
+    /// Read the next record; `Ok(None)` signals a clean end of stream.
+    pub fn next_record(&mut self) -> Result<Option<PcapRecord>> {
+        let mut rec_header = [0u8; 16];
+        match self.inner.read_exact(&mut rec_header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(_) => return Err(WireError::Truncated),
+        }
+        let read_u32 = |bytes: &[u8]| -> u32 {
+            let v = u32::from_le_bytes(bytes.try_into().unwrap());
+            if self.swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let ts_sec = read_u32(&rec_header[0..4]) as u64;
+        let ts_frac = read_u32(&rec_header[4..8]) as u64;
+        let incl_len = read_u32(&rec_header[8..12]) as usize;
+        let orig_len = read_u32(&rec_header[12..16]);
+        // Defend against corrupt length fields: pcap snap lengths never
+        // exceed 256 KiB in practice.
+        if incl_len > 1 << 18 {
+            return Err(WireError::Malformed);
+        }
+        let mut data = vec![0u8; incl_len];
+        self.inner
+            .read_exact(&mut data)
+            .map_err(|_| WireError::Truncated)?;
+        let ts_micros = if self.nanos {
+            ts_sec * 1_000_000 + ts_frac / 1000
+        } else {
+            ts_sec * 1_000_000 + ts_frac
+        };
+        Ok(Some(PcapRecord {
+            ts_micros,
+            orig_len,
+            data,
+        }))
+    }
+}
+
+impl<R: Read> Iterator for PcapReader<R> {
+    type Item = Result<PcapRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn write_capture(records: &[(u64, Vec<u8>)]) -> Vec<u8> {
+        let mut writer = PcapWriter::new(Vec::new(), LINKTYPE_ETHERNET).unwrap();
+        for (ts, frame) in records {
+            writer.write_record(*ts, frame).unwrap();
+        }
+        writer.into_inner().unwrap()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let records = vec![
+            (1_000_000u64, vec![1u8, 2, 3, 4]),
+            (1_000_500, vec![5u8; 60]),
+            (2_123_456, vec![0u8; 0]),
+        ];
+        let bytes = write_capture(&records);
+        let mut reader = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.linktype(), LINKTYPE_ETHERNET);
+        for (ts, frame) in &records {
+            let rec = reader.next_record().unwrap().unwrap();
+            assert_eq!(rec.ts_micros, *ts);
+            assert_eq!(&rec.data, frame);
+            assert_eq!(rec.orig_len as usize, frame.len());
+        }
+        assert!(reader.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let bytes = write_capture(&[(1, vec![9u8; 3]), (2, vec![8u8; 2])]);
+        let reader = PcapReader::new(Cursor::new(bytes)).unwrap();
+        let frames: Vec<_> = reader.map(|r| r.unwrap().data).collect();
+        assert_eq!(frames, vec![vec![9u8; 3], vec![8u8; 2]]);
+    }
+
+    #[test]
+    fn big_endian_capture_is_readable() {
+        // Hand-build a big-endian (swapped) capture with one 4-byte record.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_MICROS.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&0i32.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&65535u32.to_be_bytes());
+        bytes.extend_from_slice(&LINKTYPE_RAW.to_be_bytes());
+        bytes.extend_from_slice(&7u32.to_be_bytes()); // ts_sec
+        bytes.extend_from_slice(&13u32.to_be_bytes()); // ts_usec
+        bytes.extend_from_slice(&4u32.to_be_bytes()); // incl_len
+        bytes.extend_from_slice(&4u32.to_be_bytes()); // orig_len
+        bytes.extend_from_slice(&[1, 2, 3, 4]);
+        let mut reader = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.linktype(), LINKTYPE_RAW);
+        let rec = reader.next_record().unwrap().unwrap();
+        assert_eq!(rec.ts_micros, 7_000_013);
+        assert_eq!(rec.data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nanosecond_capture_timestamps_are_scaled() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_NANOS.to_le_bytes());
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.extend_from_slice(&4u16.to_le_bytes());
+        bytes.extend_from_slice(&0i32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&65535u32.to_le_bytes());
+        bytes.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&999_999_000u32.to_le_bytes()); // nanos
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(0xaa);
+        let mut reader = PcapReader::new(Cursor::new(bytes)).unwrap();
+        let rec = reader.next_record().unwrap().unwrap();
+        assert_eq!(rec.ts_micros, 1_999_999);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let bytes = vec![0u8; 24];
+        assert_eq!(
+            PcapReader::new(Cursor::new(bytes)).unwrap_err(),
+            WireError::Malformed
+        );
+    }
+
+    #[test]
+    fn truncated_record_body_is_an_error() {
+        let mut bytes = write_capture(&[(1, vec![1u8; 8])]);
+        bytes.truncate(bytes.len() - 4);
+        let mut reader = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.next_record().unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn absurd_incl_len_is_rejected() {
+        let mut bytes = write_capture(&[]);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        let mut reader = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.next_record().unwrap_err(), WireError::Malformed);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    proptest! {
+        /// Arbitrary frame payloads with arbitrary timestamps survive the
+        /// pcap writer/reader pair byte-for-byte.
+        #[test]
+        fn arbitrary_captures_round_trip(
+            records in prop::collection::vec(
+                (0u64..4_000_000_000_000_000, prop::collection::vec(any::<u8>(), 0..200)),
+                0..30,
+            )
+        ) {
+            let mut writer = PcapWriter::new(Vec::new(), LINKTYPE_ETHERNET).unwrap();
+            for (ts, frame) in &records {
+                writer.write_record(*ts, frame).unwrap();
+            }
+            let bytes = writer.into_inner().unwrap();
+            let reader = PcapReader::new(Cursor::new(bytes)).unwrap();
+            let back: Vec<(u64, Vec<u8>)> = reader
+                .map(|r| {
+                    let r = r.unwrap();
+                    (r.ts_micros, r.data)
+                })
+                .collect();
+            prop_assert_eq!(back, records);
+        }
+
+        /// Truncating a capture anywhere either yields a clean prefix of the
+        /// records or a Truncated error — never garbage records or a panic.
+        #[test]
+        fn truncation_is_detected(cut in 24usize..200) {
+            let mut writer = PcapWriter::new(Vec::new(), LINKTYPE_ETHERNET).unwrap();
+            for i in 0..5u64 {
+                writer.write_record(i * 1000, &[0xabu8; 20]).unwrap();
+            }
+            let mut bytes = writer.into_inner().unwrap();
+            prop_assume!(cut < bytes.len());
+            bytes.truncate(cut);
+            let mut reader = PcapReader::new(Cursor::new(bytes)).unwrap();
+            let mut seen = 0;
+            loop {
+                match reader.next_record() {
+                    Ok(Some(rec)) => {
+                        prop_assert_eq!(rec.data.as_slice(), &[0xabu8; 20][..]);
+                        seen += 1;
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        prop_assert_eq!(e, WireError::Truncated);
+                        break;
+                    }
+                }
+            }
+            prop_assert!(seen <= 5);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! TCP option parsing and emission.
+//!
+//! Stateless high-speed scanners send bare 20-byte SYNs, but stock network
+//! stacks (and NMap) attach options — MSS, window scale, SACK-permitted,
+//! timestamps. Telescope pcaps therefore contain optioned SYNs, and option
+//! *signatures* are a classic passive-fingerprinting side channel (p0f):
+//! the option order and values differ per OS and per tool. This module
+//! parses and emits the option list so capture consumers can inspect it.
+
+use crate::{Result, WireError};
+
+/// A single TCP option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpOption {
+    /// End of option list (kind 0). Terminates parsing.
+    EndOfList,
+    /// No-operation padding (kind 1).
+    Nop,
+    /// Maximum segment size (kind 2).
+    Mss(u16),
+    /// Window scale shift (kind 3).
+    WindowScale(u8),
+    /// SACK permitted (kind 4).
+    SackPermitted,
+    /// Timestamps: (TSval, TSecr) (kind 8).
+    Timestamp(u32, u32),
+    /// Any other option, with kind and payload length (payload not retained).
+    Unknown {
+        /// Option kind byte.
+        kind: u8,
+        /// Payload length (length byte minus 2).
+        len: u8,
+    },
+}
+
+impl TcpOption {
+    /// Emitted length in bytes.
+    pub const fn wire_len(&self) -> usize {
+        match self {
+            TcpOption::EndOfList | TcpOption::Nop => 1,
+            TcpOption::Mss(_) => 4,
+            TcpOption::WindowScale(_) => 3,
+            TcpOption::SackPermitted => 2,
+            TcpOption::Timestamp(..) => 10,
+            TcpOption::Unknown { len, .. } => 2 + *len as usize,
+        }
+    }
+}
+
+/// Parse the option bytes of a TCP header (the region between byte 20 and
+/// the data offset). Stops at `EndOfList` or the end of the buffer.
+pub fn parse_options(mut data: &[u8]) -> Result<Vec<TcpOption>> {
+    let mut options = Vec::new();
+    while !data.is_empty() {
+        match data[0] {
+            0 => {
+                options.push(TcpOption::EndOfList);
+                break;
+            }
+            1 => {
+                options.push(TcpOption::Nop);
+                data = &data[1..];
+            }
+            kind => {
+                if data.len() < 2 {
+                    return Err(WireError::Truncated);
+                }
+                let len = data[1] as usize;
+                if len < 2 || len > data.len() {
+                    return Err(WireError::Malformed);
+                }
+                let body = &data[2..len];
+                let option = match (kind, body.len()) {
+                    (2, 2) => TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])),
+                    (3, 1) => TcpOption::WindowScale(body[0]),
+                    (4, 0) => TcpOption::SackPermitted,
+                    (8, 8) => TcpOption::Timestamp(
+                        u32::from_be_bytes(body[0..4].try_into().unwrap()),
+                        u32::from_be_bytes(body[4..8].try_into().unwrap()),
+                    ),
+                    _ => TcpOption::Unknown {
+                        kind,
+                        len: (len - 2) as u8,
+                    },
+                };
+                options.push(option);
+                data = &data[len..];
+            }
+        }
+    }
+    Ok(options)
+}
+
+/// Emit options into a buffer, returning the bytes written. The caller is
+/// responsible for padding to a 4-byte boundary (usually with `Nop`s) and
+/// for setting the TCP data offset. `Unknown` options emit a zero payload.
+pub fn emit_options(options: &[TcpOption], buf: &mut [u8]) -> Result<usize> {
+    let needed: usize = options.iter().map(|o| o.wire_len()).sum();
+    if buf.len() < needed {
+        return Err(WireError::Truncated);
+    }
+    let mut at = 0usize;
+    for option in options {
+        match option {
+            TcpOption::EndOfList => {
+                buf[at] = 0;
+                at += 1;
+            }
+            TcpOption::Nop => {
+                buf[at] = 1;
+                at += 1;
+            }
+            TcpOption::Mss(mss) => {
+                buf[at] = 2;
+                buf[at + 1] = 4;
+                buf[at + 2..at + 4].copy_from_slice(&mss.to_be_bytes());
+                at += 4;
+            }
+            TcpOption::WindowScale(shift) => {
+                buf[at] = 3;
+                buf[at + 1] = 3;
+                buf[at + 2] = *shift;
+                at += 3;
+            }
+            TcpOption::SackPermitted => {
+                buf[at] = 4;
+                buf[at + 1] = 2;
+                at += 2;
+            }
+            TcpOption::Timestamp(tsval, tsecr) => {
+                buf[at] = 8;
+                buf[at + 1] = 10;
+                buf[at + 2..at + 6].copy_from_slice(&tsval.to_be_bytes());
+                buf[at + 6..at + 10].copy_from_slice(&tsecr.to_be_bytes());
+                at += 10;
+            }
+            TcpOption::Unknown { kind, len } => {
+                buf[at] = *kind;
+                buf[at + 1] = len + 2;
+                for b in buf[at + 2..at + 2 + *len as usize].iter_mut() {
+                    *b = 0;
+                }
+                at += 2 + *len as usize;
+            }
+        }
+    }
+    Ok(at)
+}
+
+/// A p0f-style option signature: the sequence of option kinds, used to
+/// distinguish OS stacks and tools (e.g. Linux SYNs lead with
+/// `MSS,SACK,TS,NOP,WS`; bare scanner SYNs have no options at all).
+pub fn option_signature(options: &[TcpOption]) -> String {
+    options
+        .iter()
+        .map(|o| match o {
+            TcpOption::EndOfList => "EOL".to_string(),
+            TcpOption::Nop => "N".to_string(),
+            TcpOption::Mss(_) => "M".to_string(),
+            TcpOption::WindowScale(_) => "W".to_string(),
+            TcpOption::SackPermitted => "S".to_string(),
+            TcpOption::Timestamp(..) => "T".to_string(),
+            TcpOption::Unknown { kind, .. } => format!("?{kind}"),
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A typical Linux SYN option block: MSS, SACK, Timestamp, NOP, WScale.
+    fn linux_syn_options() -> Vec<TcpOption> {
+        vec![
+            TcpOption::Mss(1460),
+            TcpOption::SackPermitted,
+            TcpOption::Timestamp(0xdead_beef, 0),
+            TcpOption::Nop,
+            TcpOption::WindowScale(7),
+        ]
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let options = linux_syn_options();
+        let mut buf = [0u8; 40];
+        let written = emit_options(&options, &mut buf).unwrap();
+        assert_eq!(written, 4 + 2 + 10 + 1 + 3);
+        let parsed = parse_options(&buf[..written]).unwrap();
+        assert_eq!(parsed, options);
+    }
+
+    #[test]
+    fn signature_matches_p0f_style() {
+        assert_eq!(option_signature(&linux_syn_options()), "M,S,T,N,W");
+        assert_eq!(option_signature(&[]), "");
+    }
+
+    #[test]
+    fn end_of_list_terminates() {
+        // EOL then garbage: the garbage must be ignored.
+        let data = [1u8, 0, 0xff, 0xff];
+        let parsed = parse_options(&data).unwrap();
+        assert_eq!(parsed, vec![TcpOption::Nop, TcpOption::EndOfList]);
+    }
+
+    #[test]
+    fn unknown_options_are_preserved_by_kind_and_length() {
+        // Kind 30 (MPTCP), length 4.
+        let data = [30u8, 4, 0xaa, 0xbb];
+        let parsed = parse_options(&data).unwrap();
+        assert_eq!(parsed, vec![TcpOption::Unknown { kind: 30, len: 2 }]);
+        let mut buf = [0u8; 8];
+        let written = emit_options(&parsed, &mut buf).unwrap();
+        assert_eq!(written, 4);
+        assert_eq!(buf[0], 30);
+        assert_eq!(buf[1], 4);
+    }
+
+    #[test]
+    fn truncated_option_is_an_error() {
+        // MSS option claims length 4 but only 3 bytes remain.
+        assert_eq!(
+            parse_options(&[2u8, 4, 5]).unwrap_err(),
+            WireError::Malformed
+        );
+        // A lone kind byte with no length.
+        assert_eq!(parse_options(&[2u8]).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn zero_length_option_is_malformed() {
+        assert_eq!(
+            parse_options(&[2u8, 0, 0]).unwrap_err(),
+            WireError::Malformed
+        );
+        assert_eq!(
+            parse_options(&[2u8, 1, 0]).unwrap_err(),
+            WireError::Malformed
+        );
+    }
+
+    #[test]
+    fn emit_into_short_buffer_fails_cleanly() {
+        let mut buf = [0u8; 3];
+        assert_eq!(
+            emit_options(&[TcpOption::Mss(1460)], &mut buf).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn odd_size_mss_is_unknown_not_misparsed() {
+        // An MSS option with a bogus length parses as Unknown, not as Mss.
+        let data = [2u8, 3, 5];
+        let parsed = parse_options(&data).unwrap();
+        assert_eq!(parsed, vec![TcpOption::Unknown { kind: 2, len: 1 }]);
+    }
+}

@@ -1,0 +1,231 @@
+//! UDP header view and representation (RFC 768).
+//!
+//! The study focuses on TCP ("usage of TCP far dominates in practice",
+//! §3.1), but real telescope captures carry UDP probes too — DNS/NTP/SSDP
+//! amplification-scan traffic. The wire layer supports them so capture
+//! consumers can classify rather than drop.
+
+use crate::checksum::{self, Checksum};
+use crate::ipv4::Address;
+use crate::{Result, WireError};
+
+/// Length in bytes of a UDP header.
+pub const HEADER_LEN: usize = 8;
+
+/// Zero-copy view of a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct UdpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpPacket<T> {
+    /// Wrap a buffer without validating it.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wrap a buffer, validating the length invariants.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let packet = Self::new_unchecked(buffer);
+        let data = packet.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = packet.len() as usize;
+        if len < HEADER_LEN || len > data.len() {
+            return Err(WireError::Malformed);
+        }
+        Ok(packet)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[0..2].try_into().unwrap())
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[2..4].try_into().unwrap())
+    }
+
+    /// Datagram length (header + payload).
+    pub fn len(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[4..6].try_into().unwrap())
+    }
+
+    /// True when the datagram carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() as usize == HEADER_LEN
+    }
+
+    /// Raw checksum field (0 = checksum not computed, legal in UDP/IPv4).
+    pub fn checksum(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[6..8].try_into().unwrap())
+    }
+
+    /// The payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.len() as usize]
+    }
+
+    /// Verify the checksum over the pseudo-header and datagram.
+    /// A zero checksum means "not computed" and verifies trivially.
+    pub fn verify_checksum(&self, src: Address, dst: Address) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        let data = &self.buffer.as_ref()[..self.len() as usize];
+        let mut acc = checksum::pseudo_header_sum(src.0, dst.0, 17, data.len() as u16);
+        acc.add_bytes(data);
+        acc.value() == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpPacket<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, value: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, value: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Set the datagram length.
+    pub fn set_len(&mut self, value: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Compute and write the checksum (with the RFC 768 zero-avoidance rule:
+    /// a computed value of zero transmits as 0xFFFF).
+    pub fn fill_checksum(&mut self, src: Address, dst: Address) {
+        self.buffer.as_mut()[6..8].copy_from_slice(&[0, 0]);
+        let len = self.len() as usize;
+        let data = &self.buffer.as_ref()[..len];
+        let mut acc: Checksum = checksum::pseudo_header_sum(src.0, dst.0, 17, len as u16);
+        acc.add_bytes(data);
+        let ck = match acc.value() {
+            0 => 0xffff,
+            v => v,
+        };
+        self.buffer.as_mut()[6..8].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+/// Parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl UdpRepr {
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(packet: &UdpPacket<T>) -> Result<Self> {
+        Ok(Self {
+            src_port: packet.src_port(),
+            dst_port: packet.dst_port(),
+            payload_len: packet.len() as usize - HEADER_LEN,
+        })
+    }
+
+    /// Emitted length.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Emit the header (payload must already be in place after byte 8) and
+    /// fill the checksum.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
+        &self,
+        packet: &mut UdpPacket<T>,
+        src: Address,
+        dst: Address,
+    ) {
+        packet.set_src_port(self.src_port);
+        packet.set_dst_port(self.dst_port);
+        packet.set_len((HEADER_LEN + self.payload_len) as u16);
+        packet.fill_checksum(src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Address = Address::new(198, 51, 100, 9);
+    const DST: Address = Address::new(192, 0, 2, 53);
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let repr = UdpRepr {
+            src_port: 5353,
+            dst_port: 53,
+            payload_len: 12,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        buf[HEADER_LEN..].copy_from_slice(b"dns-payload!");
+        repr.emit(&mut UdpPacket::new_unchecked(&mut buf[..]), SRC, DST);
+        let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert!(packet.verify_checksum(SRC, DST));
+        assert_eq!(UdpRepr::parse(&packet).unwrap(), repr);
+        assert_eq!(packet.payload(), b"dns-payload!");
+        assert!(!packet.is_empty());
+    }
+
+    #[test]
+    fn checksum_binds_content_and_addresses() {
+        let repr = UdpRepr {
+            src_port: 123,
+            dst_port: 123,
+            payload_len: 4,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut UdpPacket::new_unchecked(&mut buf[..]), SRC, DST);
+        let mut corrupted = buf.clone();
+        corrupted[HEADER_LEN] ^= 1;
+        let packet = UdpPacket::new_checked(&corrupted[..]).unwrap();
+        assert!(!packet.verify_checksum(SRC, DST));
+        let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert!(!packet.verify_checksum(SRC, Address::new(192, 0, 2, 54)));
+    }
+
+    #[test]
+    fn zero_checksum_is_accepted() {
+        let mut buf = [0u8; HEADER_LEN];
+        let mut packet = UdpPacket::new_unchecked(&mut buf[..]);
+        packet.set_src_port(1);
+        packet.set_dst_port(2);
+        packet.set_len(HEADER_LEN as u16);
+        // checksum bytes stay zero: "not computed".
+        let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert!(packet.verify_checksum(SRC, DST));
+        assert!(packet.is_empty());
+    }
+
+    #[test]
+    fn length_invariants_enforced() {
+        assert_eq!(
+            UdpPacket::new_checked(&[0u8; 4][..]).unwrap_err(),
+            WireError::Truncated
+        );
+        // Length field smaller than the header.
+        let mut buf = [0u8; HEADER_LEN];
+        buf[5] = 4;
+        assert_eq!(
+            UdpPacket::new_checked(&buf[..]).unwrap_err(),
+            WireError::Malformed
+        );
+        // Length field beyond the buffer.
+        buf[5] = 40;
+        assert_eq!(
+            UdpPacket::new_checked(&buf[..]).unwrap_err(),
+            WireError::Malformed
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! `analyze` — run the paper's measurement pipeline on an external pcap.
+//!
+//! ```text
+//! analyze <capture.pcap> [--monitored N] [--year Y] [--top N]
+//! ```
+//!
+//! The capture is SYN-filtered, fingerprinted, grouped into campaigns and
+//! summarized, exactly as the study does with telescope data. When the dark
+//! address count is not given, it is inferred from the capture (every
+//! destination that received unsolicited traffic).
+//!
+//! Try it on the repository's own artifact:
+//!
+//! ```text
+//! cargo run --release --bin repro -- --scale small pcap
+//! cargo run --release --bin analyze -- out/sample_2020.pcap
+//! ```
+
+use std::fs::File;
+use std::io::BufReader;
+
+use synscan::analyze::{analyze_pcap, render_report, AnalyzeOptions};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<String> = None;
+    let mut options = AnalyzeOptions::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--monitored" => {
+                options.monitored = Some(
+                    args.next()
+                        .expect("--monitored needs a value")
+                        .parse()
+                        .expect("--monitored takes a count"),
+                )
+            }
+            "--year" => {
+                options.year = args
+                    .next()
+                    .expect("--year needs a value")
+                    .parse()
+                    .expect("--year takes a year")
+            }
+            "--top" => {
+                options.top_ports = args
+                    .next()
+                    .expect("--top needs a value")
+                    .parse()
+                    .expect("--top takes a count")
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: analyze <capture.pcap> [--monitored N] [--year Y] [--top N]");
+                return;
+            }
+            other => path = Some(other.to_string()),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: analyze <capture.pcap> [--monitored N] [--year Y] [--top N]");
+        std::process::exit(2);
+    };
+    let file = File::open(&path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    match analyze_pcap(BufReader::new(file), &options) {
+        Ok(result) => print!("{}", render_report(&result)),
+        Err(e) => {
+            eprintln!("not a readable pcap: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end pipeline invariants: generator → telescope capture →
+//! fingerprinting → campaign detection → analysis, across crates.
+
+use synscan::experiment::Experiment;
+use synscan::GeneratorConfig;
+
+fn experiment() -> Experiment {
+    Experiment::new(GeneratorConfig::tiny())
+}
+
+#[test]
+fn capture_accounting_balances() {
+    let run = experiment().run_year(2020);
+    let stats = run.capture;
+    assert_eq!(
+        stats.offered,
+        stats.admitted + stats.not_dark + stats.ingress_blocked + stats.backscatter,
+        "every offered frame is accounted for exactly once"
+    );
+    assert_eq!(stats.not_dark, 0, "the generator only targets dark space");
+    assert_eq!(stats.backscatter, run.truth.backscatter_packets);
+    assert_eq!(run.analysis.total_packets, stats.admitted);
+}
+
+#[test]
+fn campaigns_plus_noise_cover_all_admitted_packets() {
+    let run = experiment().run_year(2019);
+    let campaign_packets: u64 = run.analysis.campaigns.iter().map(|c| c.packets).sum();
+    assert_eq!(
+        campaign_packets + run.analysis.noise.rejected_packets,
+        run.analysis.total_packets,
+        "admitted packets are split exactly between campaigns and noise"
+    );
+}
+
+#[test]
+fn campaign_metrics_are_internally_consistent() {
+    let run = experiment().run_year(2021);
+    let config = Experiment::new(GeneratorConfig::tiny()).campaign_config();
+    for campaign in &run.analysis.campaigns {
+        assert!(campaign.first_ts_micros <= campaign.last_ts_micros);
+        assert!(campaign.distinct_dests >= config.min_distinct_dests);
+        assert!(campaign.distinct_dests <= campaign.packets);
+        let per_port: u64 = campaign.port_packets.values().sum();
+        assert_eq!(per_port, campaign.packets, "port breakdown sums to total");
+        let votes: u64 = campaign.tool_votes.values().sum();
+        assert!(votes <= campaign.packets, "at most one vote per packet");
+    }
+}
+
+#[test]
+fn per_port_aggregates_match_totals() {
+    let run = experiment().run_year(2022);
+    let port_total: u64 = run.analysis.port_packets.values().sum();
+    assert_eq!(port_total, run.analysis.total_packets);
+    let per_source_total: u64 = run.analysis.source_packets.values().sum();
+    assert_eq!(per_source_total, run.analysis.total_packets);
+    assert_eq!(
+        run.analysis.source_packets.len() as u64,
+        run.analysis.distinct_sources
+    );
+    // Every port with packets has at least one source and vice versa.
+    for port in run.analysis.port_packets.keys() {
+        assert!(run.analysis.port_sources.get(port).copied().unwrap_or(0) >= 1);
+    }
+}
+
+#[test]
+fn week_cells_sum_to_totals() {
+    let run = experiment().run_year(2018);
+    let week_packets: u64 = run.analysis.week_blocks.values().map(|c| c.packets).sum();
+    assert_eq!(week_packets, run.analysis.total_packets);
+    let week_campaigns: u64 = run.analysis.week_blocks.values().map(|c| c.campaigns).sum();
+    assert_eq!(week_campaigns, run.analysis.campaigns.len() as u64);
+}
+
+#[test]
+fn blocked_ports_never_reach_analysis_after_2016() {
+    for year in [2017u16, 2020, 2024] {
+        let run = experiment().run_year(year);
+        assert!(!run.analysis.port_packets.contains_key(&23), "year {year}");
+        assert!(!run.analysis.port_packets.contains_key(&445), "year {year}");
+    }
+    // 2016 still admits Telnet.
+    let run2016 = experiment().run_year(2016);
+    assert!(run2016.capture.ingress_blocked == 0);
+}
+
+#[test]
+fn determinism_across_runs() {
+    let a = experiment().run_year(2020);
+    let b = experiment().run_year(2020);
+    assert_eq!(a.analysis.total_packets, b.analysis.total_packets);
+    assert_eq!(a.analysis.campaigns.len(), b.analysis.campaigns.len());
+    assert_eq!(a.analysis.campaigns, b.analysis.campaigns);
+    assert_eq!(a.capture, b.capture);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = experiment().run_year(2020);
+    let mut gen = GeneratorConfig::tiny();
+    gen.seed ^= 0xdead;
+    let b = Experiment::new(gen).run_year(2020);
+    assert_ne!(a.analysis.campaigns, b.analysis.campaigns);
+}
+
+#[test]
+fn timestamps_are_monotone_within_window() {
+    let gen = GeneratorConfig::tiny();
+    let run = Experiment::new(gen).run_year(2015);
+    let window_micros = (gen.days * 86_400.0 * 1e6) as u64;
+    assert!(run.analysis.start_micros <= run.analysis.end_micros);
+    assert!(
+        run.analysis.end_micros <= window_micros + 1,
+        "nothing exceeds the configured window"
+    );
+}
+
+#[test]
+fn outage_windows_drop_frames_but_preserve_accounting() {
+    use synscan::core::analysis::YearCollector;
+    use synscan::telescope::CaptureSession;
+
+    let experiment = Experiment::new(GeneratorConfig::tiny());
+    let output = synscan::synthesis::generate::generate_year(
+        &synscan::YearConfig::for_year(2020),
+        experiment.config(),
+        experiment.registry(),
+        experiment.dark(),
+    );
+    // A 12-hour outage on day 1.
+    let outage = (129_600_000_000u64, 172_800_000_000u64);
+    let mut session = CaptureSession::with_outages(experiment.dark(), 2020, vec![outage]);
+    let mut collector = YearCollector::new(2020, experiment.campaign_config());
+    for record in &output.records {
+        if session.offer(record) {
+            collector.offer(record);
+        }
+    }
+    let stats = session.stats();
+    assert!(stats.outage_lost > 0, "a 12h outage loses traffic");
+    assert_eq!(
+        stats.offered,
+        stats.admitted
+            + stats.not_dark
+            + stats.ingress_blocked
+            + stats.backscatter
+            + stats.other_scan_techniques
+            + stats.outage_lost
+    );
+    let analysis = collector.finish();
+    let no_outage = experiment.run_year(2020);
+    assert!(
+        analysis.total_packets < no_outage.analysis.total_packets,
+        "outage must reduce admitted volume ({} vs {})",
+        analysis.total_packets,
+        no_outage.analysis.total_packets
+    );
+}

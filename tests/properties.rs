@@ -1,0 +1,224 @@
+//! Cross-crate property-based tests (proptest).
+//!
+//! The per-crate unit suites already property-test local invariants; these
+//! properties span crate boundaries: wire round trips through pcap, crafted
+//! fingerprints through the detection engine, permutation generators
+//! against set semantics, and campaign accounting under arbitrary streams.
+
+use proptest::prelude::*;
+
+use synscan::core::analysis::YearCollector;
+use synscan::core::fingerprint::rules::single_packet_verdict;
+use synscan::core::CampaignConfig;
+use synscan::scanners::blackrock::BlackRock;
+use synscan::scanners::masscan::MasscanScanner;
+use synscan::scanners::mirai::MiraiScanner;
+use synscan::scanners::traits::craft_record;
+use synscan::scanners::zmap::ZmapScanner;
+use synscan::scanners::CyclicIter;
+use synscan::telescope::capture::{export_pcap, import_pcap};
+use synscan::wire::{Ipv4Address, ProbeRecord, TcpFlags};
+use synscan::ToolKind;
+
+fn arb_record() -> impl Strategy<Value = ProbeRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u8>(),
+        any::<u16>(),
+        0u64..=253_402_300_799_000_000, // pcap ts_sec fits u32
+    )
+        .prop_map(
+            |(src, dst, sport, dport, seq, ip_id, ttl, window, ts)| ProbeRecord {
+                ts_micros: ts % (u64::from(u32::MAX) * 1_000_000),
+                src_ip: Ipv4Address(src),
+                dst_ip: Ipv4Address(dst),
+                src_port: sport,
+                dst_port: dport,
+                seq,
+                ip_id,
+                ttl,
+                flags: TcpFlags::SYN,
+                window,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary records survive frame building, pcap export and re-import.
+    #[test]
+    fn pcap_round_trip_arbitrary_records(records in prop::collection::vec(arb_record(), 1..50)) {
+        let mut sorted = records;
+        sorted.sort_by_key(|r| r.ts_micros);
+        let bytes = export_pcap(&sorted, Vec::new()).unwrap();
+        let back = import_pcap(std::io::Cursor::new(bytes)).unwrap();
+        prop_assert_eq!(back, sorted);
+    }
+
+    /// BlackRock is a bijection for arbitrary domain sizes and keys.
+    #[test]
+    fn blackrock_bijective(range in 1u64..5_000, seed in any::<u64>()) {
+        let br = BlackRock::new(range, seed);
+        let mut seen = vec![false; range as usize];
+        for i in 0..range {
+            let c = br.shuffle(i);
+            prop_assert!(c < range);
+            prop_assert!(!seen[c as usize], "collision at {}", c);
+            seen[c as usize] = true;
+            prop_assert_eq!(br.unshuffle(c), i);
+        }
+    }
+
+    /// The cyclic-group walk is a permutation for arbitrary domains.
+    #[test]
+    fn cyclic_iter_permutes(domain in 1u64..3_000, seed in any::<u64>()) {
+        let values: Vec<u64> = CyclicIter::new(domain, seed).collect();
+        prop_assert_eq!(values.len() as u64, domain);
+        let set: std::collections::HashSet<u64> = values.iter().copied().collect();
+        prop_assert_eq!(set.len() as u64, domain);
+    }
+
+    /// ZMap shards partition the permutation for any shard count.
+    #[test]
+    fn shards_partition(domain in 1u64..2_000, shards in 1u32..9, seed in any::<u64>()) {
+        let mut all: Vec<u64> = Vec::new();
+        for s in 0..shards {
+            all.extend(ZmapScanner::shard_targets(domain, seed, s, shards));
+        }
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..domain).collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    /// Every probe crafted by a single-packet-fingerprint tool is attributed
+    /// to that tool, regardless of destination and index.
+    #[test]
+    fn crafted_fingerprints_always_match(
+        seed in any::<u64>(),
+        dst in any::<u32>(),
+        port in any::<u16>(),
+        idx in any::<u64>(),
+    ) {
+        let dst = Ipv4Address(dst);
+        let src = Ipv4Address(1);
+
+        let zmap = craft_record(&ZmapScanner::new(seed), src, dst, port, idx, 0, 5);
+        prop_assert_eq!(single_packet_verdict(&zmap), Some(ToolKind::Zmap));
+
+        let mirai = craft_record(&MiraiScanner::new(seed), src, dst, port, idx, 0, 5);
+        prop_assert_eq!(single_packet_verdict(&mirai), Some(ToolKind::Mirai));
+
+        let masscan = craft_record(&MasscanScanner::new(seed), src, dst, port, idx, 0, 5);
+        // Masscan's relation may coincidentally also be Mirai's (seq == dst)
+        // with probability 2^-32; the verdict is then Mirai by specificity.
+        let verdict = single_packet_verdict(&masscan);
+        prop_assert!(verdict == Some(ToolKind::Masscan) || verdict == Some(ToolKind::Mirai));
+    }
+
+    /// The campaign detector conserves packets for arbitrary streams:
+    /// campaigns + noise == offered.
+    #[test]
+    fn campaign_accounting_conserves_packets(records in prop::collection::vec(arb_record(), 1..300)) {
+        let mut sorted = records;
+        sorted.sort_by_key(|r| r.ts_micros);
+        let mut collector = YearCollector::new(
+            2020,
+            CampaignConfig {
+                min_distinct_dests: 5,
+                min_rate_pps: 1.0,
+                expiry_secs: 3600.0,
+                monitored_addresses: 1 << 16,
+            },
+        );
+        for r in &sorted {
+            collector.offer(r);
+        }
+        let analysis = collector.finish();
+        let campaign_packets: u64 = analysis.campaigns.iter().map(|c| c.packets).sum();
+        prop_assert_eq!(
+            campaign_packets + analysis.noise.rejected_packets,
+            sorted.len() as u64
+        );
+        // Aggregates agree.
+        prop_assert_eq!(analysis.total_packets, sorted.len() as u64);
+        let port_sum: u64 = analysis.port_packets.values().sum();
+        prop_assert_eq!(port_sum, sorted.len() as u64);
+    }
+
+    /// Telescope extrapolation is monotone: more distinct destinations never
+    /// estimate fewer targets.
+    #[test]
+    fn extrapolation_is_monotone(monitored in 100u64..100_000, hits in 0u64..1_000) {
+        let model = synscan::stats::TelescopeModel::new(monitored);
+        let a = model.extrapolate_targets(hits.min(monitored));
+        let b = model.extrapolate_targets((hits + 1).min(monitored));
+        prop_assert!(b >= a);
+        prop_assert!(model.coverage_fraction(hits.min(monitored)) <= 1.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The detector neither panics nor loses packets on UNSORTED streams
+    /// (merged pcaps deliver mild reordering in practice).
+    #[test]
+    fn campaign_accounting_survives_unsorted_input(records in prop::collection::vec(arb_record(), 1..200)) {
+        let mut collector = YearCollector::new(
+            2020,
+            CampaignConfig {
+                min_distinct_dests: 5,
+                min_rate_pps: 1.0,
+                expiry_secs: 3600.0,
+                monitored_addresses: 1 << 16,
+            },
+        );
+        for r in &records {
+            collector.offer(r);
+        }
+        let analysis = collector.finish();
+        let campaign_packets: u64 = analysis.campaigns.iter().map(|c| c.packets).sum();
+        prop_assert_eq!(
+            campaign_packets + analysis.noise.rejected_packets,
+            records.len() as u64
+        );
+        for campaign in &analysis.campaigns {
+            prop_assert!(campaign.first_ts_micros <= campaign.last_ts_micros);
+            prop_assert!(campaign.duration_secs() >= 0.0);
+        }
+    }
+
+    /// The capture session accounts for every frame exactly once, for any
+    /// flag combination and destination.
+    #[test]
+    fn capture_accounting_is_exhaustive(
+        records in prop::collection::vec(arb_record(), 1..100),
+        flags in prop::collection::vec(0u8..=0x3f, 100),
+    ) {
+        use synscan::telescope::{AddressSet, CaptureSession, TelescopeConfig};
+        use synscan::wire::TcpFlags;
+        let set = AddressSet::build(&TelescopeConfig::paper_scaled(256));
+        let mut session = CaptureSession::new(&set, 2020);
+        for (i, r) in records.iter().enumerate() {
+            let mut r = *r;
+            r.flags = TcpFlags(flags[i % flags.len()]);
+            session.offer(&r);
+        }
+        let stats = session.stats();
+        prop_assert_eq!(
+            stats.offered,
+            stats.admitted
+                + stats.not_dark
+                + stats.ingress_blocked
+                + stats.backscatter
+                + stats.other_scan_techniques
+                + stats.outage_lost
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Sequential vs source-sharded year pipeline throughput.
+//!
+//! One pre-admitted year of bench-scale telescope traffic is pushed through
+//! the full measurement loop (fingerprinting, campaign detection,
+//! aggregation) once sequentially and once per shard count. Every variant
+//! produces a bit-identical `YearAnalysis` (asserted outside the timed
+//! region), so the group measures pure fan-out speedup: records/second at
+//! 1, 2, 4 and 8 workers against the single-thread reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use synscan_core::analysis::{YearAnalysis, YearCollector};
+use synscan_core::campaign::CampaignConfig;
+use synscan_core::pipeline::collect_year_sharded;
+use synscan_netmodel::InternetRegistry;
+use synscan_synthesis::generate::{generate_year, GeneratorConfig};
+use synscan_synthesis::yearcfg::YearConfig;
+use synscan_telescope::{AddressSet, CaptureSession};
+use synscan_wire::ProbeRecord;
+
+const YEAR: u16 = 2020;
+const PERIOD_DAYS: f64 = 1.0;
+
+/// A heavier stream than `bench_config()`: single-year pipeline scaling
+/// needs enough packets for the fan-out to amortize thread startup.
+fn heavy_config() -> GeneratorConfig {
+    GeneratorConfig {
+        telescope_denominator: 8,
+        population_denominator: 320,
+        days: 3.0,
+        ..GeneratorConfig::default()
+    }
+}
+
+fn admitted_year() -> (Vec<ProbeRecord>, CampaignConfig) {
+    let gen = heavy_config();
+    let telescope = gen.telescope();
+    let dark = AddressSet::build(&telescope);
+    let registry = InternetRegistry::build(gen.seed, &telescope.blocks);
+    let output = generate_year(&YearConfig::for_year(YEAR), &gen, &registry, &dark);
+    let mut session = CaptureSession::new(&dark, YEAR);
+    let records: Vec<ProbeRecord> = output
+        .records
+        .into_iter()
+        .filter(|r| session.offer(r))
+        .collect();
+    (records, CampaignConfig::scaled(dark.len() as u64))
+}
+
+fn sequential(records: &[ProbeRecord], config: CampaignConfig) -> YearAnalysis {
+    let mut collector = YearCollector::with_period(YEAR, config, PERIOD_DAYS);
+    for (i, record) in records.iter().enumerate() {
+        collector.offer(record);
+        if i % 262_144 == 0 {
+            collector.housekeeping(record.ts_micros);
+        }
+    }
+    collector.finish()
+}
+
+fn pipeline_parallel(c: &mut Criterion) {
+    let (records, config) = admitted_year();
+    println!(
+        "pipeline_parallel: {} admitted records, year {YEAR}",
+        records.len()
+    );
+
+    // Equivalence outside the timed region: every variant below computes
+    // the exact same analysis.
+    let reference = sequential(&records, config);
+    for workers in [1usize, 2, 4, 8] {
+        let sharded =
+            collect_year_sharded(YEAR, config, PERIOD_DAYS, workers, 0, &records, |_| true);
+        assert_eq!(reference, sharded, "sharded:{workers} diverged");
+    }
+
+    let mut group = c.benchmark_group("pipeline_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| sequential(black_box(&records), config).total_packets)
+    });
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    collect_year_sharded(
+                        YEAR,
+                        config,
+                        PERIOD_DAYS,
+                        workers,
+                        0,
+                        black_box(&records),
+                        |_| true,
+                    )
+                    .total_packets
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = pipeline_parallel
+}
+criterion_main!(benches);

@@ -28,7 +28,7 @@ pub struct WeekCell {
 }
 
 /// Everything the figure modules need about one year.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct YearAnalysis {
     /// Calendar year of the capture window.
     pub year: u16,
@@ -86,6 +86,81 @@ impl YearAnalysis {
     pub fn model(&self) -> synscan_stats::TelescopeModel {
         synscan_stats::TelescopeModel::new(self.monitored)
     }
+
+    /// Merge the shard outputs of a source-partitioned run into the analysis
+    /// the sequential pass over the union stream would have produced.
+    ///
+    /// **Invariant:** the partials must come from a *partition by source* of
+    /// one admitted stream, all built against the same origin timestamp,
+    /// year, and telescope. Source-keyed maps are then key-disjoint and every
+    /// aggregate is a plain sum or set union, so the merge is exact and
+    /// order-independent; campaigns are re-sorted into the canonical
+    /// (start time, source) order the sequential detector emits.
+    ///
+    /// # Panics
+    /// If `partials` is empty or the partials disagree on year/telescope.
+    pub fn merge_partials(partials: Vec<YearAnalysis>) -> YearAnalysis {
+        let mut iter = partials.into_iter();
+        let mut merged = iter
+            .next()
+            .expect("merge_partials needs at least one partial");
+        for partial in iter {
+            merged.absorb(partial);
+        }
+        merged
+            .campaigns
+            .sort_by_key(|c| (c.first_ts_micros, c.src_ip));
+        // port_sources is derived data; recompute from the merged sets so
+        // sources scanning one port from two shards are never double-counted
+        // (they cannot be under the partition invariant, but deriving keeps
+        // the field correct by construction).
+        merged.port_sources = merged
+            .port_source_sets
+            .iter()
+            .map(|(port, set)| (*port, set.len() as u64))
+            .collect();
+        merged
+    }
+
+    fn absorb(&mut self, other: YearAnalysis) {
+        assert_eq!(self.year, other.year, "partials from different years");
+        assert_eq!(
+            self.monitored, other.monitored,
+            "partials from different telescopes"
+        );
+        // Every shard of a non-empty stream shares the origin; an all-empty
+        // shard reports end = 0 which max() ignores.
+        self.start_micros = self.start_micros.min(other.start_micros);
+        self.end_micros = self.end_micros.max(other.end_micros);
+        self.total_packets += other.total_packets;
+        // Sources are disjoint across shards, so cardinalities add.
+        self.distinct_sources += other.distinct_sources;
+        for (port, n) in other.port_packets {
+            *self.port_packets.entry(port).or_default() += n;
+        }
+        for (port, set) in other.port_source_sets {
+            self.port_source_sets.entry(port).or_default().extend(set);
+        }
+        self.source_port_counts.extend(other.source_port_counts);
+        self.source_packets.extend(other.source_packets);
+        for (key, n) in other.day_port_packets {
+            *self.day_port_packets.entry(key).or_default() += n;
+        }
+        for (key, n) in other.tool_port_packets {
+            *self.tool_port_packets.entry(key).or_default() += n;
+        }
+        for (key, cell) in other.week_blocks {
+            let mine = self.week_blocks.entry(key).or_default();
+            mine.sources += cell.sources;
+            mine.packets += cell.packets;
+            mine.campaigns += cell.campaigns;
+        }
+        self.campaigns.extend(other.campaigns);
+        for (reason, n) in other.noise.rejected_sequences {
+            *self.noise.rejected_sequences.entry(reason).or_default() += n;
+        }
+        self.noise.rejected_packets += other.noise.rejected_packets;
+    }
 }
 
 /// Streaming collector: offer records, then [`YearCollector::finish`].
@@ -140,6 +215,33 @@ impl YearCollector {
             week_blocks: HashMap::new(),
             week_block_sources: HashMap::new(),
         }
+    }
+
+    /// As [`YearCollector::with_period`], additionally pinning the origin
+    /// timestamp day/week indices are computed against.
+    ///
+    /// A sequential collector derives the origin from its first record; a
+    /// shard of a source-partitioned stream must instead use the origin of
+    /// the *whole* stream, or its day and week bucket boundaries would drift
+    /// from the sequential reference.
+    pub fn with_origin(
+        year: u16,
+        config: CampaignConfig,
+        period_days: f64,
+        t0_micros: u64,
+    ) -> Self {
+        let mut collector = Self::with_period(year, config, period_days);
+        collector.start_micros = Some(t0_micros);
+        collector
+    }
+
+    /// Pre-size the per-source maps for roughly `distinct_sources` sources,
+    /// avoiding rehash churn when the caller knows the stream's width ahead
+    /// of time (generator ground truth, shard fan-out).
+    pub fn reserve_sources(&mut self, distinct_sources: usize) {
+        self.sources.reserve(distinct_sources);
+        self.source_ports.reserve(distinct_sources);
+        self.source_packets.reserve(distinct_sources);
     }
 
     /// Offer one admitted (SYN-filtered) record in timestamp order.
@@ -331,6 +433,66 @@ mod tests {
         // 20 packets over ~1.9 days.
         let ppd = analysis.packets_per_day();
         assert!(ppd > 9.0 && ppd < 21.0, "{ppd}");
+    }
+
+    #[test]
+    fn merge_partials_is_order_independent() {
+        // Three disjoint-source shards, same origin: merging in any order
+        // yields one identical analysis.
+        let shard = |src: u32, port: u16, n: u32| {
+            let mut collector = YearCollector::with_origin(2020, cfg(), 7.0, 0);
+            collector.reserve_sources(1);
+            for i in 0..n {
+                collector.offer(&record(src, 100 + i, port, 500 + u64::from(i) * 1000));
+            }
+            collector.finish()
+        };
+        let (a, b, c) = (shard(1, 80, 12), shard(2, 443, 16), shard(3, 80, 8));
+        let forward = YearAnalysis::merge_partials(vec![a.clone(), b.clone(), c.clone()]);
+        let backward = YearAnalysis::merge_partials(vec![c, a, b]);
+        assert_eq!(forward, backward);
+        assert_eq!(forward.total_packets, 36);
+        assert_eq!(forward.distinct_sources, 3);
+        assert_eq!(forward.port_packets[&80], 20);
+        assert_eq!(forward.port_sources[&80], 2);
+        assert_eq!(forward.start_micros, 0);
+        assert_eq!(forward.campaigns.len(), 3);
+        assert!(forward
+            .campaigns
+            .windows(2)
+            .all(|w| (w[0].first_ts_micros, w[0].src_ip) <= (w[1].first_ts_micros, w[1].src_ip)));
+    }
+
+    #[test]
+    fn merged_shards_match_a_sequential_pass() {
+        // Interleave two sources, split by source, merge — bit-identical to
+        // the one-collector pass.
+        let records: Vec<ProbeRecord> = (0..40u32)
+            .map(|i| {
+                record(
+                    if i % 2 == 0 { 0x0101_0000 } else { 0x0202_0000 },
+                    1000 + i,
+                    if i % 2 == 0 { 80 } else { 22 },
+                    u64::from(i) * 1000,
+                )
+            })
+            .collect();
+        let mut sequential = YearCollector::with_period(2021, cfg(), 7.0);
+        for r in &records {
+            sequential.offer(r);
+        }
+        let t0 = records[0].ts_micros;
+        let mut even = YearCollector::with_origin(2021, cfg(), 7.0, t0);
+        let mut odd = YearCollector::with_origin(2021, cfg(), 7.0, t0);
+        for r in &records {
+            if r.src_ip.0 == 0x0101_0000 {
+                even.offer(r);
+            } else {
+                odd.offer(r);
+            }
+        }
+        let merged = YearAnalysis::merge_partials(vec![odd.finish(), even.finish()]);
+        assert_eq!(sequential.finish(), merged);
     }
 
     #[test]

@@ -333,9 +333,14 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// New pipeline with the given campaign thresholds.
+    ///
+    /// The fingerprint engine shares the detector's idle expiry, so a
+    /// source silent long enough to close its scan also restarts its
+    /// pairwise history — deterministically, whatever the housekeeping
+    /// cadence. This keeps sharded and sequential runs bit-identical.
     pub fn new(config: CampaignConfig) -> Self {
         Self {
-            engine: FingerprintEngine::new(),
+            engine: FingerprintEngine::with_expiry((config.expiry_secs * 1e6) as u64),
             detector: CampaignDetector::new(config),
         }
     }

@@ -47,15 +47,43 @@ impl PacketVerdict {
 }
 
 /// Streaming fingerprint engine with bounded per-source state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FingerprintEngine {
     pairwise: HashMap<Ipv4Address, PairwiseState>,
+    /// Per-source gaps longer than this reset the source's pairwise state
+    /// *inside* [`FingerprintEngine::classify`], deterministically.
+    ///
+    /// With the reset keyed to the record stream itself, the periodic
+    /// [`FingerprintEngine::evict_idle`] housekeeping is purely a memory
+    /// bound — *when* it runs can no longer change any verdict, which is
+    /// what lets sharded workers housekeep on their own cadence and still
+    /// reproduce the sequential run bit for bit.
+    expiry_micros: u64,
+}
+
+impl Default for FingerprintEngine {
+    fn default() -> Self {
+        Self {
+            pairwise: HashMap::new(),
+            expiry_micros: u64::MAX,
+        }
+    }
 }
 
 impl FingerprintEngine {
-    /// Fresh engine.
+    /// Fresh engine that never expires pairwise state on its own (callers
+    /// manage memory via [`FingerprintEngine::evict_idle`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh engine whose per-source state resets after `expiry_micros` of
+    /// source silence, independent of eviction cadence.
+    pub fn with_expiry(expiry_micros: u64) -> Self {
+        Self {
+            pairwise: HashMap::new(),
+            expiry_micros,
+        }
     }
 
     /// Classify one probe, updating per-source pairwise state.
@@ -67,13 +95,18 @@ impl FingerprintEngine {
     /// from accidentally satisfying the NMap half-equality and being
     /// double-attributed.
     pub fn classify(&mut self, record: &ProbeRecord) -> PacketVerdict {
+        // One hash lookup per packet: this is the hottest map access in the
+        // whole pipeline.
+        let state = self.pairwise.entry(record.src_ip).or_default();
+        if record.ts_micros.saturating_sub(state.last_seen_micros()) > self.expiry_micros {
+            state.reset();
+        }
         if let Some(tool) = single_packet_verdict(record) {
             // A single-packet match still refreshes pairwise history so a
             // later unmarked packet can pair against it if needed.
-            self.pairwise.entry(record.src_ip).or_default().push(record);
+            state.push(record);
             return PacketVerdict::Single(tool);
         }
-        let state = self.pairwise.entry(record.src_ip).or_default();
         let verdict = state.test(record);
         state.push(record);
         match verdict {
@@ -200,6 +233,43 @@ mod tests {
             }
             assert_eq!(vc.tool(), None);
         }
+    }
+
+    #[test]
+    fn expiry_resets_pairwise_state_deterministically() {
+        let expiry = 1_000_000u64; // 1 s
+        let n = NmapScanner::new(11);
+        let mk = |i: u64, ts: u64| {
+            craft_record(
+                &n,
+                Ipv4Address(300),
+                Ipv4Address(0x0d00_0000 + (i as u32) * 701),
+                (i * 13 % 50_000) as u16 + 1,
+                i,
+                ts,
+                6,
+            )
+        };
+        let mut engine = FingerprintEngine::with_expiry(expiry);
+        assert_eq!(engine.classify(&mk(0, 0)), PacketVerdict::Unattributed);
+        assert_eq!(
+            engine.classify(&mk(1, 100)),
+            PacketVerdict::Paired(ToolKind::Nmap)
+        );
+        // A gap past the expiry clears the window: the next probe has no
+        // history to pair against, exactly as if the source were new.
+        assert_eq!(
+            engine.classify(&mk(2, 100 + expiry + 1)),
+            PacketVerdict::Unattributed
+        );
+        // An engine without expiry still pairs across the gap.
+        let mut forever = FingerprintEngine::new();
+        forever.classify(&mk(0, 0));
+        forever.classify(&mk(1, 100));
+        assert_eq!(
+            forever.classify(&mk(2, 100 + expiry + 1)),
+            PacketVerdict::Paired(ToolKind::Nmap)
+        );
     }
 
     #[test]

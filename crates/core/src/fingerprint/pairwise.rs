@@ -109,6 +109,14 @@ impl PairwiseState {
         None
     }
 
+    /// Forget the window and any sticky attribution, as if the source were
+    /// new. Used by the engine's deterministic per-source expiry; the last
+    /// seen timestamp is kept so eviction bookkeeping stays monotonic.
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.confirmed = None;
+    }
+
     /// Record a probe into the window.
     pub fn push(&mut self, record: &ProbeRecord) {
         self.last_seen_micros = self.last_seen_micros.max(record.ts_micros);

@@ -25,6 +25,10 @@
 //! The pipeline consumes time-ordered [`synscan_wire::ProbeRecord`] streams —
 //! from a pcap, from the live capture session, or from the synthetic decade
 //! generator — and produces serializable reports.
+//!
+//! For telescope-scale inputs, [`pipeline`] fans one year's stream out to
+//! source-sharded worker threads and merges the partial analyses back into a
+//! result bit-identical to the sequential pass.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,9 +37,11 @@ pub mod analysis;
 pub mod campaign;
 pub mod classify;
 pub mod fingerprint;
+pub mod pipeline;
 pub mod report;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignDetector};
 pub use classify::classify_source;
 pub use fingerprint::{FingerprintEngine, PacketVerdict};
+pub use pipeline::{collect_year_sharded, PipelineMode};
 pub use synscan_scanners::traits::ToolKind;

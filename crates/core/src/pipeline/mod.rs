@@ -1,0 +1,367 @@
+//! Source-sharded parallel year pipeline.
+//!
+//! A single year's measurement loop — ingress filter, fingerprinting,
+//! campaign grouping, aggregation — is sequential in nature only at the
+//! *stream* level; every stateful stage is keyed by **source address**:
+//!
+//! * [`crate::FingerprintEngine`] keeps per-source pairwise state,
+//! * the campaign [`crate::campaign::Pipeline`] keeps per-source scan state
+//!   machines,
+//! * [`YearCollector`]'s aggregates are commutative merges (per-port sums,
+//!   per-source sets, week × /16 cells).
+//!
+//! Routing admitted records to N workers by `hash(src_ip) % N` therefore
+//! preserves semantics exactly: each worker sees the *full, in-order* probe
+//! subsequence of every source it owns, and the shard outputs combine with
+//! [`YearAnalysis::merge_partials`] into a result **bit-identical** to the
+//! sequential run (campaigns are canonically re-sorted by start time, then
+//! source). The equivalence is enforced by tests here and by the
+//! `pipeline_equivalence` integration test at generator scale.
+//!
+//! Records travel over bounded crossbeam channels in ~16k-record batches so
+//! per-record channel overhead amortizes away; the feeder (which also runs
+//! the ingress/SYN filter, keeping capture statistics exact and ordered)
+//! applies backpressure naturally when workers fall behind.
+
+use std::thread;
+
+use crossbeam::channel;
+
+use synscan_scanners::traits::mix64;
+use synscan_wire::{Ipv4Address, ProbeRecord};
+
+use crate::analysis::{YearAnalysis, YearCollector};
+use crate::campaign::CampaignConfig;
+
+/// Records per channel message: large enough to amortize channel cost,
+/// small enough to keep workers busy while the feeder filters ahead.
+pub const BATCH_RECORDS: usize = 16 * 1024;
+
+/// In-flight batches per worker channel (bounded: backpressure, not OOM).
+const CHANNEL_DEPTH: usize = 4;
+
+/// How a year's measurement loop executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// One pass on the calling thread — the reference implementation.
+    Sequential,
+    /// Fan records out to `workers` shard threads by source hash and merge
+    /// the partial analyses deterministically. Bit-identical to
+    /// [`PipelineMode::Sequential`].
+    Sharded {
+        /// Number of worker threads (the feeder runs on the calling thread).
+        workers: usize,
+    },
+}
+
+impl PipelineMode {
+    /// Shard across every available core, or stay sequential on a
+    /// single-core machine.
+    pub fn auto() -> Self {
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if workers <= 1 {
+            PipelineMode::Sequential
+        } else {
+            PipelineMode::Sharded { workers }
+        }
+    }
+
+    /// Divide a worker budget among `concurrent` pipelines running at once
+    /// (the cross-year rayon fan-out composes with intra-year sharding
+    /// through this): each pipeline gets `workers / concurrent` threads,
+    /// collapsing to sequential when its share reaches one.
+    pub fn with_budget(self, concurrent: usize) -> Self {
+        match self {
+            PipelineMode::Sequential => PipelineMode::Sequential,
+            PipelineMode::Sharded { workers } => {
+                let share = workers / concurrent.max(1);
+                if share <= 1 {
+                    PipelineMode::Sequential
+                } else {
+                    PipelineMode::Sharded { workers: share }
+                }
+            }
+        }
+    }
+
+    /// Worker-thread count this mode uses (1 for sequential).
+    pub fn workers(self) -> usize {
+        match self {
+            PipelineMode::Sequential => 1,
+            PipelineMode::Sharded { workers } => workers.max(1),
+        }
+    }
+}
+
+impl std::fmt::Display for PipelineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineMode::Sequential => write!(f, "sequential"),
+            PipelineMode::Sharded { workers } => write!(f, "sharded:{workers}"),
+        }
+    }
+}
+
+impl std::str::FromStr for PipelineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "sequential" | "seq" => Ok(PipelineMode::Sequential),
+            "auto" => Ok(PipelineMode::auto()),
+            other => other
+                .strip_prefix("sharded:")
+                .unwrap_or(other)
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(|n| PipelineMode::Sharded { workers: n })
+                .ok_or_else(|| {
+                    format!("unrecognized pipeline mode `{s}` (expected sequential|auto|sharded:N)")
+                }),
+        }
+    }
+}
+
+/// The worker a source address is routed to. Stable for the process
+/// lifetime; every record of one source lands on the same shard.
+pub fn shard_of(src: Ipv4Address, workers: usize) -> usize {
+    (mix64(u64::from(src.0)) % workers as u64) as usize
+}
+
+/// One message on a shard channel.
+enum ShardMsg {
+    /// Timestamp of the first admitted record of the whole stream. Sent to
+    /// every worker before any batch, so all shards compute day/week indices
+    /// against the same origin the sequential collector would use.
+    Origin(u64),
+    /// A run of admitted records, in stream order, all owned by this shard.
+    Batch(Vec<ProbeRecord>),
+}
+
+/// Run one year's collection fanned out over `workers` shard threads.
+///
+/// `records` must be in timestamp order (the generator and pcap import both
+/// guarantee this). `admit` is the ingress/SYN filter — it runs on the
+/// calling thread, in stream order, exactly once per record, so stateful
+/// filters ([`synscan_telescope::CaptureSession`]) keep exact statistics.
+/// `source_hint` pre-sizes per-source maps (0 = no hint).
+///
+/// The result is bit-identical to offering every admitted record to one
+/// [`YearCollector`] built with the same config and period.
+pub fn collect_year_sharded<F>(
+    year: u16,
+    config: CampaignConfig,
+    period_days: f64,
+    workers: usize,
+    source_hint: usize,
+    records: &[ProbeRecord],
+    mut admit: F,
+) -> YearAnalysis
+where
+    F: FnMut(&ProbeRecord) -> bool,
+{
+    let workers = workers.max(1);
+    let partials: Vec<Option<YearAnalysis>> = thread::scope(|scope| {
+        let mut txs = Vec::with_capacity(workers);
+        let mut joins = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::bounded::<ShardMsg>(CHANNEL_DEPTH);
+            txs.push(tx);
+            let hint = source_hint / workers;
+            joins.push(scope.spawn(move || worker_loop(year, config, period_days, hint, rx)));
+        }
+
+        // The feeder: filter in stream order, route by source hash, batch.
+        let mut batches: Vec<Vec<ProbeRecord>> = (0..workers)
+            .map(|_| Vec::with_capacity(BATCH_RECORDS))
+            .collect();
+        let mut origin_sent = false;
+        for record in records {
+            if !admit(record) {
+                continue;
+            }
+            if !origin_sent {
+                for tx in &txs {
+                    let _ = tx.send(ShardMsg::Origin(record.ts_micros));
+                }
+                origin_sent = true;
+            }
+            let shard = shard_of(record.src_ip, workers);
+            let batch = &mut batches[shard];
+            batch.push(*record);
+            if batch.len() >= BATCH_RECORDS {
+                let full = std::mem::replace(batch, Vec::with_capacity(BATCH_RECORDS));
+                let _ = txs[shard].send(ShardMsg::Batch(full));
+            }
+        }
+        for (tx, batch) in txs.iter().zip(batches) {
+            if !batch.is_empty() {
+                let _ = tx.send(ShardMsg::Batch(batch));
+            }
+        }
+        drop(txs); // close the channels: workers drain and finish
+
+        joins
+            .into_iter()
+            .map(|join| join.join().expect("pipeline worker panicked"))
+            .collect()
+    });
+
+    let partials: Vec<YearAnalysis> = partials.into_iter().flatten().collect();
+    if partials.is_empty() {
+        // Nothing was admitted: same empty analysis the sequential path
+        // would produce.
+        return YearCollector::with_period(year, config, period_days).finish();
+    }
+    YearAnalysis::merge_partials(partials)
+}
+
+/// One shard: own a full collector (fingerprint + campaigns + aggregates)
+/// for the sources routed here.
+fn worker_loop(
+    year: u16,
+    config: CampaignConfig,
+    period_days: f64,
+    source_hint: usize,
+    rx: channel::Receiver<ShardMsg>,
+) -> Option<YearAnalysis> {
+    let mut collector: Option<YearCollector> = None;
+    for msg in rx {
+        match msg {
+            ShardMsg::Origin(t0) => {
+                let mut fresh = YearCollector::with_origin(year, config, period_days, t0);
+                fresh.reserve_sources(source_hint);
+                collector = Some(fresh);
+            }
+            ShardMsg::Batch(batch) => {
+                let collector = collector
+                    .as_mut()
+                    .expect("Origin message precedes every batch");
+                for record in &batch {
+                    collector.offer(record);
+                }
+                // Per-batch housekeeping bounds memory; harmless for the
+                // result because per-source expiry is deterministic
+                // (lazy-reset fingerprinting, idempotent scan expiry).
+                if let Some(last) = batch.last() {
+                    collector.housekeeping(last.ts_micros);
+                }
+            }
+        }
+    }
+    collector.map(YearCollector::finish)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synscan_wire::TcpFlags;
+
+    fn cfg() -> CampaignConfig {
+        CampaignConfig {
+            min_distinct_dests: 5,
+            min_rate_pps: 10.0,
+            expiry_secs: 3600.0,
+            monitored_addresses: 1 << 16,
+        }
+    }
+
+    /// A deterministic interleaved stream: 40 sources, two ports, a mix of
+    /// ZMap-marked and anonymous probes, in timestamp order.
+    fn stream() -> Vec<ProbeRecord> {
+        (0..4000u32)
+            .map(|i| ProbeRecord {
+                ts_micros: u64::from(i) * 997,
+                src_ip: Ipv4Address(0x0a00_0000 + (i % 40) * 7),
+                dst_ip: Ipv4Address(0x0b00_0000 + i * 13 % 5000),
+                src_port: 40_000,
+                dst_port: if i % 3 == 0 { 23 } else { 443 },
+                seq: i ^ 0xdead_beef,
+                ip_id: if i % 5 == 0 { 54_321 } else { 7 },
+                ttl: 55,
+                flags: TcpFlags::SYN,
+                window: 1024,
+            })
+            .collect()
+    }
+
+    fn sequential(records: &[ProbeRecord]) -> YearAnalysis {
+        let mut collector = YearCollector::with_period(2020, cfg(), 7.0);
+        for record in records {
+            if record.dst_port != 23 {
+                collector.offer(record);
+            }
+        }
+        collector.finish()
+    }
+
+    #[test]
+    fn sharded_matches_sequential_for_any_worker_count() {
+        let records = stream();
+        let expected = sequential(&records);
+        for workers in [1usize, 2, 3, 8] {
+            let got = collect_year_sharded(2020, cfg(), 7.0, workers, 64, &records, |r| {
+                r.dst_port != 23
+            });
+            assert_eq!(expected, got, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn nothing_admitted_produces_an_empty_analysis() {
+        let records = stream();
+        let got = collect_year_sharded(2020, cfg(), 7.0, 4, 0, &records, |_| false);
+        assert_eq!(got.total_packets, 0);
+        assert_eq!(got.distinct_sources, 0);
+        assert!(got.campaigns.is_empty());
+    }
+
+    #[test]
+    fn shard_routing_is_a_partition() {
+        for workers in [1usize, 2, 5, 8] {
+            for src in 0..1000u32 {
+                let shard = shard_of(Ipv4Address(src * 2654435761), workers);
+                assert!(shard < workers);
+            }
+        }
+    }
+
+    #[test]
+    fn mode_budgeting_and_parsing() {
+        assert_eq!(
+            PipelineMode::Sharded { workers: 8 }.with_budget(2),
+            PipelineMode::Sharded { workers: 4 }
+        );
+        assert_eq!(
+            PipelineMode::Sharded { workers: 8 }.with_budget(8),
+            PipelineMode::Sequential
+        );
+        assert_eq!(
+            PipelineMode::Sequential.with_budget(1),
+            PipelineMode::Sequential
+        );
+        assert_eq!(PipelineMode::Sharded { workers: 3 }.workers(), 3);
+        assert_eq!(PipelineMode::Sequential.workers(), 1);
+
+        assert_eq!("seq".parse::<PipelineMode>(), Ok(PipelineMode::Sequential));
+        assert_eq!(
+            "sharded:6".parse::<PipelineMode>(),
+            Ok(PipelineMode::Sharded { workers: 6 })
+        );
+        assert_eq!(
+            "4".parse::<PipelineMode>(),
+            Ok(PipelineMode::Sharded { workers: 4 })
+        );
+        assert!("sharded:0".parse::<PipelineMode>().is_err());
+        assert!("bogus".parse::<PipelineMode>().is_err());
+        assert!("auto".parse::<PipelineMode>().is_ok());
+        assert_eq!(
+            PipelineMode::Sharded { workers: 2 }.to_string(),
+            "sharded:2"
+        );
+    }
+}

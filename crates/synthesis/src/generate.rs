@@ -92,7 +92,7 @@ impl GeneratorConfig {
 }
 
 /// What the generator actually created — ground truth for calibration tests.
-#[derive(Debug, Clone, Default, serde::Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
 pub struct GroundTruth {
     /// Calendar year.
     pub year: u16,
@@ -294,7 +294,6 @@ pub fn generate_year(
 ) -> YearOutput {
     let mut rng = StdRng::seed_from_u64(gen.seed ^ (u64::from(year_cfg.year) << 32));
     let window_micros = (gen.days * 86_400.0 * 1e6) as u64;
-    let mut records: Vec<ProbeRecord> = Vec::new();
     let mut truth = GroundTruth {
         year: year_cfg.year,
         ..GroundTruth::default()
@@ -304,6 +303,13 @@ pub fn generate_year(
     let total_scans =
         (year_cfg.scans_per_month_full * gen.days / 30.0 / f64::from(gen.population_denominator))
             .max(10.0);
+
+    // One allocation up front: the year's packet budget plus backscatter
+    // contamination and the per-campaign sampling slack, instead of growing
+    // a multi-hundred-MB vector through repeated doublings.
+    let capacity_hint =
+        (total_packets * (1.0 + gen.backscatter_fraction) + total_scans * 24.0) as usize + 1024;
+    let mut records: Vec<ProbeRecord> = Vec::with_capacity(capacity_hint);
 
     // ---- 0. Plan the fixed-cost populations first ------------------------
     // A vertical scan of P ports costs >= P telescope packets to observe, so

@@ -11,7 +11,8 @@ use std::collections::BTreeMap;
 use std::io::Read;
 
 use synscan_core::analysis::{toolports, yearly, YearAnalysis, YearCollector};
-use synscan_core::CampaignConfig;
+use synscan_core::pipeline::collect_year_sharded;
+use synscan_core::{CampaignConfig, PipelineMode};
 use synscan_telescope::capture::{classify_technique, import_pcap, ScanTechnique};
 use synscan_wire::ProbeRecord;
 
@@ -26,6 +27,9 @@ pub struct AnalyzeOptions {
     pub year: u16,
     /// How many top ports to summarize.
     pub top_ports: usize,
+    /// How the measurement loop executes; sharded and sequential runs
+    /// produce bit-identical results.
+    pub pipeline: PipelineMode,
 }
 
 impl Default for AnalyzeOptions {
@@ -34,6 +38,7 @@ impl Default for AnalyzeOptions {
             monitored: None,
             year: 2024,
             top_ports: 10,
+            pipeline: PipelineMode::Sequential,
         }
     }
 }
@@ -76,25 +81,29 @@ pub fn analyze_records(mut records: Vec<ProbeRecord>, options: &AnalyzeOptions) 
             .len() as u64
     });
 
+    let config = CampaignConfig::scaled(monitored.max(1));
     let mut techniques: BTreeMap<&'static str, u64> = BTreeMap::new();
-    let mut collector = YearCollector::new(options.year, CampaignConfig::scaled(monitored.max(1)));
-    for record in &records {
+    // The SYN filter doubles as the technique census; it runs once per
+    // record, in stream order, under either pipeline mode.
+    let mut admit = |record: &ProbeRecord| {
         let technique = classify_technique(record.flags);
-        let label = match technique {
-            ScanTechnique::Syn => "syn",
-            ScanTechnique::Fin => "fin",
-            ScanTechnique::Null => "null",
-            ScanTechnique::Xmas => "xmas",
-            ScanTechnique::Ack => "ack",
-            ScanTechnique::Backscatter => "backscatter",
-            ScanTechnique::Other => "other",
-        };
-        *techniques.entry(label).or_default() += 1;
-        if technique == ScanTechnique::Syn {
-            collector.offer(record);
+        *techniques.entry(technique_label(technique)).or_default() += 1;
+        technique == ScanTechnique::Syn
+    };
+    let analysis = match options.pipeline {
+        PipelineMode::Sequential => {
+            let mut collector = YearCollector::new(options.year, config);
+            for record in &records {
+                if admit(record) {
+                    collector.offer(record);
+                }
+            }
+            collector.finish()
         }
-    }
-    let analysis = collector.finish();
+        PipelineMode::Sharded { workers } => {
+            collect_year_sharded(options.year, config, 7.0, workers, 0, &records, admit)
+        }
+    };
     let summary = yearly::summarize(&analysis, options.top_ports);
     AnalyzeResult {
         summary,
@@ -102,6 +111,18 @@ pub fn analyze_records(mut records: Vec<ProbeRecord>, options: &AnalyzeOptions) 
         non_tcp_frames: 0, // import_pcap already skipped them
         monitored,
         analysis,
+    }
+}
+
+fn technique_label(technique: ScanTechnique) -> &'static str {
+    match technique {
+        ScanTechnique::Syn => "syn",
+        ScanTechnique::Fin => "fin",
+        ScanTechnique::Null => "null",
+        ScanTechnique::Xmas => "xmas",
+        ScanTechnique::Ack => "ack",
+        ScanTechnique::Backscatter => "backscatter",
+        ScanTechnique::Other => "other",
     }
 }
 
@@ -190,6 +211,27 @@ mod tests {
         let report = render_report(&result);
         assert!(report.contains("zmap"));
         assert!(report.contains("443"));
+    }
+
+    #[test]
+    fn sharded_analysis_matches_sequential() {
+        let bytes = capture_bytes();
+        let sequential = analyze_pcap(
+            std::io::Cursor::new(bytes.clone()),
+            &AnalyzeOptions::default(),
+        )
+        .unwrap();
+        let sharded = analyze_pcap(
+            std::io::Cursor::new(bytes),
+            &AnalyzeOptions {
+                pipeline: synscan_core::PipelineMode::Sharded { workers: 3 },
+                ..AnalyzeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sequential.analysis, sharded.analysis);
+        assert_eq!(sequential.techniques, sharded.techniques);
+        assert_eq!(sequential.monitored, sharded.monitored);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! analyze <capture.pcap> [--monitored N] [--year Y] [--top N]
+//!         [--pipeline sequential|auto|sharded:N]
 //! ```
 //!
 //! The capture is SYN-filtered, fingerprinted, grouped into campaigns and
@@ -49,15 +50,28 @@ fn main() {
                     .parse()
                     .expect("--top takes a count")
             }
+            "--pipeline" => {
+                options.pipeline = args
+                    .next()
+                    .expect("--pipeline needs a value")
+                    .parse()
+                    .expect("--pipeline takes sequential|auto|sharded:N")
+            }
             "--help" | "-h" => {
-                eprintln!("usage: analyze <capture.pcap> [--monitored N] [--year Y] [--top N]");
+                eprintln!(
+                    "usage: analyze <capture.pcap> [--monitored N] [--year Y] [--top N] \
+                     [--pipeline sequential|auto|sharded:N]"
+                );
                 return;
             }
             other => path = Some(other.to_string()),
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: analyze <capture.pcap> [--monitored N] [--year Y] [--top N]");
+        eprintln!(
+            "usage: analyze <capture.pcap> [--monitored N] [--year Y] [--top N] \
+             [--pipeline sequential|auto|sharded:N]"
+        );
         std::process::exit(2);
     };
     let file = File::open(&path).unwrap_or_else(|e| {

@@ -1,11 +1,17 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale tiny|small|default] [--out DIR] [TARGET...]
+//! repro [--scale tiny|small|default] [--out DIR]
+//!       [--pipeline sequential|auto|sharded:N] [TARGET...]
 //!
 //! TARGET: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!         prose all       (default: all)
 //! ```
+//!
+//! `--pipeline` selects how each year's measurement loop executes; `auto`
+//! (the default) shards across the machine's cores, sharing the thread
+//! budget with the cross-year fan-out. Every mode produces bit-identical
+//! output.
 //!
 //! Each target prints its reproduction to stdout and writes a JSON artifact
 //! into the output directory. EXPERIMENTS.md records how the output compares
@@ -22,13 +28,14 @@ use synscan::core::analysis::{
 use synscan::core::report::render_series;
 use synscan::experiment::{DecadeRun, Experiment};
 use synscan::netmodel::ScannerClass;
-use synscan::{GeneratorConfig, ToolKind, YearConfig};
+use synscan::{GeneratorConfig, PipelineMode, ToolKind, YearConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = "default".to_string();
     let mut out_dir = PathBuf::from("out");
     let mut seed_override: Option<u64> = None;
+    let mut pipeline = PipelineMode::auto();
     let mut targets: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -43,9 +50,17 @@ fn main() {
                         .expect("--seed takes a u64"),
                 )
             }
+            "--pipeline" => {
+                pipeline = iter
+                    .next()
+                    .expect("--pipeline needs a value")
+                    .parse()
+                    .expect("--pipeline takes sequential|auto|sharded:N")
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--scale tiny|small|default] [--seed N] [--out DIR] [TARGET...]"
+                    "usage: repro [--scale tiny|small|default] [--seed N] [--out DIR] \
+                     [--pipeline sequential|auto|sharded:N] [TARGET...]"
                 );
                 return;
             }
@@ -71,12 +86,14 @@ fn main() {
     fs::create_dir_all(&out_dir).expect("create output dir");
 
     eprintln!(
-        "[repro] scale={scale}: telescope 1/{}, population 1/{}, {} days/year",
+        "[repro] scale={scale}: telescope 1/{}, population 1/{}, {} days/year, pipeline {pipeline}",
         gen.telescope_denominator, gen.population_denominator, gen.days
     );
     eprintln!("[repro] generating and measuring the decade ...");
     let started = std::time::Instant::now();
-    let run = Experiment::new(gen).run_decade();
+    let run = Experiment::new(gen)
+        .with_pipeline_mode(pipeline)
+        .run_decade();
     eprintln!(
         "[repro] decade done in {:.1}s: {} packets admitted, {} campaigns",
         started.elapsed().as_secs_f64(),

@@ -6,7 +6,8 @@
 use rayon::prelude::*;
 
 use synscan_core::analysis::{YearAnalysis, YearCollector};
-use synscan_core::CampaignConfig;
+use synscan_core::pipeline::collect_year_sharded;
+use synscan_core::{CampaignConfig, PipelineMode};
 use synscan_netmodel::InternetRegistry;
 use synscan_synthesis::generate::{generate_year, GeneratorConfig, GroundTruth};
 use synscan_synthesis::yearcfg::YearConfig;
@@ -62,6 +63,7 @@ pub struct Experiment {
     gen: GeneratorConfig,
     registry: InternetRegistry,
     dark: AddressSet,
+    mode: PipelineMode,
 }
 
 impl Experiment {
@@ -74,7 +76,20 @@ impl Experiment {
             gen,
             registry,
             dark,
+            mode: PipelineMode::Sequential,
         }
+    }
+
+    /// Select how each year's measurement loop executes (sequential or
+    /// source-sharded across threads; the results are bit-identical).
+    pub fn with_pipeline_mode(mut self, mode: PipelineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The pipeline mode in use.
+    pub fn pipeline_mode(&self) -> PipelineMode {
+        self.mode
     }
 
     /// The generator configuration in use.
@@ -104,34 +119,66 @@ impl Experiment {
 
     /// Run one year with an explicit (possibly customized) year config.
     pub fn run_year_cfg(&self, year_cfg: &YearConfig) -> YearRun {
+        self.run_year_cfg_mode(year_cfg, self.mode)
+    }
+
+    /// Run one year with an explicit pipeline mode, overriding the
+    /// experiment-wide setting (the decade fan-out uses this to hand each
+    /// year its share of the worker budget).
+    pub fn run_year_cfg_mode(&self, year_cfg: &YearConfig, mode: PipelineMode) -> YearRun {
         let output = generate_year(year_cfg, &self.gen, &self.registry, &self.dark);
         let mut session = CaptureSession::new(&self.dark, year_cfg.year);
         // Volatility periods: the paper compares week over week inside a
         // 29-61 day window; a short simulated window uses proportionally
         // shorter periods so Figure 2 still gets several period pairs.
         let period_days = (self.gen.days / 5.0).clamp(1.0, 7.0);
-        let mut collector =
-            YearCollector::with_period(year_cfg.year, self.campaign_config(), period_days);
-        for (i, record) in output.records.iter().enumerate() {
-            if session.offer(record) {
-                collector.offer(record);
+        // Rough distinct-source width: campaigns dominate, each from its own
+        // source, plus background stragglers. Only a map pre-size hint.
+        let source_hint = (output.truth.scans as usize).saturating_mul(2);
+        let analysis = match mode {
+            PipelineMode::Sequential => {
+                let mut collector =
+                    YearCollector::with_period(year_cfg.year, self.campaign_config(), period_days);
+                collector.reserve_sources(source_hint);
+                for (i, record) in output.records.iter().enumerate() {
+                    if session.offer(record) {
+                        collector.offer(record);
+                    }
+                    if i % 262_144 == 0 {
+                        collector.housekeeping(record.ts_micros);
+                    }
+                }
+                collector.finish()
             }
-            if i % 262_144 == 0 {
-                collector.housekeeping(record.ts_micros);
-            }
-        }
+            PipelineMode::Sharded { workers } => collect_year_sharded(
+                year_cfg.year,
+                self.campaign_config(),
+                period_days,
+                workers,
+                source_hint,
+                &output.records,
+                |record| session.offer(record),
+            ),
+        };
         YearRun {
-            analysis: collector.finish(),
+            analysis,
             truth: output.truth,
             capture: session.stats(),
         }
     }
 
     /// Run the whole decade, years in parallel.
+    ///
+    /// The intra-year shard budget composes with this cross-year rayon
+    /// fan-out: each concurrently running year gets `workers / years` shard
+    /// threads so the two levels together stay within one machine's budget.
     pub fn run_decade(self) -> DecadeRun {
-        let mut years: Vec<YearRun> = YearConfig::decade()
+        let configs = YearConfig::decade();
+        let concurrent = configs.len().min(rayon::current_num_threads()).max(1);
+        let year_mode = self.mode.with_budget(concurrent);
+        let mut years: Vec<YearRun> = configs
             .par_iter()
-            .map(|cfg| self.run_year_cfg(cfg))
+            .map(|cfg| self.run_year_cfg_mode(cfg, year_mode))
             .collect();
         years.sort_by_key(|y| y.analysis.year);
         DecadeRun {

@@ -1,0 +1,68 @@
+//! Sequential ↔ sharded pipeline equivalence at generator scale.
+//!
+//! The source-sharded year pipeline must be a pure performance knob: for any
+//! worker count, the merged `YearAnalysis` — campaign list, every aggregate
+//! map, noise statistics, window bounds — and the capture statistics must be
+//! bit-identical to the sequential reference. 2017 is included so the
+//! year-dependent ingress-policy path (telnet blocking) runs under both
+//! modes.
+
+use synscan::core::PipelineMode;
+use synscan::experiment::Experiment;
+use synscan::GeneratorConfig;
+
+fn run(year: u16, mode: PipelineMode) -> synscan::experiment::YearRun {
+    Experiment::new(GeneratorConfig::tiny())
+        .with_pipeline_mode(mode)
+        .run_year(year)
+}
+
+#[test]
+fn sharded_year_analysis_is_bit_identical_to_sequential() {
+    for year in [2017u16, 2020] {
+        let sequential = run(year, PipelineMode::Sequential);
+        for workers in [1usize, 4] {
+            let sharded = run(year, PipelineMode::Sharded { workers });
+            assert_eq!(
+                sequential.capture, sharded.capture,
+                "{year}: capture stats diverged at {workers} workers"
+            );
+            assert_eq!(
+                sequential.truth, sharded.truth,
+                "{year}: generation is mode-independent"
+            );
+            assert_eq!(
+                sequential.analysis, sharded.analysis,
+                "{year}: analysis diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_run_still_detects_real_structure() {
+    // Not just equal — equal and non-trivial: campaigns, tool attributions
+    // and the 2017 ingress policy all survive the fan-out.
+    let run = run(2017, PipelineMode::Sharded { workers: 4 });
+    assert!(run.capture.admitted > 0);
+    assert!(run.capture.ingress_blocked > 0, "2017 blocks telnet");
+    assert!(!run.analysis.campaigns.is_empty());
+    assert!(!run.analysis.port_packets.contains_key(&23));
+    assert!(run.analysis.total_packets == run.capture.admitted);
+}
+
+#[test]
+fn decade_budget_composes_with_sharding() {
+    // A sharded decade run equals the sequential decade run year by year
+    // (with_budget may collapse the per-year share to sequential on small
+    // machines — that is exactly the point).
+    let sequential = Experiment::new(GeneratorConfig::tiny()).run_decade();
+    let sharded = Experiment::new(GeneratorConfig::tiny())
+        .with_pipeline_mode(PipelineMode::Sharded { workers: 8 })
+        .run_decade();
+    assert_eq!(sequential.years.len(), sharded.years.len());
+    for (a, b) in sequential.years.iter().zip(&sharded.years) {
+        assert_eq!(a.analysis, b.analysis, "year {}", a.analysis.year);
+        assert_eq!(a.capture, b.capture);
+    }
+}

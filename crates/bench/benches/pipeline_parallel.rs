@@ -1,22 +1,32 @@
-//! Sequential vs source-sharded year pipeline throughput.
+//! Sequential vs source-sharded year pipeline throughput, and streamed vs
+//! materialized record flow.
 //!
-//! One pre-admitted year of bench-scale telescope traffic is pushed through
-//! the full measurement loop (fingerprinting, campaign detection,
-//! aggregation) once sequentially and once per shard count. Every variant
-//! produces a bit-identical `YearAnalysis` (asserted outside the timed
-//! region), so the group measures pure fan-out speedup: records/second at
-//! 1, 2, 4 and 8 workers against the single-thread reference.
+//! `pipeline_parallel`: one pre-admitted year of bench-scale telescope
+//! traffic is pushed through the full measurement loop (fingerprinting,
+//! campaign detection, aggregation) once sequentially and once per shard
+//! count. Every variant produces a bit-identical `YearAnalysis` (asserted
+//! outside the timed region), so the group measures pure fan-out speedup:
+//! records/second at 1, 2, 4 and 8 workers against the single-thread
+//! reference.
+//!
+//! `pipeline_streaming`: the same year flows from a generator plan into the
+//! sequential pipeline twice — once materialized (build the full sorted
+//! record vector, then analyze it) and once streamed (heap-merge the lazy
+//! emitters straight into the collector, O(batch) resident records). Both
+//! produce the identical analysis; the group measures what the bounded
+//! memory flow costs or saves end to end.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use synscan_core::analysis::{YearAnalysis, YearCollector};
 use synscan_core::campaign::CampaignConfig;
-use synscan_core::pipeline::collect_year_sharded;
+use synscan_core::pipeline::{collect_year_sharded, collect_year_stream, PipelineMode};
 use synscan_netmodel::InternetRegistry;
-use synscan_synthesis::generate::{generate_year, GeneratorConfig};
+use synscan_synthesis::generate::{generate_year, plan_year, GeneratorConfig};
 use synscan_synthesis::yearcfg::YearConfig;
 use synscan_telescope::{AddressSet, CaptureSession};
+use synscan_wire::stream::SliceStream;
 use synscan_wire::ProbeRecord;
 
 const YEAR: u16 = 2020;
@@ -104,9 +114,56 @@ fn pipeline_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+fn pipeline_streaming(c: &mut Criterion) {
+    let gen = heavy_config();
+    let telescope = gen.telescope();
+    let dark = AddressSet::build(&telescope);
+    let registry = InternetRegistry::build(gen.seed, &telescope.blocks);
+    // The plan is built once, outside the timed region: both variants below
+    // replay the same emitter snapshots, so the group isolates the record
+    // *flow* (materialize-and-sort vs heap-merge streaming), not planning.
+    let plan = plan_year(&YearConfig::for_year(YEAR), &gen, &registry, &dark);
+    let config = CampaignConfig::scaled(dark.len() as u64);
+    println!(
+        "pipeline_streaming: {} planned records, year {YEAR}",
+        plan.total_records()
+    );
+
+    let materialized = |mode: PipelineMode| -> YearAnalysis {
+        let records = plan.materialize(&dark);
+        let mut session = CaptureSession::new(&dark, YEAR);
+        let mut stream = SliceStream::new(&records);
+        collect_year_stream(YEAR, config, PERIOD_DAYS, mode, 0, &mut stream, |r| session.offer(r))
+    };
+    let streamed = |mode: PipelineMode| -> YearAnalysis {
+        let mut session = CaptureSession::new(&dark, YEAR);
+        let mut stream = plan.stream(&dark);
+        collect_year_stream(YEAR, config, PERIOD_DAYS, mode, 0, &mut stream, |r| session.offer(r))
+    };
+
+    // Equivalence outside the timed region.
+    let reference = materialized(PipelineMode::Sequential);
+    assert_eq!(
+        reference,
+        streamed(PipelineMode::Sequential),
+        "streamed flow diverged from the materialized reference"
+    );
+
+    let mut group = c.benchmark_group("pipeline_streaming");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(plan.total_records()));
+    group.bench_function("materialized", |b| {
+        b.iter(|| materialized(black_box(PipelineMode::Sequential)).total_packets)
+    });
+    group.bench_function("streamed", |b| {
+        b.iter(|| streamed(black_box(PipelineMode::Sequential)).total_packets)
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = pipeline_parallel
+    targets = pipeline_parallel, pipeline_streaming
 }
 criterion_main!(benches);

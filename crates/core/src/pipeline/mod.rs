@@ -22,20 +22,26 @@
 //! per-record channel overhead amortizes away; the feeder (which also runs
 //! the ingress/SYN filter, keeping capture statistics exact and ordered)
 //! applies backpressure naturally when workers fall behind.
+//!
+//! Input arrives as a [`RecordStream`] ([`collect_year_stream`]): the
+//! pipeline pulls one batch at a time and never needs the year materialized.
+//! [`collect_year_sharded`] remains as the slice-input convenience wrapper
+//! (a [`SliceStream`] adapter over the same engine).
 
 use std::thread;
 
 use crossbeam::channel;
 
 use synscan_scanners::traits::mix64;
+use synscan_wire::stream::{RecordStream, SliceStream};
 use synscan_wire::{Ipv4Address, ProbeRecord};
 
 use crate::analysis::{YearAnalysis, YearCollector};
 use crate::campaign::CampaignConfig;
 
-/// Records per channel message: large enough to amortize channel cost,
-/// small enough to keep workers busy while the feeder filters ahead.
-pub const BATCH_RECORDS: usize = 16 * 1024;
+/// Records per channel message / stream batch — re-exported from the wire
+/// layer so every stage of the pipeline agrees on the batch granularity.
+pub use synscan_wire::stream::BATCH_RECORDS;
 
 /// In-flight batches per worker channel (bounded: backpressure, not OOM).
 const CHANNEL_DEPTH: usize = 4;
@@ -142,29 +148,61 @@ enum ShardMsg {
     Batch(Vec<ProbeRecord>),
 }
 
-/// Run one year's collection fanned out over `workers` shard threads.
+/// Run one year's collection from any [`RecordStream`], sequentially or
+/// fanned out over shard threads — the single driver every front end
+/// (synthesis, pcap import, benches) goes through.
 ///
-/// `records` must be in timestamp order (the generator and pcap import both
-/// guarantee this). `admit` is the ingress/SYN filter — it runs on the
-/// calling thread, in stream order, exactly once per record, so stateful
-/// filters ([`synscan_telescope::CaptureSession`]) keep exact statistics.
-/// `source_hint` pre-sizes per-source maps (0 = no hint).
+/// The stream must yield records in timestamp order (the generator's heap
+/// merge and pcap import both guarantee this; the streaming analyzer
+/// rejects unordered captures up front). `admit` is the ingress/SYN
+/// filter — it runs on the calling thread, in stream order, exactly once
+/// per record, so stateful filters ([`synscan_telescope::CaptureSession`])
+/// keep exact statistics. `source_hint` pre-sizes per-source maps (0 = no
+/// hint).
 ///
-/// The result is bit-identical to offering every admitted record to one
-/// [`YearCollector`] built with the same config and period.
-pub fn collect_year_sharded<F>(
+/// Memory is O(batch): the caller's stream lends one batch at a time, and
+/// the sharded arm keeps at most `CHANNEL_DEPTH + 1` batches in flight per
+/// worker (bounded channels give natural backpressure). Both modes are
+/// bit-identical to offering every admitted record to one [`YearCollector`]
+/// built with the same config and period.
+pub fn collect_year_stream<S, F>(
     year: u16,
     config: CampaignConfig,
     period_days: f64,
-    workers: usize,
+    mode: PipelineMode,
     source_hint: usize,
-    records: &[ProbeRecord],
+    stream: &mut S,
     mut admit: F,
 ) -> YearAnalysis
 where
+    S: RecordStream + ?Sized,
     F: FnMut(&ProbeRecord) -> bool,
 {
-    let workers = workers.max(1);
+    let workers = match mode {
+        PipelineMode::Sequential => {
+            let mut collector = YearCollector::with_period(year, config, period_days);
+            collector.reserve_sources(source_hint);
+            while let Some(batch) = stream.next_batch() {
+                let mut last_admitted = None;
+                for record in batch {
+                    if admit(record) {
+                        collector.offer(record);
+                        last_admitted = Some(record.ts_micros);
+                    }
+                }
+                // Per-batch housekeeping bounds memory; result-neutral
+                // because per-source expiry is deterministic (lazy-reset
+                // fingerprinting, idempotent scan expiry) — asserted by the
+                // equivalence tests.
+                if let Some(ts) = last_admitted {
+                    collector.housekeeping(ts);
+                }
+            }
+            return collector.finish();
+        }
+        PipelineMode::Sharded { workers } => workers.max(1),
+    };
+
     let partials: Vec<Option<YearAnalysis>> = thread::scope(|scope| {
         let mut txs = Vec::with_capacity(workers);
         let mut joins = Vec::with_capacity(workers);
@@ -180,22 +218,24 @@ where
             .map(|_| Vec::with_capacity(BATCH_RECORDS))
             .collect();
         let mut origin_sent = false;
-        for record in records {
-            if !admit(record) {
-                continue;
-            }
-            if !origin_sent {
-                for tx in &txs {
-                    let _ = tx.send(ShardMsg::Origin(record.ts_micros));
+        while let Some(pulled) = stream.next_batch() {
+            for record in pulled {
+                if !admit(record) {
+                    continue;
                 }
-                origin_sent = true;
-            }
-            let shard = shard_of(record.src_ip, workers);
-            let batch = &mut batches[shard];
-            batch.push(*record);
-            if batch.len() >= BATCH_RECORDS {
-                let full = std::mem::replace(batch, Vec::with_capacity(BATCH_RECORDS));
-                let _ = txs[shard].send(ShardMsg::Batch(full));
+                if !origin_sent {
+                    for tx in &txs {
+                        let _ = tx.send(ShardMsg::Origin(record.ts_micros));
+                    }
+                    origin_sent = true;
+                }
+                let shard = shard_of(record.src_ip, workers);
+                let batch = &mut batches[shard];
+                batch.push(*record);
+                if batch.len() >= BATCH_RECORDS {
+                    let full = std::mem::replace(batch, Vec::with_capacity(BATCH_RECORDS));
+                    let _ = txs[shard].send(ShardMsg::Batch(full));
+                }
             }
         }
         for (tx, batch) in txs.iter().zip(batches) {
@@ -218,6 +258,38 @@ where
         return YearCollector::with_period(year, config, period_days).finish();
     }
     YearAnalysis::merge_partials(partials)
+}
+
+/// Run one year's collection fanned out over `workers` shard threads, from
+/// an in-memory slice. Convenience wrapper: adapts `records` through a
+/// [`SliceStream`] into [`collect_year_stream`].
+///
+/// `records` must be in timestamp order (the generator and pcap import both
+/// guarantee this).
+pub fn collect_year_sharded<F>(
+    year: u16,
+    config: CampaignConfig,
+    period_days: f64,
+    workers: usize,
+    source_hint: usize,
+    records: &[ProbeRecord],
+    admit: F,
+) -> YearAnalysis
+where
+    F: FnMut(&ProbeRecord) -> bool,
+{
+    let mut stream = SliceStream::new(records);
+    collect_year_stream(
+        year,
+        config,
+        period_days,
+        PipelineMode::Sharded {
+            workers: workers.max(1),
+        },
+        source_hint,
+        &mut stream,
+        admit,
+    )
 }
 
 /// One shard: own a full collector (fingerprint + campaigns + aggregates)
@@ -308,6 +380,21 @@ mod tests {
                 r.dst_port != 23
             });
             assert_eq!(expected, got, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn stream_input_matches_the_sequential_reference_in_both_modes() {
+        let records = stream();
+        let expected = sequential(&records);
+        for mode in [PipelineMode::Sequential, PipelineMode::Sharded { workers: 3 }] {
+            // An adversarial batch size: prime, far from BATCH_RECORDS, so
+            // batch boundaries land mid-source and mid-burst.
+            let mut input = SliceStream::with_batch_size(&records, 257);
+            let got = collect_year_stream(2020, cfg(), 7.0, mode, 64, &mut input, |r| {
+                r.dst_port != 23
+            });
+            assert_eq!(expected, got, "mode = {mode}");
         }
     }
 

@@ -9,8 +9,17 @@
 //! the equivalence, which the small-scale examples demonstrate end to end
 //! with the real ZMap/Masscan target-selection algorithms). Header fields
 //! always come from the *real tool crafters*, so fingerprints are authentic.
+//!
+//! Generation is split in two: [`plan_year`] runs every actor decision and
+//! every random draw, but captures campaigns as lazily replayable
+//! [`crate::stream::EmitterSpec`]s instead of materializing records;
+//! [`generate_year`] is now just `plan_year` + [`crate::stream::YearPlan::materialize`].
+//! The plan can equally be consumed as a bounded-memory, time-ordered
+//! [`crate::stream::YearStream`] — byte-identical to the materialized vector
+//! (see `crate::stream` for the merge argument).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -27,8 +36,10 @@ use synscan_scanners::unicorn::UnicornScanner;
 use synscan_scanners::zmap::ZmapScanner;
 use synscan_stats::sampling::LogNormal;
 use synscan_telescope::{AddressSet, BackscatterGenerator, TelescopeConfig};
+use synscan_wire::stream::RecordSink;
 use synscan_wire::{Ipv4Address, ProbeRecord};
 
+use crate::stream::{plan_emit, EmitterKind, EmitterSpec, YearPlan};
 use crate::yearcfg::{GroupSpec, YearConfig};
 
 /// Global generator knobs.
@@ -126,7 +137,11 @@ pub struct YearOutput {
 }
 
 /// A boxed crafter for dynamic tool dispatch.
-fn make_crafter(tool: ToolKind, seed: u64, marked_zmap: bool) -> Box<dyn ProbeCrafter + Send> {
+pub(crate) fn make_crafter(
+    tool: ToolKind,
+    seed: u64,
+    marked_zmap: bool,
+) -> Box<dyn ProbeCrafter + Send> {
     match tool {
         ToolKind::Zmap if marked_zmap => Box::new(ZmapScanner::new(seed)),
         ToolKind::Zmap => Box::new(ZmapScanner::unmarked(seed)),
@@ -170,11 +185,11 @@ pub fn top_ports(n: u32) -> Vec<u16> {
     ports
 }
 
-/// Emit `budget` telescope hits for one campaign.
+/// Emit `budget` telescope hits for one campaign into any sink.
 #[allow(clippy::too_many_arguments)]
-fn emit_campaign(
+pub(crate) fn emit_campaign<S: RecordSink + ?Sized>(
     rng: &mut StdRng,
-    records: &mut Vec<ProbeRecord>,
+    sink: &mut S,
     crafter: &(dyn ProbeCrafter + Send),
     src: Ipv4Address,
     ports: &[u16],
@@ -188,7 +203,7 @@ fn emit_campaign(
         let dst = dark.addresses()[rng.random_range(0..dark.len())];
         let port = ports[rng.random_range(0..ports.len())];
         let ts = start_micros + rng.random_range(0..duration_micros.max(1));
-        records.push(craft_record(crafter, src, dst, port, i, ts, ttl_decrement));
+        sink.accept(craft_record(crafter, src, dst, port, i, ts, ttl_decrement));
     }
 }
 
@@ -285,13 +300,41 @@ fn sample_activity_source(
         .unwrap_or(Ipv4Address::new(203, 0, 113, 1))
 }
 
-/// Generate one year of telescope arrivals.
+/// Generate one year of telescope arrivals as a materialized, sorted vector.
+///
+/// Equivalent to `plan_year(...).materialize(dark)` — which is exactly how
+/// it is implemented. Callers that can consume records incrementally should
+/// use [`plan_year`] and [`crate::stream::YearPlan::stream`] instead.
 pub fn generate_year(
     year_cfg: &YearConfig,
     gen: &GeneratorConfig,
     registry: &InternetRegistry,
     dark: &AddressSet,
 ) -> YearOutput {
+    let plan = plan_year(year_cfg, gen, registry, dark);
+    let records = plan.materialize(dark);
+    YearOutput {
+        year: plan.year,
+        records,
+        truth: plan.truth,
+    }
+}
+
+/// Plan one year of telescope arrivals without materializing any records.
+///
+/// Runs the complete actor model — every decision and every RNG draw the
+/// materializing generator makes, in the same order — but at each campaign
+/// emission site it snapshots the shared RNG into an
+/// [`crate::stream::EmitterSpec`] and advances the RNG by draining the
+/// emitter through a null sink. Ground truth is therefore complete at plan
+/// time, and replaying the specs (materialized or heap-merged) reproduces
+/// the record stream byte for byte.
+pub fn plan_year(
+    year_cfg: &YearConfig,
+    gen: &GeneratorConfig,
+    registry: &InternetRegistry,
+    dark: &AddressSet,
+) -> YearPlan {
     let mut rng = StdRng::seed_from_u64(gen.seed ^ (u64::from(year_cfg.year) << 32));
     let window_micros = (gen.days * 86_400.0 * 1e6) as u64;
     let mut truth = GroundTruth {
@@ -304,12 +347,7 @@ pub fn generate_year(
         (year_cfg.scans_per_month_full * gen.days / 30.0 / f64::from(gen.population_denominator))
             .max(10.0);
 
-    // One allocation up front: the year's packet budget plus backscatter
-    // contamination and the per-campaign sampling slack, instead of growing
-    // a multi-hundred-MB vector through repeated doublings.
-    let capacity_hint =
-        (total_packets * (1.0 + gen.backscatter_fraction) + total_scans * 24.0) as usize + 1024;
-    let mut records: Vec<ProbeRecord> = Vec::with_capacity(capacity_hint);
+    let mut specs: Vec<EmitterSpec> = Vec::new();
 
     // ---- 0. Plan the fixed-cost populations first ------------------------
     // A vertical scan of P ports costs >= P telescope packets to observe, so
@@ -361,7 +399,7 @@ pub fn generate_year(
     let inst_scans = (total_scans * year_cfg.institutional_scan_share).round() as u64;
     generate_orgs(
         &mut rng,
-        &mut records,
+        &mut specs,
         &mut truth,
         year_cfg,
         gen,
@@ -388,13 +426,9 @@ pub fn generate_year(
 
         for scan_idx in 0..n_scans {
             let src = pick_source(&mut rng, registry, group, year_cfg.year);
-            let ports = pick_ports(&mut rng, group, year_cfg.year);
+            let ports: Arc<[u16]> = pick_ports(&mut rng, group, year_cfg.year).into();
             let budget = (budget_dist.sample(&mut rng).round() as u64).clamp(30, 2_000_000);
-            let crafter = make_crafter(
-                group.tool,
-                gen.seed ^ mix64(u64::from(src.0) ^ scan_idx),
-                true,
-            );
+            let crafter_seed = gen.seed ^ mix64(u64::from(src.0) ^ scan_idx);
             let (start, duration) = if group.tool == ToolKind::Mirai {
                 // Bots scan continuously for (most of) the window.
                 let d = (window_micros as f64 * (0.5 + rng.random::<f64>() * 0.5)) as u64;
@@ -427,16 +461,20 @@ pub fn generate_year(
                         0
                     };
                 let seg_start = start + seg * (duration / segments);
-                emit_campaign(
+                plan_emit(
+                    &mut specs,
                     &mut rng,
-                    &mut records,
-                    crafter.as_ref(),
-                    seg_src,
-                    &ports,
                     dark,
                     seg_start,
-                    duration / segments,
-                    seg_budget,
+                    EmitterKind::Campaign {
+                        tool: group.tool,
+                        crafter_seed,
+                        marked: true,
+                        src: seg_src,
+                        ports: ports.clone(),
+                        duration_micros: duration / segments,
+                        budget: seg_budget,
+                    },
                 );
                 if seg + 1 < segments {
                     seg_src = registry.churn().rotate(&mut rng, seg_src);
@@ -458,7 +496,7 @@ pub fn generate_year(
 
     // ---- 3. Vertical scans (§5.2) ---------------------------------------
     for &(n_ports, n) in &vertical_plan {
-        let ports = top_ports(n_ports);
+        let ports: Arc<[u16]> = top_ports(n_ports).into();
         for v in 0..n {
             // §5.4: China originates >80% of traffic on 14,444 unique ports
             // (2022) — the signature of bulk multi-port scanning from
@@ -474,16 +512,12 @@ pub fn generate_year(
             } else {
                 sample_activity_source(&mut rng, registry, year_cfg.year, ScannerClass::Hosting)
             };
-            let _ = v;
-            let crafter = make_crafter(
-                if v % 2 == 0 {
-                    ToolKind::Masscan
-                } else {
-                    ToolKind::Zmap
-                },
-                gen.seed ^ mix64(v ^ (u64::from(n_ports) << 24)),
-                true,
-            );
+            let tool = if v % 2 == 0 {
+                ToolKind::Masscan
+            } else {
+                ToolKind::Zmap
+            };
+            let crafter_seed = gen.seed ^ mix64(v ^ (u64::from(n_ports) << 24));
             // §5.2: >1,000-port scans average ~0.3 Gbps — far faster than
             // ordinary scans; compress the whole budget into a few hours.
             let duration = (3600.0e6 * (1.0 + rng.random::<f64>() * 5.0)) as u64;
@@ -491,35 +525,19 @@ pub fn generate_year(
             // Each targeted port is observed at least once (shuffled sweep),
             // plus ~15% revisits — the cheapest emission that lets the
             // campaign detector count the full port set.
-            let ttl_dec = 5 + (mix64(u64::from(src.0)) % 20) as u8;
-            let mut shuffled = ports.clone();
-            use rand::seq::SliceRandom;
-            shuffled.shuffle(&mut rng);
-            let extra = ports.len() / 7;
-            let budget = (shuffled.len() + extra) as u64;
-            for (i, &port) in shuffled.iter().enumerate() {
-                let dst = dark.addresses()[rng.random_range(0..dark.len())];
-                let ts = start + rng.random_range(0..duration.max(1));
-                records.push(craft_record(
-                    crafter.as_ref(),
-                    src,
-                    dst,
-                    port,
-                    i as u64,
-                    ts,
-                    ttl_dec,
-                ));
-            }
-            emit_campaign(
+            let budget = plan_emit(
+                &mut specs,
                 &mut rng,
-                &mut records,
-                crafter.as_ref(),
-                src,
-                &ports,
                 dark,
                 start,
-                duration,
-                extra as u64,
+                EmitterKind::Vertical {
+                    tool,
+                    crafter_seed,
+                    src,
+                    ports: ports.clone(),
+                    duration_micros: duration,
+                    extra: (ports.len() / 7) as u64,
+                },
             );
             truth.scans += 1;
             truth.packets += budget;
@@ -542,22 +560,22 @@ pub fn generate_year(
         for s in 0..scanners {
             let src =
                 sample_activity_source(&mut rng, registry, year_cfg.year, ScannerClass::Hosting);
-            let crafter = make_crafter(
-                *weighted(&mut rng, &event_tool_mix),
-                gen.seed ^ mix64(u64::from(day) << 8 | s),
-                true,
-            );
+            let tool = *weighted(&mut rng, &event_tool_mix);
             let start = u64::from(day) * 86_400_000_000 + rng.random_range(0..43_200_000_000u64);
-            emit_campaign(
+            plan_emit(
+                &mut specs,
                 &mut rng,
-                &mut records,
-                crafter.as_ref(),
-                src,
-                &[port],
                 dark,
                 start,
-                21_600_000_000, // six hours
-                surge_packets / scanners,
+                EmitterKind::Campaign {
+                    tool,
+                    crafter_seed: gen.seed ^ mix64(u64::from(day) << 8 | s),
+                    marked: true,
+                    src,
+                    ports: vec![port].into(),
+                    duration_micros: 21_600_000_000, // six hours
+                    budget: surge_packets / scanners,
+                },
             );
             truth.scans += 1;
             truth.packets += surge_packets / scanners;
@@ -600,7 +618,6 @@ pub fn generate_year(
                 ScannerClass::Unknown
             };
             let src = sample_activity_source(&mut rng, registry, year_cfg.year, class);
-            let crafter = make_crafter(bg_tool(b), gen.seed ^ mix64(b | 0xb6_0000_0000), true);
             // Stragglers follow the same ports-per-source trend as the
             // campaign population (Figure 3), scaled to their packet counts.
             let pps = year_cfg
@@ -637,16 +654,20 @@ pub fn generate_year(
             }
             let packets = bg_scan_ports.len() as u64 + 1 + (mix64(b) % 4);
             let start = rng.random_range(0..window_micros);
-            emit_campaign(
+            plan_emit(
+                &mut specs,
                 &mut rng,
-                &mut records,
-                crafter.as_ref(),
-                src,
-                &bg_scan_ports,
                 dark,
                 start,
-                (window_micros - start).min(7_200_000_000),
-                packets,
+                EmitterKind::Campaign {
+                    tool: bg_tool(b),
+                    crafter_seed: gen.seed ^ mix64(b | 0xb6_0000_0000),
+                    marked: true,
+                    src,
+                    ports: bg_scan_ports.into(),
+                    duration_micros: (window_micros - start).min(7_200_000_000),
+                    budget: packets,
+                },
             );
             truth.packets += packets;
         }
@@ -659,23 +680,22 @@ pub fn generate_year(
     // other in 2017.
     if matches!(year_cfg.year, 2015 | 2017) {
         let src = sample_activity_source(&mut rng, registry, year_cfg.year, ScannerClass::Unknown);
-        let crafter = make_crafter(
-            ToolKind::Unicorn,
-            gen.seed ^ 0x7C0A | u64::from(year_cfg.year),
-            true,
-        );
         let budget = 60 + mix64(u64::from(year_cfg.year)) % 60;
         let start = rng.random_range(0..window_micros / 2);
-        emit_campaign(
+        plan_emit(
+            &mut specs,
             &mut rng,
-            &mut records,
-            crafter.as_ref(),
-            src,
-            &[3306, 1433],
             dark,
             start,
-            7_200_000_000,
-            budget,
+            EmitterKind::Campaign {
+                tool: ToolKind::Unicorn,
+                crafter_seed: gen.seed ^ 0x7C0A | u64::from(year_cfg.year),
+                marked: true,
+                src,
+                ports: vec![3306, 1433].into(),
+                duration_micros: 7_200_000_000,
+                budget,
+            },
         );
         truth.scans += 1;
         truth.packets += budget;
@@ -696,17 +716,24 @@ pub fn generate_year(
                 rate_pps: backscatter_budget as f64 / victims as f64 / (gen.days * 86_400.0),
                 syn_ack_fraction: 0.7,
             };
-            let burst = generator.generate(&mut rng, dark, 0, gen.days * 86_400.0);
-            truth.backscatter_packets += burst.len() as u64;
-            records.extend(burst);
+            let emitted = plan_emit(
+                &mut specs,
+                &mut rng,
+                dark,
+                0,
+                EmitterKind::Backscatter {
+                    generator,
+                    duration_secs: gen.days * 86_400.0,
+                },
+            );
+            truth.backscatter_packets += emitted;
         }
     }
 
-    records.sort_by_key(|r| r.ts_micros);
-    YearOutput {
+    YearPlan {
         year: year_cfg.year,
-        records,
         truth,
+        specs,
     }
 }
 
@@ -721,7 +748,7 @@ pub fn generate_year(
 #[allow(clippy::too_many_arguments)]
 fn generate_orgs(
     rng: &mut StdRng,
-    records: &mut Vec<ProbeRecord>,
+    specs: &mut Vec<EmitterSpec>,
     truth: &mut GroundTruth,
     year_cfg: &YearConfig,
     gen: &GeneratorConfig,
@@ -783,17 +810,13 @@ fn generate_orgs(
         if sources == 0 {
             continue;
         }
-        let ports = top_ports(strategy.port_count());
+        let ports: Arc<[u16]> = top_ports(strategy.port_count()).into();
         let per_campaign_budget =
             (org_budget / (f64::from(sources) * campaigns_per_source as f64)).max(30.0) as u64;
 
         for s in 0..sources {
             let src = registry.org_source_ip(org.id, s);
-            let crafter = make_crafter(
-                ToolKind::Zmap,
-                gen.seed ^ mix64(u64::from(org.id.0) << 20 | u64::from(s)),
-                year_cfg.orgs_use_marked_zmap,
-            );
+            let crafter_seed = gen.seed ^ mix64(u64::from(org.id.0) << 20 | u64::from(s));
             let phase = rng.random_range(0..3_600_000_000u64);
             for c in 0..campaigns_per_source {
                 // Daily mode: a ~3 h scan at the same hour every day — the
@@ -819,28 +842,36 @@ fn generate_orgs(
                     per_campaign_budget / 10
                 };
                 if head_budget > 0 {
-                    emit_campaign(
+                    plan_emit(
+                        specs,
                         rng,
-                        records,
-                        crafter.as_ref(),
-                        src,
-                        &head,
                         dark,
                         start,
-                        duration,
-                        head_budget,
+                        EmitterKind::Campaign {
+                            tool: ToolKind::Zmap,
+                            crafter_seed,
+                            marked: year_cfg.orgs_use_marked_zmap,
+                            src,
+                            ports: head.into(),
+                            duration_micros: duration,
+                            budget: head_budget,
+                        },
                     );
                 }
-                emit_campaign(
+                plan_emit(
+                    specs,
                     rng,
-                    records,
-                    crafter.as_ref(),
-                    src,
-                    &ports,
                     dark,
                     start,
-                    duration,
-                    per_campaign_budget - head_budget,
+                    EmitterKind::Campaign {
+                        tool: ToolKind::Zmap,
+                        crafter_seed,
+                        marked: year_cfg.orgs_use_marked_zmap,
+                        src,
+                        ports: ports.clone(),
+                        duration_micros: duration,
+                        budget: per_campaign_budget - head_budget,
+                    },
                 );
                 truth.scans += 1;
                 truth.org_scans += 1;
@@ -869,6 +900,7 @@ pub fn generate_decade(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use synscan_wire::stream::RecordStream;
 
     fn setup() -> (GeneratorConfig, InternetRegistry, AddressSet) {
         let gen = GeneratorConfig::tiny();
@@ -901,6 +933,50 @@ mod tests {
             .windows(2)
             .all(|w| w[0].ts_micros <= w[1].ts_micros));
         assert!(out.records.iter().all(|r| dark.contains(r.dst_ip)));
+    }
+
+    #[test]
+    fn streamed_year_is_byte_identical_to_materialized() {
+        let (gen, registry, dark) = setup();
+        for year in [2017u16, 2020] {
+            let cfg = YearConfig::for_year(year);
+            let plan = plan_year(&cfg, &gen, &registry, &dark);
+            let legacy = generate_year(&cfg, &gen, &registry, &dark);
+            let materialized = plan.materialize(&dark);
+            assert_eq!(materialized, legacy.records, "wrapper differs, year {year}");
+            assert_eq!(plan.truth, legacy.truth, "truth differs, year {year}");
+            assert_eq!(plan.total_records() as usize, materialized.len());
+
+            let mut stream = plan.stream(&dark);
+            let streamed = synscan_wire::stream::collect(&mut stream);
+            assert_eq!(streamed, materialized, "heap merge differs, year {year}");
+            assert_eq!(stream.emitted(), plan.total_records());
+        }
+    }
+
+    #[test]
+    fn streaming_never_buffers_the_whole_year() {
+        let (gen, registry, dark) = setup();
+        let cfg = YearConfig::for_year(2020);
+        let plan = plan_year(&cfg, &gen, &registry, &dark);
+        let total = plan.total_records() as usize;
+        let mut stream = plan.stream(&dark);
+        let mut batches = 0u64;
+        while stream.next_batch().is_some() {
+            batches += 1;
+        }
+        assert!(batches > 1, "a year must span multiple batches");
+        assert!(
+            stream.peak_buffered_records() < total,
+            "streaming buffered the whole year ({} of {total} records)",
+            stream.peak_buffered_records()
+        );
+        assert!(
+            stream.peak_open_emitters() < plan.emitters(),
+            "every emitter was open at once ({} of {})",
+            stream.peak_open_emitters(),
+            plan.emitters()
+        );
     }
 
     #[test]

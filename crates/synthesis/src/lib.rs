@@ -23,12 +23,18 @@
 //!   tables).
 //! * [`generate`] — the actor machinery turning specs into projected
 //!   telescope arrivals.
+//! * [`stream`] — the lazy emitter plan and the bounded-memory, heap-merged
+//!   [`YearStream`] over it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod generate;
+pub mod stream;
 pub mod yearcfg;
 
-pub use generate::{generate_decade, generate_year, GeneratorConfig, GroundTruth, YearOutput};
+pub use generate::{
+    generate_decade, generate_year, plan_year, GeneratorConfig, GroundTruth, YearOutput,
+};
+pub use stream::{YearPlan, YearStream};
 pub use yearcfg::{DisclosureEvent, GroupSpec, YearConfig};

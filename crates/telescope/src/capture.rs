@@ -6,9 +6,10 @@
 //! studies can report filter efficacy. Raw admitted frames can be exported
 //! to pcap for interoperability.
 
-use std::io::Write;
+use std::io::{Read, Write};
 
-use synscan_wire::{pcap, ProbeRecord, SynFrameBuilder, TcpFlags};
+use synscan_wire::stream::{RecordStream, BATCH_RECORDS};
+use synscan_wire::{pcap, ProbeRecord, SynFrameBuilder, TcpFlags, WireError};
 
 use crate::addrset::AddressSet;
 use crate::ingress::IngressPolicy;
@@ -158,20 +159,114 @@ pub fn export_pcap<W: Write>(records: &[ProbeRecord], writer: W) -> std::io::Res
     pcap_writer.into_inner()
 }
 
-/// Read records back from a pcap stream produced by [`export_pcap`] (or any
-/// Ethernet pcap of TCP traffic); non-TCP frames are skipped.
-pub fn import_pcap<R: std::io::Read>(
-    reader: R,
-) -> Result<Vec<ProbeRecord>, synscan_wire::WireError> {
-    let pcap_reader = pcap::PcapReader::new(reader)?;
-    let mut records = Vec::new();
-    for item in pcap_reader {
-        let rec = item?;
-        if let Ok(parsed) = ProbeRecord::from_ethernet(rec.ts_micros, &rec.data) {
-            records.push(parsed);
+/// An incremental pcap import: parses records off the reader one
+/// [`BATCH_RECORDS`]-sized batch at a time instead of collecting the whole
+/// capture first, so analysis memory stays O(batch) for arbitrarily large
+/// files (and for stdin, which cannot be sized up front at all).
+///
+/// Non-TCP frames are skipped and counted ([`PcapStream::non_tcp_frames`]).
+/// Timestamp-order violations *between consecutive parsed records* are
+/// counted ([`PcapStream::order_violations`]) so a streaming consumer —
+/// whose [`RecordStream`] contract promises time order — can detect an
+/// unsorted capture and tell the caller to materialize-and-sort instead.
+///
+/// I/O or parse errors end the stream early; check [`PcapStream::error`]
+/// after exhaustion to distinguish a clean EOF from a truncated capture.
+#[derive(Debug)]
+pub struct PcapStream<R: Read> {
+    reader: pcap::PcapReader<R>,
+    batch: Vec<ProbeRecord>,
+    non_tcp: u64,
+    last_ts: u64,
+    order_violations: u64,
+    error: Option<WireError>,
+    done: bool,
+}
+
+impl<R: Read> PcapStream<R> {
+    /// Open a classic pcap stream (parses the global header eagerly, so a
+    /// non-pcap input fails here, not on the first batch).
+    pub fn new(reader: R) -> Result<Self, WireError> {
+        Ok(Self {
+            reader: pcap::PcapReader::new(reader)?,
+            batch: Vec::with_capacity(BATCH_RECORDS),
+            non_tcp: 0,
+            last_ts: 0,
+            order_violations: 0,
+            error: None,
+            done: false,
+        })
+    }
+
+    /// Frames that were not parseable IPv4/TCP (skipped, as the SYN filter
+    /// would drop them anyway).
+    pub fn non_tcp_frames(&self) -> u64 {
+        self.non_tcp
+    }
+
+    /// Consecutive-record timestamp inversions seen so far. Zero for every
+    /// capture written in arrival order (telescope captures are).
+    pub fn order_violations(&self) -> u64 {
+        self.order_violations
+    }
+
+    /// The error that ended the stream, if it did not end at a clean EOF.
+    pub fn error(&self) -> Option<WireError> {
+        self.error
+    }
+}
+
+impl<R: Read> RecordStream for PcapStream<R> {
+    fn next_batch(&mut self) -> Option<&[ProbeRecord]> {
+        if self.done {
+            return None;
+        }
+        self.batch.clear();
+        while self.batch.len() < BATCH_RECORDS {
+            match self.reader.next_record() {
+                Ok(Some(rec)) => {
+                    if let Ok(parsed) = ProbeRecord::from_ethernet(rec.ts_micros, &rec.data) {
+                        if parsed.ts_micros < self.last_ts {
+                            self.order_violations += 1;
+                        }
+                        self.last_ts = parsed.ts_micros;
+                        self.batch.push(parsed);
+                    } else {
+                        self.non_tcp += 1;
+                    }
+                }
+                Ok(None) => {
+                    self.done = true;
+                    break;
+                }
+                Err(e) => {
+                    self.error = Some(e);
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if self.batch.is_empty() {
+            None
+        } else {
+            Some(&self.batch)
         }
     }
-    Ok(records)
+}
+
+/// Read records back from a pcap stream produced by [`export_pcap`] (or any
+/// Ethernet pcap of TCP traffic); non-TCP frames are skipped.
+///
+/// This is the materializing convenience over [`PcapStream`] — it holds the
+/// whole capture in memory. Incremental consumers should drive the stream
+/// directly.
+pub fn import_pcap<R: Read>(reader: R) -> Result<Vec<ProbeRecord>, WireError> {
+    let mut stream = PcapStream::new(reader)?;
+    let records = synscan_wire::stream::collect(&mut stream);
+    match stream.error() {
+        Some(e) => Err(e),
+        None => Ok(records),
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +400,70 @@ mod tests {
         let admitted = session.filter(batch);
         assert_eq!(admitted.len(), 2);
         assert!(admitted.iter().all(|r| r.is_syn_scan()));
+    }
+
+    #[test]
+    fn pcap_stream_matches_materialized_import() {
+        let set = set();
+        let records: Vec<ProbeRecord> = set
+            .addresses()
+            .iter()
+            .cycle()
+            .take(300)
+            .enumerate()
+            .map(|(i, &dst)| ProbeRecord {
+                ts_micros: 1_000 + i as u64,
+                dst_ip: dst,
+                ..record(dst, 443, TcpFlags::SYN)
+            })
+            .collect();
+        let bytes = export_pcap(&records, Vec::new()).unwrap();
+        let materialized = import_pcap(std::io::Cursor::new(bytes.clone())).unwrap();
+
+        let mut stream = PcapStream::new(std::io::Cursor::new(bytes)).unwrap();
+        let mut streamed = Vec::new();
+        while let Some(batch) = stream.next_batch() {
+            streamed.extend_from_slice(batch);
+        }
+        assert_eq!(streamed, materialized);
+        assert_eq!(streamed, records);
+        assert_eq!(stream.error(), None);
+        assert_eq!(stream.non_tcp_frames(), 0);
+        assert_eq!(stream.order_violations(), 0);
+        assert!(stream.next_batch().is_none(), "exhaustion is terminal");
+    }
+
+    #[test]
+    fn pcap_stream_counts_order_violations() {
+        let set = set();
+        let dark = set.addresses()[0];
+        let records = vec![
+            ProbeRecord {
+                ts_micros: 2_000,
+                ..record(dark, 443, TcpFlags::SYN)
+            },
+            ProbeRecord {
+                ts_micros: 1_000,
+                ..record(dark, 443, TcpFlags::SYN)
+            },
+        ];
+        let bytes = export_pcap(&records, Vec::new()).unwrap();
+        let mut stream = PcapStream::new(std::io::Cursor::new(bytes)).unwrap();
+        while stream.next_batch().is_some() {}
+        assert_eq!(stream.order_violations(), 1);
+    }
+
+    #[test]
+    fn pcap_stream_reports_truncation_as_an_error() {
+        let set = set();
+        let dark = set.addresses()[0];
+        let records = vec![record(dark, 443, TcpFlags::SYN); 4];
+        let mut bytes = export_pcap(&records, Vec::new()).unwrap();
+        bytes.truncate(bytes.len() - 7); // cut into the last frame
+        let mut stream = PcapStream::new(std::io::Cursor::new(bytes.clone())).unwrap();
+        while stream.next_batch().is_some() {}
+        assert!(stream.error().is_some());
+        assert!(import_pcap(std::io::Cursor::new(bytes)).is_err());
     }
 
     #[test]

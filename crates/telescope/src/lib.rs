@@ -33,6 +33,6 @@ pub mod ingress;
 
 pub use addrset::AddressSet;
 pub use backscatter::BackscatterGenerator;
-pub use capture::{classify_technique, CaptureSession, CaptureStats, ScanTechnique};
+pub use capture::{classify_technique, CaptureSession, CaptureStats, PcapStream, ScanTechnique};
 pub use config::TelescopeConfig;
 pub use ingress::IngressPolicy;

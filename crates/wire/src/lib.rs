@@ -56,6 +56,7 @@ pub mod ethernet;
 pub mod ipv4;
 pub mod pcap;
 pub mod probe;
+pub mod stream;
 pub mod tcp;
 pub mod tcp_options;
 pub mod udp;
@@ -64,6 +65,7 @@ pub use ethernet::{EtherType, EthernetFrame, EthernetRepr};
 pub use ipv4::{Address as Ipv4Address, Ipv4Packet, Ipv4Repr, Protocol};
 pub use pcap::{PcapReader, PcapRecord, PcapWriter};
 pub use probe::{ProbeRecord, SynFrameBuilder};
+pub use stream::{NullSink, RecordSink, RecordStream, SliceStream};
 pub use tcp::{TcpFlags, TcpPacket, TcpRepr};
 pub use tcp_options::{option_signature, parse_options, TcpOption};
 pub use udp::{UdpPacket, UdpRepr};

@@ -1,0 +1,170 @@
+//! Pull-based, time-ordered, batched record streams.
+//!
+//! Every layer of the pipeline used to materialize a year's probe stream as
+//! one `Vec<ProbeRecord>` before handing it downstream, making peak memory
+//! O(year). [`RecordStream`] replaces the slice handoff with a pull
+//! interface: a source yields records in timestamp order, a batch at a time,
+//! and the consumer never sees more than one batch borrowed at once. The
+//! synthesis generator, the pcap importer, and the measurement pipeline all
+//! speak this trait, so the whole record path from generator to analysis
+//! runs in O(batch) memory (plus whatever the *source* inherently needs —
+//! e.g. the generator's time-overlapping campaign buffers).
+//!
+//! The companion [`RecordSink`] is the push side: emitters that used to
+//! append to a caller-owned `Vec` are generic over a sink, so the same
+//! emission code can fill a buffer, feed a stream batch, or be drained into
+//! [`NullSink`] purely for its deterministic RNG side effects.
+
+use crate::probe::ProbeRecord;
+
+/// Records per batch a well-behaved stream yields: large enough to amortize
+/// per-batch overhead (virtual dispatch, channel sends), small enough that a
+/// constant number of in-flight batches stays cache- and memory-friendly.
+pub const BATCH_RECORDS: usize = 16 * 1024;
+
+/// A pull-based source of time-ordered probe records.
+///
+/// Contract:
+/// * records are yielded in non-decreasing `ts_micros` order across the
+///   whole stream (batch boundaries are arbitrary);
+/// * each `next_batch` call invalidates the previously returned slice
+///   (lending iterator shape — the borrow checker enforces it);
+/// * after `None` is returned once, the stream is exhausted for good;
+/// * batches are non-empty.
+pub trait RecordStream {
+    /// Yield the next batch, or `None` when the stream is exhausted.
+    fn next_batch(&mut self) -> Option<&[ProbeRecord]>;
+
+    /// Total records this stream will yield, when cheaply known up front
+    /// (pre-sizing hint only — never load-bearing).
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A push-based consumer of probe records.
+pub trait RecordSink {
+    /// Accept one record.
+    fn accept(&mut self, record: ProbeRecord);
+}
+
+impl RecordSink for Vec<ProbeRecord> {
+    fn accept(&mut self, record: ProbeRecord) {
+        self.push(record);
+    }
+}
+
+/// Discards every record. Used to *replay an emitter for its RNG side
+/// effects only* — the synthesis planner advances its shared RNG through
+/// this sink so lazily re-run emitters observe the exact same draw sequence.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl RecordSink for NullSink {
+    fn accept(&mut self, _record: ProbeRecord) {}
+}
+
+/// A [`RecordStream`] over an in-memory, already-sorted slice — the bridge
+/// from materialized buffers (benches, tests, the `--materialize` escape
+/// hatch) into the streaming pipeline.
+#[derive(Debug)]
+pub struct SliceStream<'a> {
+    records: &'a [ProbeRecord],
+    pos: usize,
+    batch: usize,
+}
+
+impl<'a> SliceStream<'a> {
+    /// Stream `records` (must be sorted by `ts_micros`) in
+    /// [`BATCH_RECORDS`]-sized batches.
+    pub fn new(records: &'a [ProbeRecord]) -> Self {
+        Self::with_batch_size(records, BATCH_RECORDS)
+    }
+
+    /// As [`SliceStream::new`] with an explicit batch size (tests).
+    pub fn with_batch_size(records: &'a [ProbeRecord], batch: usize) -> Self {
+        Self {
+            records,
+            pos: 0,
+            batch: batch.max(1),
+        }
+    }
+}
+
+impl RecordStream for SliceStream<'_> {
+    fn next_batch(&mut self) -> Option<&[ProbeRecord]> {
+        if self.pos >= self.records.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch).min(self.records.len());
+        let out = &self.records[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.records.len() as u64)
+    }
+}
+
+/// Drain a stream into one `Vec` — the explicit materialization point.
+/// Everything that "needs the whole year" funnels through here, so grepping
+/// for `collect` finds every place the O(batch) guarantee is given up.
+pub fn collect(stream: &mut dyn RecordStream) -> Vec<ProbeRecord> {
+    let mut records = Vec::with_capacity(stream.len_hint().unwrap_or(0) as usize);
+    while let Some(batch) = stream.next_batch() {
+        records.extend_from_slice(batch);
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpFlags;
+    use crate::Ipv4Address;
+
+    fn record(ts: u64) -> ProbeRecord {
+        ProbeRecord {
+            ts_micros: ts,
+            src_ip: Ipv4Address(1),
+            dst_ip: Ipv4Address(2),
+            src_port: 1,
+            dst_port: 2,
+            seq: 3,
+            ip_id: 4,
+            ttl: 5,
+            flags: TcpFlags::SYN,
+            window: 6,
+        }
+    }
+
+    #[test]
+    fn slice_stream_batches_and_collects_losslessly() {
+        let records: Vec<ProbeRecord> = (0..10u64).map(record).collect();
+        let mut stream = SliceStream::with_batch_size(&records, 3);
+        assert_eq!(stream.len_hint(), Some(10));
+        let sizes: Vec<usize> =
+            std::iter::from_fn(|| stream.next_batch().map(<[_]>::len)).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+        assert!(stream.next_batch().is_none(), "exhaustion is terminal");
+
+        let mut stream = SliceStream::with_batch_size(&records, 4);
+        assert_eq!(collect(&mut stream), records);
+    }
+
+    #[test]
+    fn empty_slice_stream_yields_nothing() {
+        let mut stream = SliceStream::new(&[]);
+        assert!(stream.next_batch().is_none());
+        assert_eq!(stream.len_hint(), Some(0));
+    }
+
+    #[test]
+    fn sinks_accept_records() {
+        let mut vec_sink: Vec<ProbeRecord> = Vec::new();
+        vec_sink.accept(record(7));
+        assert_eq!(vec_sink.len(), 1);
+        NullSink.accept(record(8)); // must not panic, must not retain
+    }
+}

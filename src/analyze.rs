@@ -6,21 +6,35 @@
 //! not known, it is inferred from the capture itself — every destination
 //! that received unsolicited traffic is dark space, which is exactly how
 //! real telescope datasets are delimited.
+//!
+//! Two execution shapes:
+//!
+//! * **Streaming** (default when the monitored-address count is known):
+//!   the capture is parsed incrementally through
+//!   [`synscan_telescope::PcapStream`] and fed batch-by-batch into
+//!   [`collect_year_stream`] — O(batch) memory, one pass. Requires the
+//!   capture to be time-ordered (real telescope captures are); unordered
+//!   input is rejected with [`AnalyzeError::UnorderedCapture`].
+//! * **Materialized** (`materialize: true`, or when `monitored` must be
+//!   inferred): the whole capture is loaded, sorted, and analyzed from
+//!   memory — the escape hatch for unordered captures and the inference
+//!   path (the dark set can only be counted after seeing every record).
 
 use std::collections::BTreeMap;
 use std::io::Read;
 
-use synscan_core::analysis::{toolports, yearly, YearAnalysis, YearCollector};
-use synscan_core::pipeline::collect_year_sharded;
+use synscan_core::analysis::{toolports, yearly, YearAnalysis};
+use synscan_core::pipeline::collect_year_stream;
 use synscan_core::{CampaignConfig, PipelineMode};
-use synscan_telescope::capture::{classify_technique, import_pcap, ScanTechnique};
+use synscan_telescope::capture::{classify_technique, import_pcap, PcapStream, ScanTechnique};
+use synscan_wire::stream::SliceStream;
 use synscan_wire::ProbeRecord;
 
 /// Options for an external-capture analysis.
 #[derive(Debug, Clone)]
 pub struct AnalyzeOptions {
     /// Monitored-address count for extrapolations. `None` = infer from the
-    /// capture (distinct destinations).
+    /// capture (distinct destinations; forces a materialized pass).
     pub monitored: Option<u64>,
     /// Label year (affects nothing but reporting; ingress filtering is NOT
     /// applied to external captures — they already passed a real ingress).
@@ -30,6 +44,9 @@ pub struct AnalyzeOptions {
     /// How the measurement loop executes; sharded and sequential runs
     /// produce bit-identical results.
     pub pipeline: PipelineMode,
+    /// Load and sort the whole capture in memory instead of streaming it.
+    /// Required for captures that are not time-ordered.
+    pub materialize: bool,
 }
 
 impl Default for AnalyzeOptions {
@@ -39,7 +56,49 @@ impl Default for AnalyzeOptions {
             year: 2024,
             top_ports: 10,
             pipeline: PipelineMode::Sequential,
+            materialize: false,
         }
+    }
+}
+
+/// Why an external-capture analysis failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The capture could not be parsed as classic pcap.
+    Wire(synscan_wire::WireError),
+    /// The capture is not time-ordered, so the single-pass streaming
+    /// pipeline cannot analyze it. Re-run materialized to sort it first.
+    UnorderedCapture {
+        /// Consecutive timestamp inversions observed in the capture.
+        violations: u64,
+    },
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Wire(e) => write!(f, "pcap error: {e}"),
+            AnalyzeError::UnorderedCapture { violations } => write!(
+                f,
+                "capture is not time-ordered ({violations} timestamp inversions); \
+                 re-run with --materialize to sort it in memory"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalyzeError::Wire(e) => Some(e),
+            AnalyzeError::UnorderedCapture { .. } => None,
+        }
+    }
+}
+
+impl From<synscan_wire::WireError> for AnalyzeError {
+    fn from(e: synscan_wire::WireError) -> Self {
+        AnalyzeError::Wire(e)
     }
 }
 
@@ -52,23 +111,83 @@ pub struct AnalyzeResult {
     pub summary: yearly::YearSummary,
     /// Frames per §3.1 scan technique (before the SYN filter).
     pub techniques: BTreeMap<&'static str, u64>,
-    /// Frames that were not IPv4/TCP at all.
+    /// Frames that were not IPv4/TCP at all (streaming runs only; the
+    /// materialized importer skips them silently).
     pub non_tcp_frames: u64,
     /// The monitored-address count used for extrapolation.
     pub monitored: u64,
 }
 
+/// Count the distinct probed destinations of a capture in one streaming
+/// pass — the monitored-address inference without holding any records. The
+/// `analyze` binary uses this as pass one of its two-pass streaming mode.
+pub fn infer_monitored<R: Read>(reader: R) -> Result<u64, AnalyzeError> {
+    use synscan_wire::stream::RecordStream;
+    let mut stream = PcapStream::new(reader)?;
+    let mut dsts = std::collections::HashSet::new();
+    while let Some(batch) = stream.next_batch() {
+        for record in batch {
+            dsts.insert(record.dst_ip.0);
+        }
+    }
+    if let Some(e) = stream.error() {
+        return Err(e.into());
+    }
+    Ok(dsts.len() as u64)
+}
+
 /// Run the pipeline over a pcap stream.
+///
+/// Streams single-pass when the monitored-address count is supplied and
+/// `materialize` is off; otherwise falls back to loading the capture.
 pub fn analyze_pcap<R: Read>(
     reader: R,
     options: &AnalyzeOptions,
-) -> Result<AnalyzeResult, synscan_wire::WireError> {
-    let records = import_pcap(reader)?;
-    Ok(analyze_records(records, options))
+) -> Result<AnalyzeResult, AnalyzeError> {
+    let (Some(monitored), false) = (options.monitored, options.materialize) else {
+        let records = import_pcap(reader)?;
+        return Ok(analyze_records(records, options));
+    };
+
+    let config = CampaignConfig::scaled(monitored.max(1));
+    let mut stream = PcapStream::new(reader)?;
+    let mut techniques: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let admit = |record: &ProbeRecord| {
+        let technique = classify_technique(record.flags);
+        *techniques.entry(technique_label(technique)).or_default() += 1;
+        technique == ScanTechnique::Syn
+    };
+    let analysis = collect_year_stream(
+        options.year,
+        config,
+        7.0,
+        options.pipeline,
+        0,
+        &mut stream,
+        admit,
+    );
+    // A parse error or an ordering violation means the analysis above saw a
+    // wrong or partial stream — surface it instead of the result.
+    if let Some(e) = stream.error() {
+        return Err(e.into());
+    }
+    if stream.order_violations() > 0 {
+        return Err(AnalyzeError::UnorderedCapture {
+            violations: stream.order_violations(),
+        });
+    }
+    let summary = yearly::summarize(&analysis, options.top_ports);
+    Ok(AnalyzeResult {
+        summary,
+        techniques,
+        non_tcp_frames: stream.non_tcp_frames(),
+        monitored,
+        analysis,
+    })
 }
 
 /// Run the pipeline over already-parsed records (exposed for tests and for
-/// callers with their own capture path).
+/// callers with their own capture path). Sorts, so unordered input is fine.
 pub fn analyze_records(mut records: Vec<ProbeRecord>, options: &AnalyzeOptions) -> AnalyzeResult {
     records.sort_by_key(|r| r.ts_micros);
 
@@ -85,25 +204,21 @@ pub fn analyze_records(mut records: Vec<ProbeRecord>, options: &AnalyzeOptions) 
     let mut techniques: BTreeMap<&'static str, u64> = BTreeMap::new();
     // The SYN filter doubles as the technique census; it runs once per
     // record, in stream order, under either pipeline mode.
-    let mut admit = |record: &ProbeRecord| {
+    let admit = |record: &ProbeRecord| {
         let technique = classify_technique(record.flags);
         *techniques.entry(technique_label(technique)).or_default() += 1;
         technique == ScanTechnique::Syn
     };
-    let analysis = match options.pipeline {
-        PipelineMode::Sequential => {
-            let mut collector = YearCollector::new(options.year, config);
-            for record in &records {
-                if admit(record) {
-                    collector.offer(record);
-                }
-            }
-            collector.finish()
-        }
-        PipelineMode::Sharded { workers } => {
-            collect_year_sharded(options.year, config, 7.0, workers, 0, &records, admit)
-        }
-    };
+    let mut stream = SliceStream::new(&records);
+    let analysis = collect_year_stream(
+        options.year,
+        config,
+        7.0,
+        options.pipeline,
+        0,
+        &mut stream,
+        admit,
+    );
     let summary = yearly::summarize(&analysis, options.top_ports);
     AnalyzeResult {
         summary,
@@ -232,6 +347,77 @@ mod tests {
         assert_eq!(sequential.analysis, sharded.analysis);
         assert_eq!(sequential.techniques, sharded.techniques);
         assert_eq!(sequential.monitored, sharded.monitored);
+    }
+
+    #[test]
+    fn streaming_analysis_matches_materialized() {
+        let bytes = capture_bytes();
+        let monitored = infer_monitored(std::io::Cursor::new(bytes.clone())).unwrap();
+        assert_eq!(monitored, 100);
+        for pipeline in [
+            PipelineMode::Sequential,
+            PipelineMode::Sharded { workers: 3 },
+        ] {
+            let streamed = analyze_pcap(
+                std::io::Cursor::new(bytes.clone()),
+                &AnalyzeOptions {
+                    monitored: Some(monitored),
+                    pipeline,
+                    ..AnalyzeOptions::default()
+                },
+            )
+            .unwrap();
+            let materialized = analyze_pcap(
+                std::io::Cursor::new(bytes.clone()),
+                &AnalyzeOptions {
+                    monitored: Some(monitored),
+                    pipeline,
+                    materialize: true,
+                    ..AnalyzeOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(streamed.analysis, materialized.analysis, "{pipeline}");
+            assert_eq!(streamed.techniques, materialized.techniques);
+            assert_eq!(streamed.monitored, materialized.monitored);
+        }
+    }
+
+    #[test]
+    fn unordered_capture_streams_to_an_error_but_materializes_fine() {
+        let z = ZmapScanner::new(5);
+        let records: Vec<ProbeRecord> = (0..50u64)
+            .map(|i| {
+                craft_record(
+                    &z,
+                    Ipv4Address::new(203, 0, 113, 5),
+                    Ipv4Address(0x0a64_0000 + (i as u32 % 10)),
+                    443,
+                    i,
+                    (50 - i) * 50_000, // decreasing timestamps
+                    9,
+                )
+            })
+            .collect();
+        let bytes = export_pcap(&records, Vec::new()).unwrap();
+        let streaming_options = AnalyzeOptions {
+            monitored: Some(10),
+            ..AnalyzeOptions::default()
+        };
+        let err = analyze_pcap(std::io::Cursor::new(bytes.clone()), &streaming_options)
+            .expect_err("unordered capture must not stream");
+        assert!(matches!(err, AnalyzeError::UnorderedCapture { violations } if violations > 0));
+        assert!(err.to_string().contains("--materialize"));
+
+        let materialized = analyze_pcap(
+            std::io::Cursor::new(bytes),
+            &AnalyzeOptions {
+                materialize: true,
+                ..streaming_options
+            },
+        )
+        .expect("materialized path sorts");
+        assert_eq!(materialized.analysis.total_packets, 50);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! `analyze` — run the paper's measurement pipeline on an external pcap.
 //!
 //! ```text
-//! analyze <capture.pcap> [--monitored N] [--year Y] [--top N]
-//!         [--pipeline sequential|auto|sharded:N]
+//! analyze <capture.pcap | -> [--monitored N] [--year Y] [--top N]
+//!         [--pipeline sequential|auto|sharded:N] [--materialize]
 //! ```
 //!
 //! The capture is SYN-filtered, fingerprinted, grouped into campaigns and
@@ -10,79 +10,115 @@
 //! address count is not given, it is inferred from the capture (every
 //! destination that received unsolicited traffic).
 //!
+//! By default the capture is *streamed* through the pipeline in O(batch)
+//! memory: file inputs make one cheap inference pass (distinct
+//! destinations) and then one analysis pass. Pass `-` as the path to read a
+//! classic pcap from stdin — combine with `--monitored N` to stay
+//! single-pass streaming (stdin cannot be rewound, so inference on stdin
+//! falls back to loading the capture). `--materialize` forces the
+//! load-and-sort path, which also accepts captures that are not
+//! time-ordered.
+//!
 //! Try it on the repository's own artifact:
 //!
 //! ```text
 //! cargo run --release --bin repro -- --scale small pcap
 //! cargo run --release --bin analyze -- out/sample_2020.pcap
+//! cat out/sample_2020.pcap | cargo run --release --bin analyze -- - --monitored 4096
 //! ```
 
 use std::fs::File;
 use std::io::BufReader;
 
-use synscan::analyze::{analyze_pcap, render_report, AnalyzeOptions};
+use synscan::analyze::{analyze_pcap, infer_monitored, render_report, AnalyzeOptions};
 
-fn main() {
+const USAGE: &str = "usage: analyze <capture.pcap | -> [--monitored N] [--year Y] [--top N] \
+                     [--pipeline sequential|auto|sharded:N] [--materialize]\n\
+                     \n  <capture.pcap | ->  classic pcap file, or `-` for stdin\
+                     \n  --monitored N       dark (monitored) address count; default: inferred \
+                     from the capture\
+                     \n  --year Y            label year for the report (default 2024)\
+                     \n  --top N             top ports to summarize (default 10)\
+                     \n  --pipeline MODE     sequential | auto | sharded:N (default sequential)\
+                     \n  --materialize       load and sort the whole capture instead of \
+                     streaming it (required for unordered captures)";
+
+fn flag_value<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+    what: &str,
+) -> Result<T, String> {
+    let value = args
+        .next()
+        .ok_or_else(|| format!("{flag} needs a value ({what})"))?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: invalid value `{value}` ({what})"))
+}
+
+fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     let mut path: Option<String> = None;
     let mut options = AnalyzeOptions::default();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--monitored" => {
-                options.monitored = Some(
-                    args.next()
-                        .expect("--monitored needs a value")
-                        .parse()
-                        .expect("--monitored takes a count"),
-                )
+                options.monitored = Some(flag_value(&mut args, "--monitored", "an address count")?)
             }
-            "--year" => {
-                options.year = args
-                    .next()
-                    .expect("--year needs a value")
-                    .parse()
-                    .expect("--year takes a year")
-            }
-            "--top" => {
-                options.top_ports = args
-                    .next()
-                    .expect("--top needs a value")
-                    .parse()
-                    .expect("--top takes a count")
-            }
+            "--year" => options.year = flag_value(&mut args, "--year", "a calendar year")?,
+            "--top" => options.top_ports = flag_value(&mut args, "--top", "a port count")?,
             "--pipeline" => {
-                options.pipeline = args
-                    .next()
-                    .expect("--pipeline needs a value")
-                    .parse()
-                    .expect("--pipeline takes sequential|auto|sharded:N")
+                options.pipeline =
+                    flag_value(&mut args, "--pipeline", "sequential|auto|sharded:N")?
             }
+            "--materialize" => options.materialize = true,
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: analyze <capture.pcap> [--monitored N] [--year Y] [--top N] \
-                     [--pipeline sequential|auto|sharded:N]"
-                );
-                return;
+                eprintln!("{USAGE}");
+                return Ok(());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
             }
             other => path = Some(other.to_string()),
         }
     }
     let Some(path) = path else {
-        eprintln!(
-            "usage: analyze <capture.pcap> [--monitored N] [--year Y] [--top N] \
-             [--pipeline sequential|auto|sharded:N]"
-        );
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
-    let file = File::open(&path).unwrap_or_else(|e| {
-        eprintln!("cannot open {path}: {e}");
+
+    if path == "-" {
+        // stdin cannot be rewound: streams single-pass when --monitored is
+        // given, otherwise analyze_pcap materializes to infer the dark set.
+        let stdin = std::io::stdin();
+        let result = analyze_pcap(stdin.lock(), &options)
+            .map_err(|e| format!("cannot analyze stdin: {e}"))?;
+        print!("{}", render_report(&result));
+        return Ok(());
+    }
+
+    let open = |path: &str| -> Result<BufReader<File>, String> {
+        File::open(path)
+            .map(BufReader::new)
+            .map_err(|e| format!("cannot open {path}: {e}"))
+    };
+    // Two-pass streaming default: infer the dark set in a record-free pass,
+    // then stream the analysis. --materialize restores the single
+    // load-and-sort pass.
+    if options.monitored.is_none() && !options.materialize {
+        let monitored = infer_monitored(open(&path)?)
+            .map_err(|e| format!("cannot read {path} for dark-set inference: {e}"))?;
+        options.monitored = Some(monitored);
+    }
+    let result =
+        analyze_pcap(open(&path)?, &options).map_err(|e| format!("cannot analyze {path}: {e}"))?;
+    print!("{}", render_report(&result));
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("analyze: {e}");
         std::process::exit(1);
-    });
-    match analyze_pcap(BufReader::new(file), &options) {
-        Ok(result) => print!("{}", render_report(&result)),
-        Err(e) => {
-            eprintln!("not a readable pcap: {e}");
-            std::process::exit(1);
-        }
     }
 }

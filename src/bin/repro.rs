@@ -2,16 +2,18 @@
 //!
 //! ```text
 //! repro [--scale tiny|small|default] [--out DIR]
-//!       [--pipeline sequential|auto|sharded:N] [TARGET...]
+//!       [--pipeline sequential|auto|sharded:N] [--materialize] [TARGET...]
 //!
 //! TARGET: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//!         prose all       (default: all)
+//!         prose etl pcap all       (default: all)
 //! ```
 //!
 //! `--pipeline` selects how each year's measurement loop executes; `auto`
 //! (the default) shards across the machine's cores, sharing the thread
-//! budget with the cross-year fan-out. Every mode produces bit-identical
-//! output.
+//! budget with the cross-year fan-out. Each year is *streamed* from the
+//! generator plan into the pipeline in O(batch) memory; `--materialize`
+//! restores the generate-then-analyze shape. Every mode produces
+//! bit-identical output.
 //!
 //! Each target prints its reproduction to stdout and writes a JSON artifact
 //! into the output directory. EXPERIMENTS.md records how the output compares
@@ -30,41 +32,67 @@ use synscan::experiment::{DecadeRun, Experiment};
 use synscan::netmodel::ScannerClass;
 use synscan::{GeneratorConfig, PipelineMode, ToolKind, YearConfig};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out DIR] \
+                     [--pipeline sequential|auto|sharded:N] [--materialize] [TARGET...]\n\
+                     \n  --scale NAME        generator scale: tiny | small | default\
+                     \n  --seed N            override the generator seed (u64)\
+                     \n  --out DIR           artifact output directory (default ./out)\
+                     \n  --pipeline MODE     sequential | auto | sharded:N (default auto)\
+                     \n  --materialize       build each year's full record vector before \
+                     analysis instead of streaming it (same bytes, O(year) memory)\
+                     \n  TARGET              table1 table2 fig1..fig10 prose etl pcap all \
+                     (default all)";
+
+const TARGETS: &[&str] = &[
+    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "prose", "etl", "pcap", "all",
+];
+
+fn flag_value<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+    what: &str,
+) -> Result<T, String> {
+    let value = args
+        .next()
+        .ok_or_else(|| format!("{flag} needs a value ({what})"))?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: invalid value `{value}` ({what})"))
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
     let mut scale = "default".to_string();
     let mut out_dir = PathBuf::from("out");
     let mut seed_override: Option<u64> = None;
     let mut pipeline = PipelineMode::auto();
+    let mut materialize = false;
     let mut targets: Vec<String> = Vec::new();
-    let mut iter = args.into_iter();
-    while let Some(arg) = iter.next() {
+    while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => scale = iter.next().expect("--scale needs a value"),
-            "--out" => out_dir = PathBuf::from(iter.next().expect("--out needs a value")),
-            "--seed" => {
-                seed_override = Some(
-                    iter.next()
-                        .expect("--seed needs a value")
-                        .parse::<u64>()
-                        .expect("--seed takes a u64"),
-                )
+            "--scale" => scale = flag_value(&mut args, "--scale", "tiny|small|default")?,
+            "--out" => {
+                out_dir = PathBuf::from(flag_value::<String>(&mut args, "--out", "a directory")?)
             }
+            "--seed" => seed_override = Some(flag_value(&mut args, "--seed", "a u64 seed")?),
             "--pipeline" => {
-                pipeline = iter
-                    .next()
-                    .expect("--pipeline needs a value")
-                    .parse()
-                    .expect("--pipeline takes sequential|auto|sharded:N")
+                pipeline = flag_value(&mut args, "--pipeline", "sequential|auto|sharded:N")?
             }
+            "--materialize" => materialize = true,
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: repro [--scale tiny|small|default] [--seed N] [--out DIR] \
-                     [--pipeline sequential|auto|sharded:N] [TARGET...]"
-                );
-                return;
+                eprintln!("{USAGE}");
+                return Ok(());
             }
-            other => targets.push(other.to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            other => {
+                if !TARGETS.contains(&other) {
+                    return Err(format!("unknown target `{other}`\n{USAGE}"));
+                }
+                targets.push(other.to_string());
+            }
         }
     }
     if targets.is_empty() {
@@ -78,21 +106,27 @@ fn main() {
             days: 7.0,
             ..GeneratorConfig::default()
         },
-        _ => GeneratorConfig::default(),
+        "default" => GeneratorConfig::default(),
+        other => return Err(format!("--scale: invalid value `{other}` (tiny|small|default)")),
     };
     if let Some(seed) = seed_override {
         gen.seed = seed;
     }
-    fs::create_dir_all(&out_dir).expect("create output dir");
+    fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create output dir {}: {e}", out_dir.display()))?;
 
     eprintln!(
-        "[repro] scale={scale}: telescope 1/{}, population 1/{}, {} days/year, pipeline {pipeline}",
-        gen.telescope_denominator, gen.population_denominator, gen.days
+        "[repro] scale={scale}: telescope 1/{}, population 1/{}, {} days/year, pipeline {pipeline}{}",
+        gen.telescope_denominator,
+        gen.population_denominator,
+        gen.days,
+        if materialize { ", materialized" } else { "" }
     );
     eprintln!("[repro] generating and measuring the decade ...");
     let started = std::time::Instant::now();
     let run = Experiment::new(gen)
         .with_pipeline_mode(pipeline)
+        .with_materialize(materialize)
         .run_decade();
     eprintln!(
         "[repro] decade done in {:.1}s: {} packets admitted, {} campaigns",
@@ -109,49 +143,57 @@ fn main() {
 
     let want = |t: &str| targets.iter().any(|x| x == t || x == "all");
     if want("table1") {
-        table1(&run, &out_dir);
+        table1(&run, &out_dir)?;
     }
     if want("table2") {
-        table2(&run, &out_dir);
+        table2(&run, &out_dir)?;
     }
     if want("fig1") {
-        fig1(&run, &out_dir);
+        fig1(&run, &out_dir)?;
     }
     if want("fig2") {
-        fig2(&run, &out_dir);
+        fig2(&run, &out_dir)?;
     }
     if want("fig3") {
-        fig3(&run, &out_dir);
+        fig3(&run, &out_dir)?;
     }
     if want("fig4") {
-        fig4(&run, &out_dir);
+        fig4(&run, &out_dir)?;
     }
     if want("fig5") {
-        fig5(&run, &out_dir);
+        fig5(&run, &out_dir)?;
     }
     if want("fig6") {
-        fig6(&run, &out_dir);
+        fig6(&run, &out_dir)?;
     }
     if want("fig7") {
-        fig7(&run, &out_dir);
+        fig7(&run, &out_dir)?;
     }
     if want("fig8") || want("fig9") || want("fig10") {
-        fig8_9_10(&run, &out_dir);
+        fig8_9_10(&run, &out_dir)?;
     }
     if want("prose") {
-        prose(&run, &out_dir);
+        prose(&run, &out_dir)?;
     }
     if want("etl") {
-        etl(&run, &out_dir);
+        etl(&run, &out_dir)?;
     }
     if want("pcap") {
-        pcap_export(&gen, &out_dir);
+        pcap_export(&gen, &out_dir)?;
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
     }
 }
 
 /// Export one generated year's raw telescope arrivals as a classic pcap —
 /// interoperable with tcpdump/wireshark, and re-importable by the pipeline.
-fn pcap_export(gen: &GeneratorConfig, out: &Path) {
+fn pcap_export(gen: &GeneratorConfig, out: &Path) -> Result<(), String> {
     use synscan::telescope::capture::export_pcap;
     println!("=== pcap export: raw 2020 telescope arrivals ===");
     let experiment = Experiment::new(GeneratorConfig {
@@ -161,6 +203,8 @@ fn pcap_export(gen: &GeneratorConfig, out: &Path) {
         days: 2.0,
         ..*gen
     });
+    // The pcap writer needs the records themselves, so this is the one
+    // target that materializes a year instead of streaming it.
     let output = synscan::synthesis::generate::generate_year(
         &YearConfig::for_year(2020),
         experiment.config(),
@@ -168,8 +212,10 @@ fn pcap_export(gen: &GeneratorConfig, out: &Path) {
         experiment.dark(),
     );
     let path = out.join("sample_2020.pcap");
-    let file = fs::File::create(&path).expect("create pcap");
-    export_pcap(&output.records, file).expect("write pcap");
+    let file = fs::File::create(&path)
+        .map_err(|e| format!("cannot create pcap {}: {e}", path.display()))?;
+    export_pcap(&output.records, file)
+        .map_err(|e| format!("cannot write pcap {}: {e}", path.display()))?;
     println!(
         "wrote {} ({} frames, {} scan packets + {} backscatter)",
         path.display(),
@@ -177,11 +223,12 @@ fn pcap_export(gen: &GeneratorConfig, out: &Path) {
         output.truth.packets,
         output.truth.backscatter_packets
     );
+    Ok(())
 }
 
 /// Appendix A: the two-phase known-scanner identification ETL, run against
 /// synthesized Greynoise/rDNS-style feeds.
-fn etl(run: &DecadeRun, out: &Path) {
+fn etl(run: &DecadeRun, out: &Path) -> Result<(), String> {
     use synscan::netmodel::etl as etl_mod;
     println!("=== Appendix A: known-scanner identification ETL ===");
     // Feeds label only 40% of org sources directly; keyword matching must
@@ -226,16 +273,19 @@ fn etl(run: &DecadeRun, out: &Path) {
             "organizations": result.organizations(),
             "keywords": result.keywords,
         }),
-    );
+    )
 }
 
-fn write_json(out_dir: &Path, name: &str, value: &impl serde::Serialize) {
+fn write_json(out_dir: &Path, name: &str, value: &impl serde::Serialize) -> Result<(), String> {
     let path = out_dir.join(name);
-    fs::write(&path, serde_json::to_string_pretty(value).unwrap()).expect("write artifact");
+    let body = serde_json::to_string_pretty(value)
+        .map_err(|e| format!("cannot serialize {name}: {e}"))?;
+    fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     eprintln!("[repro] wrote {}", path.display());
+    Ok(())
 }
 
-fn table1(run: &DecadeRun, out: &Path) {
+fn table1(run: &DecadeRun, out: &Path) -> Result<(), String> {
     let report = run.report();
     println!("=== Table 1: scan volume, top ports, tools by scans, 2015-2024 ===");
     println!("{}", report.render_table1());
@@ -247,10 +297,10 @@ fn table1(run: &DecadeRun, out: &Path) {
         "scans/month growth 2015->2024: {:.1}x (paper: ~39x)",
         report.scans_per_month_growth().unwrap_or(f64::NAN)
     );
-    write_json(out, "table1.json", &report);
+    write_json(out, "table1.json", &report)
 }
 
-fn table2(run: &DecadeRun, out: &Path) {
+fn table2(run: &DecadeRun, out: &Path) -> Result<(), String> {
     // Table 2 is decade-wide: aggregate sources/scans/packets over all years.
     let mut agg: BTreeMap<ScannerClass, [f64; 3]> = BTreeMap::new();
     let mut totals = [0.0f64; 3];
@@ -290,10 +340,10 @@ fn table2(run: &DecadeRun, out: &Path) {
         );
         artifact.insert(class.label(), row);
     }
-    write_json(out, "table2.json", &artifact);
+    write_json(out, "table2.json", &artifact)
 }
 
-fn fig1(run: &DecadeRun, out: &Path) {
+fn fig1(run: &DecadeRun, out: &Path) -> Result<(), String> {
     println!("=== Figure 1: post-disclosure surge and decay ===");
     let mut artifact = Vec::new();
     for year in &run.years {
@@ -316,10 +366,10 @@ fn fig1(run: &DecadeRun, out: &Path) {
             artifact.push((year.analysis.year, event.port, curve.relative.clone()));
         }
     }
-    write_json(out, "fig1.json", &artifact);
+    write_json(out, "fig1.json", &artifact)
 }
 
-fn fig2(run: &DecadeRun, out: &Path) {
+fn fig2(run: &DecadeRun, out: &Path) -> Result<(), String> {
     println!("=== Figure 2: weekly change per /16 (latest year) ===");
     let mut artifact = BTreeMap::new();
     for year in &run.years {
@@ -349,10 +399,10 @@ fn fig2(run: &DecadeRun, out: &Path) {
             }),
         );
     }
-    write_json(out, "fig2.json", &artifact);
+    write_json(out, "fig2.json", &artifact)
 }
 
-fn fig3(run: &DecadeRun, out: &Path) {
+fn fig3(run: &DecadeRun, out: &Path) -> Result<(), String> {
     println!("=== Figure 3: distinct ports per source (CDF head) ===");
     let mut artifact = BTreeMap::new();
     for year in &run.years {
@@ -378,10 +428,10 @@ fn fig3(run: &DecadeRun, out: &Path) {
             }),
         );
     }
-    write_json(out, "fig3.json", &artifact);
+    write_json(out, "fig3.json", &artifact)
 }
 
-fn fig4(run: &DecadeRun, out: &Path) {
+fn fig4(run: &DecadeRun, out: &Path) -> Result<(), String> {
     println!("=== Figure 4: top-10 ports x tool mix ===");
     let mut artifact = BTreeMap::new();
     for year in &run.years {
@@ -409,12 +459,14 @@ fn fig4(run: &DecadeRun, out: &Path) {
         }
         artifact.insert(year.analysis.year, (tracked, rows));
     }
-    write_json(out, "fig4.json", &artifact);
+    write_json(out, "fig4.json", &artifact)
 }
 
-fn fig5(run: &DecadeRun, out: &Path) {
+fn fig5(run: &DecadeRun, out: &Path) -> Result<(), String> {
     println!("=== Figure 5: scanner types over the top-15 ports (latest year) ===");
-    let last = run.years.last().expect("decade has years");
+    let Some(last) = run.years.last() else {
+        return Err("decade run produced no years".to_string());
+    };
     let rows = types::class_mix_by_port(&last.analysis, &run.registry, 15);
     for row in &rows {
         let mix = row
@@ -425,10 +477,10 @@ fn fig5(run: &DecadeRun, out: &Path) {
             .join(" ");
         println!("  port {:>5}: {}", row.port, mix);
     }
-    write_json(out, "fig5.json", &rows);
+    write_json(out, "fig5.json", &rows)
 }
 
-fn fig6(run: &DecadeRun, out: &Path) {
+fn fig6(run: &DecadeRun, out: &Path) -> Result<(), String> {
     println!("=== Figure 6: scanner recurrence and downtime ===");
     let campaigns: Vec<synscan::Campaign> = run
         .years
@@ -448,10 +500,10 @@ fn fig6(run: &DecadeRun, out: &Path) {
         );
         artifact.insert(class.label(), (many, daily));
     }
-    write_json(out, "fig6.json", &artifact);
+    write_json(out, "fig6.json", &artifact)
 }
 
-fn fig7(run: &DecadeRun, out: &Path) {
+fn fig7(run: &DecadeRun, out: &Path) -> Result<(), String> {
     println!("=== Figure 7: speed & coverage per scanner type (decade) ===");
     let campaigns: Vec<synscan::Campaign> = run
         .years
@@ -480,10 +532,10 @@ fn fig7(run: &DecadeRun, out: &Path) {
         );
         artifact.insert(class.label(), (mean, mean / overall_mean, fast));
     }
-    write_json(out, "fig7.json", &artifact);
+    write_json(out, "fig7.json", &artifact)
 }
 
-fn fig8_9_10(run: &DecadeRun, out: &Path) {
+fn fig8_9_10(run: &DecadeRun, out: &Path) -> Result<(), String> {
     for (fig, year) in [("fig9", 2023u16), ("fig10", 2024), ("fig8", 2024)] {
         let Some(yr) = run.years.iter().find(|y| y.analysis.year == year) else {
             continue;
@@ -502,12 +554,13 @@ fn fig8_9_10(run: &DecadeRun, out: &Path) {
                 );
             }
         }
-        write_json(out, &format!("{fig}.json"), &rows);
+        write_json(out, &format!("{fig}.json"), &rows)?;
     }
     println!("(fig9.json / fig10.json: 2023 vs 2024 per-org coverage artifacts)");
+    Ok(())
 }
 
-fn prose(run: &DecadeRun, out: &Path) {
+fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
     println!("=== Prose claims (P1-P5) ===");
     let mut artifact: BTreeMap<String, serde_json::Value> = BTreeMap::new();
 
@@ -546,7 +599,7 @@ fn prose(run: &DecadeRun, out: &Path) {
         }
         artifact.insert(
             format!("P3-{}", year.analysis.year),
-            serde_json::to_value(stats).unwrap(),
+            serde_json::to_value(stats).map_err(|e| format!("cannot serialize P3 stats: {e}"))?,
         );
     }
 
@@ -574,7 +627,7 @@ fn prose(run: &DecadeRun, out: &Path) {
                 .iter()
                 .map(|(c, s)| (c.code().to_string(), *s))
                 .collect();
-            top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             println!(
                 "{year}: top origins {} | HHI {hhi:.3}",
                 top.iter()
@@ -694,7 +747,7 @@ fn prose(run: &DecadeRun, out: &Path) {
         );
         artifact.insert(
             "P-blocklist-decay".into(),
-            serde_json::to_value(&decay).unwrap(),
+            serde_json::to_value(&decay).map_err(|e| format!("cannot serialize decay: {e}"))?,
         );
     }
 
@@ -775,8 +828,8 @@ fn prose(run: &DecadeRun, out: &Path) {
     );
     artifact.insert(
         "P1-zmap-scans".into(),
-        serde_json::to_value(series).unwrap(),
+        serde_json::to_value(series).map_err(|e| format!("cannot serialize series: {e}"))?,
     );
 
-    write_json(out, "prose.json", &artifact);
+    write_json(out, "prose.json", &artifact)
 }

@@ -2,16 +2,23 @@
 //! integration tests, and every benchmark: synthesize a year, pass it
 //! through the telescope capture (ingress + SYN filter), run the §3
 //! measurement pipeline, and collect the per-year analysis bundle.
+//!
+//! By default each year flows *streamed*: the generator's lazy emitter plan
+//! feeds the pipeline one batch at a time and the full record vector never
+//! exists. [`Experiment::with_materialize`] restores the old
+//! generate-then-analyze shape (same bytes, O(year) memory) — useful when
+//! the records themselves are wanted, e.g. for pcap export.
 
 use rayon::prelude::*;
 
-use synscan_core::analysis::{YearAnalysis, YearCollector};
-use synscan_core::pipeline::collect_year_sharded;
+use synscan_core::analysis::YearAnalysis;
+use synscan_core::pipeline::collect_year_stream;
 use synscan_core::{CampaignConfig, PipelineMode};
 use synscan_netmodel::InternetRegistry;
-use synscan_synthesis::generate::{generate_year, GeneratorConfig, GroundTruth};
+use synscan_synthesis::generate::{plan_year, GeneratorConfig, GroundTruth};
 use synscan_synthesis::yearcfg::YearConfig;
 use synscan_telescope::{AddressSet, CaptureSession, CaptureStats};
+use synscan_wire::stream::SliceStream;
 
 /// One fully processed year.
 #[derive(Debug, Clone)]
@@ -64,6 +71,7 @@ pub struct Experiment {
     registry: InternetRegistry,
     dark: AddressSet,
     mode: PipelineMode,
+    materialize: bool,
 }
 
 impl Experiment {
@@ -77,6 +85,7 @@ impl Experiment {
             registry,
             dark,
             mode: PipelineMode::Sequential,
+            materialize: false,
         }
     }
 
@@ -85,6 +94,19 @@ impl Experiment {
     pub fn with_pipeline_mode(mut self, mode: PipelineMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Materialize each year's record vector before analysis instead of
+    /// streaming it from the generator plan. Same results byte for byte;
+    /// O(year) instead of O(batch) memory.
+    pub fn with_materialize(mut self, materialize: bool) -> Self {
+        self.materialize = materialize;
+        self
+    }
+
+    /// Whether years are materialized before analysis.
+    pub fn materialize(&self) -> bool {
+        self.materialize
     }
 
     /// The pipeline mode in use.
@@ -126,7 +148,7 @@ impl Experiment {
     /// experiment-wide setting (the decade fan-out uses this to hand each
     /// year its share of the worker budget).
     pub fn run_year_cfg_mode(&self, year_cfg: &YearConfig, mode: PipelineMode) -> YearRun {
-        let output = generate_year(year_cfg, &self.gen, &self.registry, &self.dark);
+        let plan = plan_year(year_cfg, &self.gen, &self.registry, &self.dark);
         let mut session = CaptureSession::new(&self.dark, year_cfg.year);
         // Volatility periods: the paper compares week over week inside a
         // 29-61 day window; a short simulated window uses proportionally
@@ -134,35 +156,35 @@ impl Experiment {
         let period_days = (self.gen.days / 5.0).clamp(1.0, 7.0);
         // Rough distinct-source width: campaigns dominate, each from its own
         // source, plus background stragglers. Only a map pre-size hint.
-        let source_hint = (output.truth.scans as usize).saturating_mul(2);
-        let analysis = match mode {
-            PipelineMode::Sequential => {
-                let mut collector =
-                    YearCollector::with_period(year_cfg.year, self.campaign_config(), period_days);
-                collector.reserve_sources(source_hint);
-                for (i, record) in output.records.iter().enumerate() {
-                    if session.offer(record) {
-                        collector.offer(record);
-                    }
-                    if i % 262_144 == 0 {
-                        collector.housekeeping(record.ts_micros);
-                    }
-                }
-                collector.finish()
-            }
-            PipelineMode::Sharded { workers } => collect_year_sharded(
+        let source_hint = (plan.truth.scans as usize).saturating_mul(2);
+        let admit = |record: &synscan_wire::ProbeRecord| session.offer(record);
+        let analysis = if self.materialize {
+            let records = plan.materialize(&self.dark);
+            let mut stream = SliceStream::new(&records);
+            collect_year_stream(
                 year_cfg.year,
                 self.campaign_config(),
                 period_days,
-                workers,
+                mode,
                 source_hint,
-                &output.records,
-                |record| session.offer(record),
-            ),
+                &mut stream,
+                admit,
+            )
+        } else {
+            let mut stream = plan.stream(&self.dark);
+            collect_year_stream(
+                year_cfg.year,
+                self.campaign_config(),
+                period_days,
+                mode,
+                source_hint,
+                &mut stream,
+                admit,
+            )
         };
         YearRun {
             analysis,
-            truth: output.truth,
+            truth: plan.truth,
             capture: session.stats(),
         }
     }

@@ -1,40 +1,54 @@
-//! Sequential ↔ sharded pipeline equivalence at generator scale.
+//! Streaming ↔ materialized ↔ sharded pipeline equivalence at generator
+//! scale.
 //!
-//! The source-sharded year pipeline must be a pure performance knob: for any
-//! worker count, the merged `YearAnalysis` — campaign list, every aggregate
-//! map, noise statistics, window bounds — and the capture statistics must be
-//! bit-identical to the sequential reference. 2017 is included so the
-//! year-dependent ingress-policy path (telnet blocking) runs under both
-//! modes.
+//! Both execution knobs must be pure performance knobs: for any worker count
+//! and for either record flow (the streaming default, where the generator
+//! plan feeds the pipeline one batch at a time, or `--materialize`, where
+//! the full year vector is built and sorted first), the `YearAnalysis` —
+//! campaign list, every aggregate map, noise statistics, window bounds —
+//! the capture statistics and the generator ground truth must be
+//! bit-identical to the materialized sequential reference. 2017 is included
+//! so the year-dependent ingress-policy path (telnet blocking) runs under
+//! every combination.
 
 use synscan::core::PipelineMode;
 use synscan::experiment::Experiment;
 use synscan::GeneratorConfig;
 
-fn run(year: u16, mode: PipelineMode) -> synscan::experiment::YearRun {
+fn run(year: u16, mode: PipelineMode, materialize: bool) -> synscan::experiment::YearRun {
     Experiment::new(GeneratorConfig::tiny())
         .with_pipeline_mode(mode)
+        .with_materialize(materialize)
         .run_year(year)
 }
 
 #[test]
-fn sharded_year_analysis_is_bit_identical_to_sequential() {
+fn streaming_and_sharding_are_bit_identical_to_the_materialized_sequential_reference() {
+    // The full {streaming, materialized} x {sequential, sharded} matrix,
+    // anchored on the materialized sequential run (the pre-streaming shape).
     for year in [2017u16, 2020] {
-        let sequential = run(year, PipelineMode::Sequential);
-        for workers in [1usize, 4] {
-            let sharded = run(year, PipelineMode::Sharded { workers });
-            assert_eq!(
-                sequential.capture, sharded.capture,
-                "{year}: capture stats diverged at {workers} workers"
-            );
-            assert_eq!(
-                sequential.truth, sharded.truth,
-                "{year}: generation is mode-independent"
-            );
-            assert_eq!(
-                sequential.analysis, sharded.analysis,
-                "{year}: analysis diverged at {workers} workers"
-            );
+        let reference = run(year, PipelineMode::Sequential, true);
+        for materialize in [false, true] {
+            for mode in [
+                PipelineMode::Sequential,
+                PipelineMode::Sharded { workers: 1 },
+                PipelineMode::Sharded { workers: 4 },
+            ] {
+                let other = run(year, mode, materialize);
+                let label = format!("{year} mode={mode:?} materialize={materialize}");
+                assert_eq!(
+                    reference.capture, other.capture,
+                    "{label}: capture stats diverged"
+                );
+                assert_eq!(
+                    reference.truth, other.truth,
+                    "{label}: generation is flow-independent"
+                );
+                assert_eq!(
+                    reference.analysis, other.analysis,
+                    "{label}: analysis diverged"
+                );
+            }
         }
     }
 }
@@ -42,8 +56,8 @@ fn sharded_year_analysis_is_bit_identical_to_sequential() {
 #[test]
 fn sharded_run_still_detects_real_structure() {
     // Not just equal — equal and non-trivial: campaigns, tool attributions
-    // and the 2017 ingress policy all survive the fan-out.
-    let run = run(2017, PipelineMode::Sharded { workers: 4 });
+    // and the 2017 ingress policy all survive the fan-out, streamed.
+    let run = run(2017, PipelineMode::Sharded { workers: 4 }, false);
     assert!(run.capture.admitted > 0);
     assert!(run.capture.ingress_blocked > 0, "2017 blocks telnet");
     assert!(!run.analysis.campaigns.is_empty());
@@ -64,5 +78,19 @@ fn decade_budget_composes_with_sharding() {
     for (a, b) in sequential.years.iter().zip(&sharded.years) {
         assert_eq!(a.analysis, b.analysis, "year {}", a.analysis.year);
         assert_eq!(a.capture, b.capture);
+    }
+}
+
+#[test]
+fn materialized_decade_equals_the_streamed_decade() {
+    let streamed = Experiment::new(GeneratorConfig::tiny()).run_decade();
+    let materialized = Experiment::new(GeneratorConfig::tiny())
+        .with_materialize(true)
+        .run_decade();
+    assert_eq!(streamed.years.len(), materialized.years.len());
+    for (a, b) in streamed.years.iter().zip(&materialized.years) {
+        assert_eq!(a.analysis, b.analysis, "year {}", a.analysis.year);
+        assert_eq!(a.capture, b.capture);
+        assert_eq!(a.truth, b.truth);
     }
 }

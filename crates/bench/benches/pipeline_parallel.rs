@@ -133,12 +133,16 @@ fn pipeline_streaming(c: &mut Criterion) {
         let records = plan.materialize(&dark);
         let mut session = CaptureSession::new(&dark, YEAR);
         let mut stream = SliceStream::new(&records);
-        collect_year_stream(YEAR, config, PERIOD_DAYS, mode, 0, &mut stream, |r| session.offer(r))
+        collect_year_stream(YEAR, config, PERIOD_DAYS, mode, 0, &mut stream, |r| {
+            session.offer(r)
+        })
     };
     let streamed = |mode: PipelineMode| -> YearAnalysis {
         let mut session = CaptureSession::new(&dark, YEAR);
         let mut stream = plan.stream(&dark);
-        collect_year_stream(YEAR, config, PERIOD_DAYS, mode, 0, &mut stream, |r| session.offer(r))
+        collect_year_stream(YEAR, config, PERIOD_DAYS, mode, 0, &mut stream, |r| {
+            session.offer(r)
+        })
     };
 
     // Equivalence outside the timed region.

@@ -464,6 +464,30 @@ mod tests {
     }
 
     #[test]
+    fn merge_partials_tolerates_an_empty_shard() {
+        // A shard that received no records (all its sources were filtered,
+        // or the source hash simply never routed to it) contributes an empty
+        // analysis; merging it in must be the identity.
+        let mut busy = YearCollector::with_origin(2020, cfg(), 7.0, 0);
+        for i in 0..12u32 {
+            busy.offer(&record(1, 100 + i, 80, 500 + u64::from(i) * 1000));
+        }
+        let busy = busy.finish();
+        let empty = YearCollector::with_origin(2020, cfg(), 7.0, 0).finish();
+        assert_eq!(empty.total_packets, 0);
+
+        let merged = YearAnalysis::merge_partials(vec![busy.clone(), empty.clone()]);
+        assert_eq!(merged, YearAnalysis::merge_partials(vec![busy.clone()]));
+        assert_eq!(merged.total_packets, busy.total_packets);
+        assert_eq!(merged.distinct_sources, busy.distinct_sources);
+        assert_eq!(merged.campaigns, busy.campaigns);
+        // Empty-first ordering must not disturb the window bounds either.
+        let merged = YearAnalysis::merge_partials(vec![empty, busy.clone()]);
+        assert_eq!(merged.end_micros, busy.end_micros);
+        assert_eq!(merged.port_sources, busy.port_sources);
+    }
+
+    #[test]
     fn merged_shards_match_a_sequential_pass() {
         // Interleave two sources, split by source, merge — bit-identical to
         // the one-collector pass.

@@ -43,5 +43,8 @@ pub mod report;
 pub use campaign::{Campaign, CampaignConfig, CampaignDetector};
 pub use classify::classify_source;
 pub use fingerprint::{FingerprintEngine, PacketVerdict};
-pub use pipeline::{collect_year_sharded, collect_year_stream, PipelineMode};
+pub use pipeline::{
+    collect_year_sharded, collect_year_stream, try_collect_year_stream, PipelineError,
+    PipelineMode, PipelineOutcome,
+};
 pub use synscan_scanners::traits::ToolKind;

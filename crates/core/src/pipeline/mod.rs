@@ -33,7 +33,10 @@ use std::thread;
 use crossbeam::channel;
 
 use synscan_scanners::traits::mix64;
-use synscan_wire::stream::{RecordStream, SliceStream};
+use synscan_wire::stream::{
+    FaultCounters, FaultPolicy, InfallibleStream, RecordStream, SliceStream, StreamError,
+    TryRecordStream,
+};
 use synscan_wire::{Ipv4Address, ProbeRecord};
 
 use crate::analysis::{YearAnalysis, YearCollector};
@@ -148,23 +151,142 @@ enum ShardMsg {
     Batch(Vec<ProbeRecord>),
 }
 
+/// Why a fallible pipeline run did not produce an analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The input stream surfaced a fault under [`FaultPolicy::Fail`].
+    Stream(StreamError),
+    /// A shard worker panicked; its partial analysis is unrecoverable.
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Stream(e) => write!(f, "input stream fault: {e}"),
+            PipelineError::WorkerPanicked => write!(f, "pipeline worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<StreamError> for PipelineError {
+    fn from(e: StreamError) -> Self {
+        PipelineError::Stream(e)
+    }
+}
+
+/// A completed fallible pipeline run: the analysis plus everything the
+/// fault policy had to drop to get there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineOutcome {
+    /// The year's analysis over the records that survived the policy.
+    pub analysis: YearAnalysis,
+    /// Driver-side fault tally (duplicates, order regressions, truncated
+    /// streams). Source-side counters (e.g. a pcap stream's skipped
+    /// records) live with the source and are absorbed by the caller.
+    pub faults: FaultCounters,
+}
+
+/// Verdict of the driver's per-record fault gate.
+enum Gate {
+    /// Clean: hand the record to the admit filter.
+    Pass,
+    /// Drop this record (injected duplicate / order regression under skip).
+    Drop,
+    /// End the run cleanly, keeping everything admitted so far.
+    Stop,
+}
+
+/// The driver-side recovery layer: every record from the input stream goes
+/// through here *before* the ingress filter, so a recovered stream presents
+/// the identical record sequence — and therefore identical capture
+/// statistics — as the clean stream it decayed from.
+///
+/// Two faults are detectable at this layer: exact back-to-back duplicates
+/// (a re-flushed capture buffer; under a lossy policy the replay is
+/// dropped), and timestamp regressions (the [`TryRecordStream`] contract
+/// is non-decreasing order; under [`FaultPolicy::Fail`] a regression is an
+/// [`StreamError::Unordered`] error, under skip the offender is dropped).
+struct FaultGate {
+    policy: FaultPolicy,
+    counters: FaultCounters,
+    last: Option<ProbeRecord>,
+}
+
+impl FaultGate {
+    fn new(policy: FaultPolicy) -> Self {
+        Self {
+            policy,
+            counters: FaultCounters::default(),
+            last: None,
+        }
+    }
+
+    fn offer(&mut self, record: &ProbeRecord) -> Result<Gate, StreamError> {
+        if let Some(last) = &self.last {
+            // Duplicate check first: an exact replay carries an equal (not
+            // regressed) timestamp, so it never reaches the order check.
+            if record == last {
+                match self.policy {
+                    // Strict mode forwards duplicates untouched: equal
+                    // timestamps do not violate the stream contract, and
+                    // strict means "analyze exactly what arrived".
+                    FaultPolicy::Fail => return Ok(Gate::Pass),
+                    FaultPolicy::SkipRecord | FaultPolicy::StopClean => {
+                        self.counters.duplicates_dropped += 1;
+                        return Ok(Gate::Drop);
+                    }
+                }
+            }
+            if record.ts_micros < last.ts_micros {
+                match self.policy {
+                    FaultPolicy::Fail => {
+                        return Err(StreamError::Unordered { violations: 1 });
+                    }
+                    FaultPolicy::SkipRecord => {
+                        self.counters.records_skipped += 1;
+                        return Ok(Gate::Drop);
+                    }
+                    FaultPolicy::StopClean => {
+                        self.counters.streams_truncated += 1;
+                        return Ok(Gate::Stop);
+                    }
+                }
+            }
+        }
+        self.last = Some(*record);
+        Ok(Gate::Pass)
+    }
+
+    /// A terminal error from the stream itself: fatal under strict policy,
+    /// a counted clean truncation under the lossy ones.
+    fn stream_error(&mut self, e: StreamError) -> Result<(), PipelineError> {
+        match self.policy {
+            FaultPolicy::Fail => Err(PipelineError::Stream(e)),
+            FaultPolicy::SkipRecord | FaultPolicy::StopClean => {
+                self.counters.streams_truncated += 1;
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Run one year's collection from any [`RecordStream`], sequentially or
-/// fanned out over shard threads — the single driver every front end
-/// (synthesis, pcap import, benches) goes through.
+/// fanned out over shard threads.
 ///
-/// The stream must yield records in timestamp order (the generator's heap
-/// merge and pcap import both guarantee this; the streaming analyzer
-/// rejects unordered captures up front). `admit` is the ingress/SYN
-/// filter — it runs on the calling thread, in stream order, exactly once
-/// per record, so stateful filters ([`synscan_telescope::CaptureSession`])
-/// keep exact statistics. `source_hint` pre-sizes per-source maps (0 = no
-/// hint).
+/// Infallible convenience over [`try_collect_year_stream`]: the stream must
+/// honor the [`RecordStream`] contract (records in non-decreasing timestamp
+/// order — the generator's heap merge and pcap import both guarantee this).
+/// A contract violation, or a worker panic, panics here; callers that ingest
+/// untrusted or fault-injected input use the fallible driver with a
+/// [`FaultPolicy`] instead.
 ///
-/// Memory is O(batch): the caller's stream lends one batch at a time, and
-/// the sharded arm keeps at most `CHANNEL_DEPTH + 1` batches in flight per
-/// worker (bounded channels give natural backpressure). Both modes are
-/// bit-identical to offering every admitted record to one [`YearCollector`]
-/// built with the same config and period.
+/// `admit` is the ingress/SYN filter — it runs on the calling thread, in
+/// stream order, exactly once per record, so stateful filters
+/// ([`synscan_telescope::CaptureSession`]) keep exact statistics.
+/// `source_hint` pre-sizes per-source maps (0 = no hint).
 pub fn collect_year_stream<S, F>(
     year: u16,
     config: CampaignConfig,
@@ -172,22 +294,98 @@ pub fn collect_year_stream<S, F>(
     mode: PipelineMode,
     source_hint: usize,
     stream: &mut S,
-    mut admit: F,
+    admit: F,
 ) -> YearAnalysis
 where
     S: RecordStream + ?Sized,
     F: FnMut(&ProbeRecord) -> bool,
 {
+    let mut stream = InfallibleStream(stream);
+    match try_collect_year_stream(
+        year,
+        config,
+        period_days,
+        mode,
+        source_hint,
+        FaultPolicy::Fail,
+        &mut stream,
+        admit,
+    ) {
+        Ok(outcome) => outcome.analysis,
+        Err(e) => panic!("record stream violated the RecordStream contract: {e}"),
+    }
+}
+
+/// Run one year's collection from any fallible record stream, sequentially
+/// or fanned out over shard threads — the single driver every front end
+/// (synthesis, pcap import, chaos tests, benches) ultimately goes through.
+///
+/// Faults travel two ways:
+///
+/// * **in-band**, as records that should not be there — exact back-to-back
+///   duplicates and timestamp regressions. The driver's fault gate screens
+///   every record *before* the `admit` filter, so what the filter (and its
+///   statistics) sees under a lossy policy is the clean sequence.
+/// * **out-of-band**, as a [`StreamError`] from the stream itself (pcap
+///   fault, injected mid-stream EOF). Under [`FaultPolicy::Fail`] this
+///   aborts the run with [`PipelineError::Stream`]; under
+///   [`FaultPolicy::SkipRecord`] / [`FaultPolicy::StopClean`] the run ends
+///   cleanly with the prefix analyzed and `streams_truncated` counted.
+///
+/// In sharded mode a fatal fault tears the fan-out down in order: the
+/// channels close, every worker drains and exits, partial analyses are
+/// discarded, and the error is returned — never a panic. A worker panic
+/// itself surfaces as [`PipelineError::WorkerPanicked`].
+///
+/// Memory is O(batch): the caller's stream lends one batch at a time, and
+/// the sharded arm keeps at most `CHANNEL_DEPTH + 1` batches in flight per
+/// worker (bounded channels give natural backpressure). Both modes are
+/// bit-identical to offering every gate-surviving admitted record to one
+/// [`YearCollector`] built with the same config and period.
+#[allow(clippy::too_many_arguments)]
+pub fn try_collect_year_stream<S, F>(
+    year: u16,
+    config: CampaignConfig,
+    period_days: f64,
+    mode: PipelineMode,
+    source_hint: usize,
+    policy: FaultPolicy,
+    stream: &mut S,
+    mut admit: F,
+) -> Result<PipelineOutcome, PipelineError>
+where
+    S: TryRecordStream + ?Sized,
+    F: FnMut(&ProbeRecord) -> bool,
+{
+    let mut gate = FaultGate::new(policy);
     let workers = match mode {
         PipelineMode::Sequential => {
             let mut collector = YearCollector::with_period(year, config, period_days);
             collector.reserve_sources(source_hint);
-            while let Some(batch) = stream.next_batch() {
+            'feed: loop {
+                let batch = match stream.try_next_batch() {
+                    Ok(Some(batch)) => batch,
+                    Ok(None) => break,
+                    Err(e) => {
+                        gate.stream_error(e)?;
+                        break;
+                    }
+                };
                 let mut last_admitted = None;
+                let mut stop = false;
                 for record in batch {
-                    if admit(record) {
-                        collector.offer(record);
-                        last_admitted = Some(record.ts_micros);
+                    match gate.offer(record).map_err(PipelineError::Stream)? {
+                        Gate::Pass => {
+                            if admit(record) {
+                                collector.offer(record);
+                                last_admitted = Some(record.ts_micros);
+                            }
+                        }
+                        Gate::Drop => {}
+                        Gate::Stop => {
+                            stop = true;
+                            break;
+                        }
                     }
                 }
                 // Per-batch housekeeping bounds memory; result-neutral
@@ -197,13 +395,19 @@ where
                 if let Some(ts) = last_admitted {
                     collector.housekeeping(ts);
                 }
+                if stop {
+                    break 'feed;
+                }
             }
-            return collector.finish();
+            return Ok(PipelineOutcome {
+                analysis: collector.finish(),
+                faults: gate.counters,
+            });
         }
         PipelineMode::Sharded { workers } => workers.max(1),
     };
 
-    let partials: Vec<Option<YearAnalysis>> = thread::scope(|scope| {
+    let partials: Result<Vec<Option<YearAnalysis>>, PipelineError> = thread::scope(|scope| {
         let mut txs = Vec::with_capacity(workers);
         let mut joins = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -213,13 +417,33 @@ where
             joins.push(scope.spawn(move || worker_loop(year, config, period_days, hint, rx)));
         }
 
-        // The feeder: filter in stream order, route by source hash, batch.
+        // The feeder: gate, filter in stream order, route by source hash.
         let mut batches: Vec<Vec<ProbeRecord>> = (0..workers)
             .map(|_| Vec::with_capacity(BATCH_RECORDS))
             .collect();
         let mut origin_sent = false;
-        while let Some(pulled) = stream.next_batch() {
+        let mut fatal: Option<PipelineError> = None;
+        'feed: loop {
+            let pulled = match stream.try_next_batch() {
+                Ok(Some(pulled)) => pulled,
+                Ok(None) => break,
+                Err(e) => {
+                    if let Err(fault) = gate.stream_error(e) {
+                        fatal = Some(fault);
+                    }
+                    break;
+                }
+            };
             for record in pulled {
+                match gate.offer(record) {
+                    Ok(Gate::Pass) => {}
+                    Ok(Gate::Drop) => continue,
+                    Ok(Gate::Stop) => break 'feed,
+                    Err(e) => {
+                        fatal = Some(PipelineError::Stream(e));
+                        break 'feed;
+                    }
+                }
                 if !admit(record) {
                     continue;
                 }
@@ -238,26 +462,46 @@ where
                 }
             }
         }
-        for (tx, batch) in txs.iter().zip(batches) {
-            if !batch.is_empty() {
-                let _ = tx.send(ShardMsg::Batch(batch));
+        if fatal.is_none() {
+            for (tx, batch) in txs.iter().zip(batches) {
+                if !batch.is_empty() {
+                    let _ = tx.send(ShardMsg::Batch(batch));
+                }
             }
         }
         drop(txs); // close the channels: workers drain and finish
 
-        joins
-            .into_iter()
-            .map(|join| join.join().expect("pipeline worker panicked"))
-            .collect()
+        // Join every worker before deciding the outcome: a fatal fault must
+        // not leave threads running, and a worker panic must not propagate.
+        let mut partials = Vec::with_capacity(workers);
+        let mut panicked = false;
+        for join in joins {
+            match join.join() {
+                Ok(partial) => partials.push(partial),
+                Err(_) => panicked = true,
+            }
+        }
+        if let Some(fault) = fatal {
+            return Err(fault);
+        }
+        if panicked {
+            return Err(PipelineError::WorkerPanicked);
+        }
+        Ok(partials)
     });
 
-    let partials: Vec<YearAnalysis> = partials.into_iter().flatten().collect();
-    if partials.is_empty() {
+    let partials: Vec<YearAnalysis> = partials?.into_iter().flatten().collect();
+    let analysis = if partials.is_empty() {
         // Nothing was admitted: same empty analysis the sequential path
         // would produce.
-        return YearCollector::with_period(year, config, period_days).finish();
-    }
-    YearAnalysis::merge_partials(partials)
+        YearCollector::with_period(year, config, period_days).finish()
+    } else {
+        YearAnalysis::merge_partials(partials)
+    };
+    Ok(PipelineOutcome {
+        analysis,
+        faults: gate.counters,
+    })
 }
 
 /// Run one year's collection fanned out over `workers` shard threads, from
@@ -387,13 +631,15 @@ mod tests {
     fn stream_input_matches_the_sequential_reference_in_both_modes() {
         let records = stream();
         let expected = sequential(&records);
-        for mode in [PipelineMode::Sequential, PipelineMode::Sharded { workers: 3 }] {
+        for mode in [
+            PipelineMode::Sequential,
+            PipelineMode::Sharded { workers: 3 },
+        ] {
             // An adversarial batch size: prime, far from BATCH_RECORDS, so
             // batch boundaries land mid-source and mid-burst.
             let mut input = SliceStream::with_batch_size(&records, 257);
-            let got = collect_year_stream(2020, cfg(), 7.0, mode, 64, &mut input, |r| {
-                r.dst_port != 23
-            });
+            let got =
+                collect_year_stream(2020, cfg(), 7.0, mode, 64, &mut input, |r| r.dst_port != 23);
             assert_eq!(expected, got, "mode = {mode}");
         }
     }
@@ -414,6 +660,258 @@ mod tests {
                 let shard = shard_of(Ipv4Address(src * 2654435761), workers);
                 assert!(shard < workers);
             }
+        }
+    }
+
+    #[test]
+    fn shard_of_is_stable_across_calls_and_worker_counts() {
+        // Determinism: the same (source, workers) pair always routes to the
+        // same shard — a source's records never split across workers, and a
+        // re-run routes identically.
+        for workers in [1usize, 2, 3, 4, 7, 16] {
+            for src in (0..5000u32).step_by(17) {
+                let addr = Ipv4Address(src.wrapping_mul(2_654_435_761));
+                let first = shard_of(addr, workers);
+                for _ in 0..3 {
+                    assert_eq!(shard_of(addr, workers), first);
+                }
+            }
+        }
+        // Changing the worker count is a *remap*, not a perturbation of the
+        // hash: the underlying mix of a given source is fixed, so the shard
+        // for `workers = n` is always `mix % n` of the same value.
+        let addr = Ipv4Address(0x0a01_0203);
+        let wide = shard_of(addr, 1 << 16) as u64;
+        for workers in [2usize, 3, 5, 8, 64] {
+            // A single-shard pipeline always routes to shard 0.
+            assert_eq!(shard_of(addr, 1), 0);
+            assert!(shard_of(addr, workers) < workers);
+        }
+        assert_eq!(shard_of(addr, 1 << 16) as u64, wide, "stable across calls");
+    }
+
+    #[test]
+    fn empty_stream_produces_an_empty_analysis_in_both_modes() {
+        for mode in [
+            PipelineMode::Sequential,
+            PipelineMode::Sharded { workers: 3 },
+        ] {
+            let mut stream = SliceStream::new(&[]);
+            let got = collect_year_stream(2020, cfg(), 7.0, mode, 0, &mut stream, |_| true);
+            assert_eq!(got.total_packets, 0, "mode = {mode}");
+            assert_eq!(got.distinct_sources, 0);
+            assert!(got.campaigns.is_empty());
+
+            let mut stream = SliceStream::new(&[]);
+            let mut stream = InfallibleStream(&mut stream);
+            let outcome = try_collect_year_stream(
+                2020,
+                cfg(),
+                7.0,
+                mode,
+                0,
+                FaultPolicy::SkipRecord,
+                &mut stream,
+                |_| true,
+            )
+            .unwrap();
+            assert_eq!(outcome.analysis.total_packets, 0);
+            assert!(!outcome.faults.any());
+        }
+    }
+
+    /// A [`TryRecordStream`] that yields some clean batches then a fault.
+    struct FaultyStream {
+        records: Vec<ProbeRecord>,
+        pos: usize,
+        batch: usize,
+        error: Option<StreamError>,
+        out: Vec<ProbeRecord>,
+    }
+
+    impl TryRecordStream for FaultyStream {
+        fn try_next_batch(&mut self) -> Result<Option<&[ProbeRecord]>, StreamError> {
+            if self.pos >= self.records.len() {
+                return match self.error.take() {
+                    Some(e) => Err(e),
+                    None => Ok(None),
+                };
+            }
+            let end = (self.pos + self.batch).min(self.records.len());
+            self.out = self.records[self.pos..end].to_vec();
+            self.pos = end;
+            Ok(Some(&self.out))
+        }
+    }
+
+    #[test]
+    fn fatal_stream_fault_is_an_error_not_a_panic_in_both_modes() {
+        let records = stream();
+        for mode in [
+            PipelineMode::Sequential,
+            PipelineMode::Sharded { workers: 3 },
+        ] {
+            let mut faulty = FaultyStream {
+                records: records.clone(),
+                pos: 0,
+                batch: 257,
+                error: Some(StreamError::Truncated {
+                    records_seen: records.len() as u64,
+                }),
+                out: Vec::new(),
+            };
+            let err = try_collect_year_stream(
+                2020,
+                cfg(),
+                7.0,
+                mode,
+                0,
+                FaultPolicy::Fail,
+                &mut faulty,
+                |r| r.dst_port != 23,
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                PipelineError::Stream(StreamError::Truncated {
+                    records_seen: records.len() as u64
+                }),
+                "mode = {mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_policy_turns_a_truncation_into_a_counted_clean_end() {
+        let records = stream();
+        let expected = sequential(&records);
+        for mode in [
+            PipelineMode::Sequential,
+            PipelineMode::Sharded { workers: 3 },
+        ] {
+            let mut faulty = FaultyStream {
+                records: records.clone(),
+                pos: 0,
+                batch: 257,
+                error: Some(StreamError::Truncated {
+                    records_seen: records.len() as u64,
+                }),
+                out: Vec::new(),
+            };
+            let outcome = try_collect_year_stream(
+                2020,
+                cfg(),
+                7.0,
+                mode,
+                0,
+                FaultPolicy::SkipRecord,
+                &mut faulty,
+                |r| r.dst_port != 23,
+            )
+            .unwrap();
+            // The cut happened after the last record, so the analysis over
+            // the "prefix" is the full analysis — and the cut is counted.
+            assert_eq!(outcome.analysis, expected, "mode = {mode}");
+            assert_eq!(outcome.faults.streams_truncated, 1);
+        }
+    }
+
+    #[test]
+    fn gate_drops_exact_duplicates_under_skip_and_forwards_them_under_fail() {
+        let records = stream();
+        let expected = sequential(&records);
+        // Duplicate every 7th record back to back.
+        let mut dirty = Vec::with_capacity(records.len() + records.len() / 7);
+        for (i, r) in records.iter().enumerate() {
+            dirty.push(*r);
+            if i % 7 == 0 {
+                dirty.push(*r);
+            }
+        }
+        for mode in [
+            PipelineMode::Sequential,
+            PipelineMode::Sharded { workers: 3 },
+        ] {
+            let mut input = SliceStream::with_batch_size(&dirty, 257);
+            let mut input = InfallibleStream(&mut input);
+            let outcome = try_collect_year_stream(
+                2020,
+                cfg(),
+                7.0,
+                mode,
+                64,
+                FaultPolicy::SkipRecord,
+                &mut input,
+                |r| r.dst_port != 23,
+            )
+            .unwrap();
+            assert_eq!(outcome.analysis, expected, "mode = {mode}");
+            assert_eq!(
+                outcome.faults.duplicates_dropped,
+                (records.len() as u64).div_ceil(7)
+            );
+        }
+        // Under the strict policy duplicates are analyzed as-is: more
+        // packets than the clean run.
+        let mut input = SliceStream::with_batch_size(&dirty, 257);
+        let mut input = InfallibleStream(&mut input);
+        let outcome = try_collect_year_stream(
+            2020,
+            cfg(),
+            7.0,
+            PipelineMode::Sequential,
+            0,
+            FaultPolicy::Fail,
+            &mut input,
+            |r| r.dst_port != 23,
+        )
+        .unwrap();
+        assert!(outcome.analysis.total_packets > expected.total_packets);
+        assert!(!outcome.faults.any());
+    }
+
+    #[test]
+    fn order_regression_fails_strictly_and_is_skippable() {
+        let mut records = stream();
+        let n = records.len();
+        records.swap(n / 2, n / 2 + 1); // one adjacent inversion
+        for mode in [
+            PipelineMode::Sequential,
+            PipelineMode::Sharded { workers: 3 },
+        ] {
+            let mut input = SliceStream::with_batch_size(&records, 257);
+            let mut input = InfallibleStream(&mut input);
+            let err = try_collect_year_stream(
+                2020,
+                cfg(),
+                7.0,
+                mode,
+                0,
+                FaultPolicy::Fail,
+                &mut input,
+                |r| r.dst_port != 23,
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                PipelineError::Stream(StreamError::Unordered { violations: 1 }),
+                "mode = {mode}"
+            );
+
+            let mut input = SliceStream::with_batch_size(&records, 257);
+            let mut input = InfallibleStream(&mut input);
+            let outcome = try_collect_year_stream(
+                2020,
+                cfg(),
+                7.0,
+                mode,
+                0,
+                FaultPolicy::SkipRecord,
+                &mut input,
+                |r| r.dst_port != 23,
+            )
+            .unwrap();
+            assert_eq!(outcome.faults.records_skipped, 1, "mode = {mode}");
         }
     }
 

@@ -322,7 +322,13 @@ impl<'p> YearStream<'p> {
         let spec = &self.plan.specs[idx as usize];
         let mut records: Vec<ProbeRecord> = Vec::with_capacity(spec.count as usize);
         let mut rng = spec.rng.clone();
-        run_emitter(&spec.kind, spec.start_micros, &mut rng, self.dark, &mut records);
+        run_emitter(
+            &spec.kind,
+            spec.start_micros,
+            &mut rng,
+            self.dark,
+            &mut records,
+        );
         records.sort_by_key(|r| r.ts_micros); // stable: ties keep emission order
         if records.is_empty() {
             return;
@@ -462,9 +468,7 @@ mod tests {
     fn overlapping_emitters_merge_exactly_like_the_stable_sort() {
         let dark = dark();
         // Tiny duration forces massive timestamp collisions across specs.
-        let specs: Vec<EmitterSpec> = (0..8u64)
-            .map(|i| campaign_spec(i, 1_000, 3, 400))
-            .collect();
+        let specs: Vec<EmitterSpec> = (0..8u64).map(|i| campaign_spec(i, 1_000, 3, 400)).collect();
         let plan = YearPlan {
             year: 2021,
             truth: GroundTruth::default(),

@@ -8,8 +8,10 @@
 
 use std::io::{Read, Write};
 
-use synscan_wire::stream::{RecordStream, BATCH_RECORDS};
-use synscan_wire::{pcap, ProbeRecord, SynFrameBuilder, TcpFlags, WireError};
+use synscan_wire::stream::{
+    FaultCounters, FaultPolicy, RecordStream, StreamError, TryRecordStream, BATCH_RECORDS,
+};
+use synscan_wire::{pcap, PcapError, ProbeRecord, SynFrameBuilder, TcpFlags};
 
 use crate::addrset::AddressSet;
 use crate::ingress::IngressPolicy;
@@ -170,29 +172,51 @@ pub fn export_pcap<W: Write>(records: &[ProbeRecord], writer: W) -> std::io::Res
 /// whose [`RecordStream`] contract promises time order — can detect an
 /// unsorted capture and tell the caller to materialize-and-sort instead.
 ///
-/// I/O or parse errors end the stream early; check [`PcapStream::error`]
-/// after exhaustion to distinguish a clean EOF from a truncated capture.
+/// What happens on a pcap fault depends on the [`FaultPolicy`]:
+///
+/// * [`FaultPolicy::Fail`] (default) — the fault is terminal. Through the
+///   fallible [`TryRecordStream`] interface it surfaces as `Err`; through
+///   the legacy [`RecordStream`] interface the stream ends early and the
+///   fault is readable via [`PcapStream::error`].
+/// * [`FaultPolicy::SkipRecord`] — recoverable faults (the reader is still
+///   aligned) drop that record and continue; unrecoverable ones end the
+///   stream cleanly. Everything dropped is tallied in
+///   [`PcapStream::faults`].
+/// * [`FaultPolicy::StopClean`] — the first fault ends the stream cleanly,
+///   keeping the parsed prefix.
 #[derive(Debug)]
 pub struct PcapStream<R: Read> {
     reader: pcap::PcapReader<R>,
+    policy: FaultPolicy,
     batch: Vec<ProbeRecord>,
     non_tcp: u64,
     last_ts: u64,
     order_violations: u64,
-    error: Option<WireError>,
+    faults: FaultCounters,
+    error: Option<StreamError>,
     done: bool,
 }
 
 impl<R: Read> PcapStream<R> {
     /// Open a classic pcap stream (parses the global header eagerly, so a
-    /// non-pcap input fails here, not on the first batch).
-    pub fn new(reader: R) -> Result<Self, WireError> {
+    /// non-pcap input fails here, not on the first batch) with the strict
+    /// [`FaultPolicy::Fail`] policy.
+    pub fn new(reader: R) -> Result<Self, PcapError> {
+        Self::with_policy(reader, FaultPolicy::Fail)
+    }
+
+    /// As [`PcapStream::new`] with an explicit fault policy. The global
+    /// header must parse under every policy — without it there is no
+    /// framing to recover to.
+    pub fn with_policy(reader: R, policy: FaultPolicy) -> Result<Self, PcapError> {
         Ok(Self {
             reader: pcap::PcapReader::new(reader)?,
+            policy,
             batch: Vec::with_capacity(BATCH_RECORDS),
             non_tcp: 0,
             last_ts: 0,
             order_violations: 0,
+            faults: FaultCounters::default(),
             error: None,
             done: false,
         })
@@ -210,16 +234,22 @@ impl<R: Read> PcapStream<R> {
         self.order_violations
     }
 
-    /// The error that ended the stream, if it did not end at a clean EOF.
-    pub fn error(&self) -> Option<WireError> {
+    /// What the fault policy skipped or cut short on this stream.
+    pub fn faults(&self) -> FaultCounters {
+        self.faults
+    }
+
+    /// The error that ended the stream, if it did not end at a clean EOF
+    /// (only ever set under [`FaultPolicy::Fail`]).
+    pub fn error(&self) -> Option<StreamError> {
         self.error
     }
-}
 
-impl<R: Read> RecordStream for PcapStream<R> {
-    fn next_batch(&mut self) -> Option<&[ProbeRecord]> {
+    /// Fill `self.batch`; `Ok(true)` when it holds records, `Ok(false)` at
+    /// clean exhaustion, `Err` on a fatal fault under [`FaultPolicy::Fail`].
+    fn fill(&mut self) -> Result<bool, StreamError> {
         if self.done {
-            return None;
+            return Ok(false);
         }
         self.batch.clear();
         while self.batch.len() < BATCH_RECORDS {
@@ -239,17 +269,54 @@ impl<R: Read> RecordStream for PcapStream<R> {
                     self.done = true;
                     break;
                 }
-                Err(e) => {
-                    self.error = Some(e);
-                    self.done = true;
-                    break;
-                }
+                Err(e) => match self.policy {
+                    FaultPolicy::Fail => {
+                        self.done = true;
+                        return Err(StreamError::Pcap(e));
+                    }
+                    FaultPolicy::SkipRecord if e.recoverable() => {
+                        self.faults.records_skipped += 1;
+                        self.faults.bytes_dropped += e.bytes_lost();
+                    }
+                    FaultPolicy::SkipRecord => {
+                        // Framing is lost — the rest of the file is
+                        // unreadable, so degrade to a clean early end.
+                        self.faults.streams_truncated += 1;
+                        self.faults.bytes_dropped += e.bytes_lost();
+                        self.done = true;
+                        break;
+                    }
+                    FaultPolicy::StopClean => {
+                        self.faults.streams_truncated += 1;
+                        self.faults.bytes_dropped += e.bytes_lost();
+                        self.done = true;
+                        break;
+                    }
+                },
             }
         }
-        if self.batch.is_empty() {
-            None
-        } else {
-            Some(&self.batch)
+        Ok(!self.batch.is_empty())
+    }
+}
+
+impl<R: Read> RecordStream for PcapStream<R> {
+    fn next_batch(&mut self) -> Option<&[ProbeRecord]> {
+        match self.fill() {
+            Ok(true) => Some(&self.batch),
+            Ok(false) => None,
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+impl<R: Read> TryRecordStream for PcapStream<R> {
+    fn try_next_batch(&mut self) -> Result<Option<&[ProbeRecord]>, StreamError> {
+        match self.fill()? {
+            true => Ok(Some(&self.batch)),
+            false => Ok(None),
         }
     }
 }
@@ -260,13 +327,22 @@ impl<R: Read> RecordStream for PcapStream<R> {
 /// This is the materializing convenience over [`PcapStream`] — it holds the
 /// whole capture in memory. Incremental consumers should drive the stream
 /// directly.
-pub fn import_pcap<R: Read>(reader: R) -> Result<Vec<ProbeRecord>, WireError> {
-    let mut stream = PcapStream::new(reader)?;
-    let records = synscan_wire::stream::collect(&mut stream);
-    match stream.error() {
-        Some(e) => Err(e),
-        None => Ok(records),
+pub fn import_pcap<R: Read>(reader: R) -> Result<Vec<ProbeRecord>, StreamError> {
+    import_pcap_with_policy(reader, FaultPolicy::Fail).map(|(records, _)| records)
+}
+
+/// As [`import_pcap`] under an explicit [`FaultPolicy`], returning what the
+/// policy had to skip alongside the records.
+pub fn import_pcap_with_policy<R: Read>(
+    reader: R,
+    policy: FaultPolicy,
+) -> Result<(Vec<ProbeRecord>, FaultCounters), StreamError> {
+    let mut stream = PcapStream::with_policy(reader, policy)?;
+    let mut records = Vec::new();
+    while let Some(batch) = stream.try_next_batch()? {
+        records.extend_from_slice(batch);
     }
+    Ok((records, stream.faults()))
 }
 
 #[cfg(test)]
@@ -464,6 +540,69 @@ mod tests {
         while stream.next_batch().is_some() {}
         assert!(stream.error().is_some());
         assert!(import_pcap(std::io::Cursor::new(bytes)).is_err());
+    }
+
+    #[test]
+    fn skip_policy_survives_a_torn_tail_with_counters() {
+        let set = set();
+        let dark = set.addresses()[0];
+        let records: Vec<ProbeRecord> = (0..6u64)
+            .map(|i| ProbeRecord {
+                ts_micros: 1_000 + i,
+                ..record(dark, 443, TcpFlags::SYN)
+            })
+            .collect();
+        let mut bytes = export_pcap(&records, Vec::new()).unwrap();
+        bytes.truncate(bytes.len() - 7); // tear into the last frame
+
+        // Strict policy: fatal.
+        assert!(import_pcap(std::io::Cursor::new(bytes.clone())).is_err());
+
+        // Skip policy: the readable prefix survives, the tear is counted.
+        let (parsed, faults) =
+            import_pcap_with_policy(std::io::Cursor::new(bytes.clone()), FaultPolicy::SkipRecord)
+                .unwrap();
+        assert_eq!(parsed, records[..5].to_vec());
+        assert_eq!(faults.streams_truncated, 1);
+        assert_eq!(faults.records_skipped, 0);
+
+        // Stop-clean behaves the same for an unrecoverable fault.
+        let (parsed, faults) =
+            import_pcap_with_policy(std::io::Cursor::new(bytes), FaultPolicy::StopClean).unwrap();
+        assert_eq!(parsed.len(), 5);
+        assert_eq!(faults.streams_truncated, 1);
+    }
+
+    #[test]
+    fn skip_policy_drops_recoverable_records_and_continues() {
+        let set = set();
+        let dark = set.addresses()[0];
+        let records: Vec<ProbeRecord> = (0..2u64)
+            .map(|i| ProbeRecord {
+                ts_micros: 1_000 + i,
+                ..record(dark, 443, TcpFlags::SYN)
+            })
+            .collect();
+        let bytes = export_pcap(&records, Vec::new()).unwrap();
+        // Splice a bogus zero-wire-length record between the two real ones.
+        let first_record_end = 24 + 16 + ProbeRecord::frame_len();
+        let mut spliced = bytes[..first_record_end].to_vec();
+        spliced.extend_from_slice(&1u32.to_le_bytes()); // ts_sec
+        spliced.extend_from_slice(&0u32.to_le_bytes()); // ts_usec
+        spliced.extend_from_slice(&4u32.to_le_bytes()); // incl_len
+        spliced.extend_from_slice(&0u32.to_le_bytes()); // orig_len = 0: bogus
+        spliced.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        spliced.extend_from_slice(&bytes[first_record_end..]);
+
+        assert!(import_pcap(std::io::Cursor::new(spliced.clone())).is_err());
+
+        let (parsed, faults) =
+            import_pcap_with_policy(std::io::Cursor::new(spliced), FaultPolicy::SkipRecord)
+                .unwrap();
+        assert_eq!(parsed, records, "both real records survive the skip");
+        assert_eq!(faults.records_skipped, 1);
+        assert_eq!(faults.bytes_dropped, 4);
+        assert_eq!(faults.streams_truncated, 0);
     }
 
     #[test]

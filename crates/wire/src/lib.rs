@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod checksum;
 pub mod ethernet;
 pub mod ipv4;
@@ -61,11 +62,15 @@ pub mod tcp;
 pub mod tcp_options;
 pub mod udp;
 
+pub use chaos::{ChaosPlan, ChaosReader, ChaosStream, Fault, InjectionLog};
 pub use ethernet::{EtherType, EthernetFrame, EthernetRepr};
 pub use ipv4::{Address as Ipv4Address, Ipv4Packet, Ipv4Repr, Protocol};
-pub use pcap::{PcapReader, PcapRecord, PcapWriter};
+pub use pcap::{PcapError, PcapReader, PcapRecord, PcapWriter};
 pub use probe::{ProbeRecord, SynFrameBuilder};
-pub use stream::{NullSink, RecordSink, RecordStream, SliceStream};
+pub use stream::{
+    FaultCounters, FaultPolicy, NullSink, RecordSink, RecordStream, SliceStream, StreamError,
+    TryRecordStream,
+};
 pub use tcp::{TcpFlags, TcpPacket, TcpRepr};
 pub use tcp_options::{option_signature, parse_options, TcpOption};
 pub use udp::{UdpPacket, UdpRepr};

@@ -4,10 +4,16 @@
 //! format from scratch: the 24-byte global header (magic `0xa1b2c3d4`,
 //! microsecond timestamps) and per-record headers, in both byte orders on
 //! read, native-order little-endian on write.
+//!
+//! Real telescope archives decay: disks fill mid-write, copies are cut
+//! short, bitrot flips length fields. The reader therefore never panics on
+//! hostile input — every malformation maps to a typed [`PcapError`] telling
+//! the consumer exactly what broke and whether the stream can continue past
+//! it ([`PcapError::recoverable`]).
 
 use std::io::{self, Read, Write};
 
-use crate::{Result, WireError};
+use crate::WireError;
 
 /// Magic number for microsecond-resolution pcap, as written.
 pub const MAGIC_MICROS: u32 = 0xa1b2_c3d4;
@@ -17,6 +23,98 @@ pub const MAGIC_NANOS: u32 = 0xa1b2_3c4d;
 pub const LINKTYPE_ETHERNET: u32 = 1;
 /// Link type LINKTYPE_RAW (raw IP).
 pub const LINKTYPE_RAW: u32 = 101;
+/// Largest per-record capture length the reader will trust. Real snap
+/// lengths never exceed 256 KiB; a larger value is a corrupt length field.
+pub const MAX_SNAPLEN: u32 = 1 << 18;
+
+/// Everything that can be wrong with a classic pcap stream, precisely.
+///
+/// The old reader folded all of these into two [`WireError`] variants (and
+/// `unwrap()`-ed its header slicing); the fault-injection work needs to
+/// distinguish "the file is not pcap at all" from "one record is torn", so
+/// each malformation gets its own variant. `From<PcapError> for WireError`
+/// keeps the coarse view available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcapError {
+    /// Fewer than 24 bytes of global header.
+    TruncatedGlobalHeader,
+    /// The magic number matches neither byte order of either resolution.
+    BadMagic(u32),
+    /// A record header started but ended before its 16th byte.
+    TruncatedRecordHeader,
+    /// A record body ended early (mid-file EOF / torn tail).
+    TruncatedRecordBody {
+        /// Bytes the record header promised.
+        expected: u32,
+        /// Bytes actually present.
+        got: u32,
+    },
+    /// The captured length exceeds [`MAX_SNAPLEN`] — a corrupt length field
+    /// that would otherwise drive a huge allocation and lose framing.
+    SnapLenOverflow(u32),
+    /// The header claims zero bytes on the wire yet carries captured bytes —
+    /// no real frame is zero-length. Recoverable: the body was consumed, so
+    /// the reader is still aligned on the next record.
+    ZeroLengthRecord {
+        /// Captured bytes carried by the bogus record.
+        incl: u32,
+    },
+}
+
+impl PcapError {
+    /// Whether the reader is still aligned on the next record boundary after
+    /// this error — i.e. a skip-faults consumer may keep reading. Length
+    /// corruption and truncation lose framing for good.
+    pub fn recoverable(&self) -> bool {
+        matches!(self, PcapError::ZeroLengthRecord { .. })
+    }
+
+    /// Capture bytes rendered unusable by this error (for fault counters).
+    pub fn bytes_lost(&self) -> u64 {
+        match self {
+            PcapError::TruncatedRecordBody { got, .. } => u64::from(*got),
+            PcapError::ZeroLengthRecord { incl } => u64::from(*incl),
+            _ => 0,
+        }
+    }
+}
+
+impl core::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PcapError::TruncatedGlobalHeader => write!(f, "truncated pcap global header"),
+            PcapError::BadMagic(magic) => write!(f, "bad pcap magic {magic:#010x}"),
+            PcapError::TruncatedRecordHeader => write!(f, "truncated pcap record header"),
+            PcapError::TruncatedRecordBody { expected, got } => {
+                write!(f, "truncated pcap record body ({got} of {expected} bytes)")
+            }
+            PcapError::SnapLenOverflow(len) => {
+                write!(f, "pcap record capture length {len} exceeds {MAX_SNAPLEN}")
+            }
+            PcapError::ZeroLengthRecord { incl } => {
+                write!(
+                    f,
+                    "pcap record claims zero wire length but carries {incl} bytes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+impl From<PcapError> for WireError {
+    fn from(e: PcapError) -> Self {
+        match e {
+            PcapError::TruncatedGlobalHeader
+            | PcapError::TruncatedRecordHeader
+            | PcapError::TruncatedRecordBody { .. } => WireError::Truncated,
+            PcapError::BadMagic(_)
+            | PcapError::SnapLenOverflow(_)
+            | PcapError::ZeroLengthRecord { .. } => WireError::Malformed,
+        }
+    }
+}
 
 /// One captured record: timestamp plus frame bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +168,48 @@ impl<W: Write> PcapWriter<W> {
     }
 }
 
+impl PcapWriter<Vec<u8>> {
+    /// Bytes emitted so far (header plus records) when writing to memory —
+    /// lets rewriters compute exact tear offsets without re-deriving framing.
+    pub fn buffered_len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+/// Read as many bytes as the source can give, stopping only at EOF. Returns
+/// the byte count, so callers can tell a clean boundary (0) from a torn one.
+/// Non-EOF I/O errors surface as a short read too — sans-I/O consumers treat
+/// an unreadable tail exactly like a truncated one.
+fn read_fully<R: Read>(reader: &mut R, buf: &mut [u8]) -> usize {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    filled
+}
+
+/// Little-endian `u32` at a fixed offset of a fixed-size header buffer.
+/// Infallible by construction — this replaces the `try_into().unwrap()`
+/// slicing the reader used to do on header bytes.
+fn u32_at(buf: &[u8], offset: usize, swapped: bool) -> u32 {
+    let v = u32::from_le_bytes([
+        buf[offset],
+        buf[offset + 1],
+        buf[offset + 2],
+        buf[offset + 3],
+    ]);
+    if swapped {
+        v.swap_bytes()
+    } else {
+        v
+    }
+}
+
 /// Streaming pcap reader handling both byte orders and both time resolutions.
 #[derive(Debug)]
 pub struct PcapReader<R: Read> {
@@ -81,28 +221,20 @@ pub struct PcapReader<R: Read> {
 
 impl<R: Read> PcapReader<R> {
     /// Open a pcap stream, parsing and validating the global header.
-    pub fn new(mut inner: R) -> Result<Self> {
+    pub fn new(mut inner: R) -> Result<Self, PcapError> {
         let mut header = [0u8; 24];
-        inner
-            .read_exact(&mut header)
-            .map_err(|_| WireError::Truncated)?;
-        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        if read_fully(&mut inner, &mut header) < header.len() {
+            return Err(PcapError::TruncatedGlobalHeader);
+        }
+        let magic = u32_at(&header, 0, false);
         let (swapped, nanos) = match magic {
             MAGIC_MICROS => (false, false),
             MAGIC_NANOS => (false, true),
             m if m.swap_bytes() == MAGIC_MICROS => (true, false),
             m if m.swap_bytes() == MAGIC_NANOS => (true, true),
-            _ => return Err(WireError::Malformed),
+            m => return Err(PcapError::BadMagic(m)),
         };
-        let read_u32 = |bytes: &[u8]| -> u32 {
-            let v = u32::from_le_bytes(bytes.try_into().unwrap());
-            if swapped {
-                v.swap_bytes()
-            } else {
-                v
-            }
-        };
-        let linktype = read_u32(&header[20..24]);
+        let linktype = u32_at(&header, 20, swapped);
         Ok(Self {
             inner,
             swapped,
@@ -117,34 +249,38 @@ impl<R: Read> PcapReader<R> {
     }
 
     /// Read the next record; `Ok(None)` signals a clean end of stream.
-    pub fn next_record(&mut self) -> Result<Option<PcapRecord>> {
+    ///
+    /// After a [`PcapError::recoverable`] error the reader is still aligned
+    /// on the next record boundary and may be called again; after any other
+    /// error the framing is lost and further reads yield garbage.
+    pub fn next_record(&mut self) -> Result<Option<PcapRecord>, PcapError> {
         let mut rec_header = [0u8; 16];
-        match self.inner.read_exact(&mut rec_header) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(_) => return Err(WireError::Truncated),
+        match read_fully(&mut self.inner, &mut rec_header) {
+            0 => return Ok(None),
+            n if n < rec_header.len() => return Err(PcapError::TruncatedRecordHeader),
+            _ => {}
         }
-        let read_u32 = |bytes: &[u8]| -> u32 {
-            let v = u32::from_le_bytes(bytes.try_into().unwrap());
-            if self.swapped {
-                v.swap_bytes()
-            } else {
-                v
-            }
-        };
-        let ts_sec = read_u32(&rec_header[0..4]) as u64;
-        let ts_frac = read_u32(&rec_header[4..8]) as u64;
-        let incl_len = read_u32(&rec_header[8..12]) as usize;
-        let orig_len = read_u32(&rec_header[12..16]);
-        // Defend against corrupt length fields: pcap snap lengths never
-        // exceed 256 KiB in practice.
-        if incl_len > 1 << 18 {
-            return Err(WireError::Malformed);
+        let ts_sec = u64::from(u32_at(&rec_header, 0, self.swapped));
+        let ts_frac = u64::from(u32_at(&rec_header, 4, self.swapped));
+        let incl_len = u32_at(&rec_header, 8, self.swapped);
+        let orig_len = u32_at(&rec_header, 12, self.swapped);
+        // Defend against corrupt length fields before allocating or reading.
+        if incl_len > MAX_SNAPLEN {
+            return Err(PcapError::SnapLenOverflow(incl_len));
         }
-        let mut data = vec![0u8; incl_len];
-        self.inner
-            .read_exact(&mut data)
-            .map_err(|_| WireError::Truncated)?;
+        let mut data = vec![0u8; incl_len as usize];
+        let got = read_fully(&mut self.inner, &mut data);
+        if got < data.len() {
+            return Err(PcapError::TruncatedRecordBody {
+                expected: incl_len,
+                got: got as u32,
+            });
+        }
+        // The body is consumed either way, so this check runs after the
+        // read: a skip-faults consumer stays aligned on the next record.
+        if orig_len == 0 && incl_len > 0 {
+            return Err(PcapError::ZeroLengthRecord { incl: incl_len });
+        }
         let ts_micros = if self.nanos {
             ts_sec * 1_000_000 + ts_frac / 1000
         } else {
@@ -159,7 +295,7 @@ impl<R: Read> PcapReader<R> {
 }
 
 impl<R: Read> Iterator for PcapReader<R> {
-    type Item = Result<PcapRecord>;
+    type Item = Result<PcapRecord, PcapError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         self.next_record().transpose()
@@ -254,7 +390,27 @@ mod tests {
         let bytes = vec![0u8; 24];
         assert_eq!(
             PcapReader::new(Cursor::new(bytes)).unwrap_err(),
-            WireError::Malformed
+            PcapError::BadMagic(0)
+        );
+    }
+
+    #[test]
+    fn truncated_global_header_is_rejected() {
+        let bytes = write_capture(&[])[..10].to_vec();
+        assert_eq!(
+            PcapReader::new(Cursor::new(bytes)).unwrap_err(),
+            PcapError::TruncatedGlobalHeader
+        );
+    }
+
+    #[test]
+    fn truncated_record_header_is_an_error_not_a_clean_eof() {
+        let mut bytes = write_capture(&[]);
+        bytes.extend_from_slice(&[0u8; 7]); // 7 of 16 header bytes
+        let mut reader = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(
+            reader.next_record().unwrap_err(),
+            PcapError::TruncatedRecordHeader
         );
     }
 
@@ -263,7 +419,13 @@ mod tests {
         let mut bytes = write_capture(&[(1, vec![1u8; 8])]);
         bytes.truncate(bytes.len() - 4);
         let mut reader = PcapReader::new(Cursor::new(bytes)).unwrap();
-        assert_eq!(reader.next_record().unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            reader.next_record().unwrap_err(),
+            PcapError::TruncatedRecordBody {
+                expected: 8,
+                got: 4
+            }
+        );
     }
 
     #[test]
@@ -274,7 +436,66 @@ mod tests {
         bytes.extend_from_slice(&(1u32 << 30).to_le_bytes());
         bytes.extend_from_slice(&4u32.to_le_bytes());
         let mut reader = PcapReader::new(Cursor::new(bytes)).unwrap();
-        assert_eq!(reader.next_record().unwrap_err(), WireError::Malformed);
+        assert_eq!(
+            reader.next_record().unwrap_err(),
+            PcapError::SnapLenOverflow(1 << 30)
+        );
+    }
+
+    #[test]
+    fn zero_length_record_is_recoverable() {
+        // header claims orig_len == 0 while carrying 4 bytes; the record
+        // after it must still parse (the reader stays aligned).
+        let mut bytes = write_capture(&[]);
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // ts_sec
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // ts_usec
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // incl_len
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // orig_len = 0: bogus
+        bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&[7, 8, 9]);
+        let mut reader = PcapReader::new(Cursor::new(bytes)).unwrap();
+        let err = reader.next_record().unwrap_err();
+        assert_eq!(err, PcapError::ZeroLengthRecord { incl: 4 });
+        assert!(err.recoverable());
+        assert_eq!(err.bytes_lost(), 4);
+        let rec = reader.next_record().unwrap().unwrap();
+        assert_eq!(rec.data, vec![7, 8, 9]);
+        assert!(reader.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_frames_with_zero_wire_length_remain_valid() {
+        // (incl 0, orig 0) is a legitimate empty record, not a fault.
+        let bytes = write_capture(&[(5, Vec::new())]);
+        let mut reader = PcapReader::new(Cursor::new(bytes)).unwrap();
+        let rec = reader.next_record().unwrap().unwrap();
+        assert!(rec.data.is_empty());
+        assert_eq!(rec.orig_len, 0);
+    }
+
+    #[test]
+    fn error_display_names_the_fault() {
+        assert!(PcapError::BadMagic(0xdead_beef)
+            .to_string()
+            .contains("0xdeadbeef"));
+        assert!(PcapError::TruncatedRecordBody {
+            expected: 20,
+            got: 5
+        }
+        .to_string()
+        .contains("5 of 20"));
+        assert_eq!(
+            WireError::from(PcapError::TruncatedGlobalHeader),
+            WireError::Truncated
+        );
+        assert_eq!(
+            WireError::from(PcapError::SnapLenOverflow(1 << 20)),
+            WireError::Malformed
+        );
     }
 }
 
@@ -310,7 +531,8 @@ mod proptests {
         }
 
         /// Truncating a capture anywhere either yields a clean prefix of the
-        /// records or a Truncated error — never garbage records or a panic.
+        /// records or a typed truncation error — never garbage records or a
+        /// panic.
         #[test]
         fn truncation_is_detected(cut in 24usize..200) {
             let mut writer = PcapWriter::new(Vec::new(), LINKTYPE_ETHERNET).unwrap();
@@ -330,7 +552,12 @@ mod proptests {
                     }
                     Ok(None) => break,
                     Err(e) => {
-                        prop_assert_eq!(e, WireError::Truncated);
+                        prop_assert!(matches!(
+                            e,
+                            PcapError::TruncatedRecordHeader
+                                | PcapError::TruncatedRecordBody { .. }
+                        ));
+                        prop_assert!(!e.recoverable());
                         break;
                     }
                 }

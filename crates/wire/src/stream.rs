@@ -15,6 +15,7 @@
 //! emission code can fill a buffer, feed a stream batch, or be drained into
 //! [`NullSink`] purely for its deterministic RNG side effects.
 
+use crate::pcap::PcapError;
 use crate::probe::ProbeRecord;
 
 /// Records per batch a well-behaved stream yields: large enough to amortize
@@ -39,6 +40,159 @@ pub trait RecordStream {
     /// (pre-sizing hint only — never load-bearing).
     fn len_hint(&self) -> Option<u64> {
         None
+    }
+}
+
+/// What a consumer does when a stream yields a recoverable fault.
+///
+/// Telescope archives are decayed in practice (torn tails, bitrot, duplicate
+/// flushes); the policy decides whether a run is strict, lossy-but-complete,
+/// or best-effort-prefix. Whatever the policy drops is tallied in
+/// [`FaultCounters`] so no loss is silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Surface the first fault as an error and stop (strict; the default).
+    #[default]
+    Fail,
+    /// Drop faulty records (and duplicates / regressions) and keep going.
+    SkipRecord,
+    /// Treat the first fault as a clean end of stream, keeping the prefix.
+    StopClean,
+}
+
+impl core::fmt::Display for FaultPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultPolicy::Fail => write!(f, "fail"),
+            FaultPolicy::SkipRecord => write!(f, "skip"),
+            FaultPolicy::StopClean => write!(f, "stop"),
+        }
+    }
+}
+
+impl core::str::FromStr for FaultPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> core::result::Result<Self, Self::Err> {
+        match s {
+            "fail" => Ok(FaultPolicy::Fail),
+            "skip" | "skip-record" => Ok(FaultPolicy::SkipRecord),
+            "stop" | "stop-clean" => Ok(FaultPolicy::StopClean),
+            other => Err(format!(
+                "unknown fault policy {other:?} (expected fail, skip, or stop)"
+            )),
+        }
+    }
+}
+
+/// Per-run tally of everything a non-strict [`FaultPolicy`] swallowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct FaultCounters {
+    /// Records dropped because they were unparseable or out of order.
+    pub records_skipped: u64,
+    /// Exact back-to-back duplicate records dropped.
+    pub duplicates_dropped: u64,
+    /// Capture bytes rendered unusable by skipped faults.
+    pub bytes_dropped: u64,
+    /// Streams cut short (treated as clean EOF) instead of erroring.
+    pub streams_truncated: u64,
+}
+
+impl FaultCounters {
+    /// Whether any fault was recorded at all.
+    pub fn any(&self) -> bool {
+        *self != FaultCounters::default()
+    }
+
+    /// Fold another tally into this one (shard merge, stream + driver).
+    pub fn absorb(&mut self, other: &FaultCounters) {
+        self.records_skipped += other.records_skipped;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.bytes_dropped += other.bytes_dropped;
+        self.streams_truncated += other.streams_truncated;
+    }
+}
+
+impl core::fmt::Display for FaultCounters {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} records skipped, {} duplicates dropped, {} bytes dropped, {} streams truncated",
+            self.records_skipped,
+            self.duplicates_dropped,
+            self.bytes_dropped,
+            self.streams_truncated
+        )
+    }
+}
+
+/// A fault surfaced by a fallible record stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The underlying pcap framing broke.
+    Pcap(PcapError),
+    /// The stream ended mid-flight (injected or real mid-stream EOF).
+    Truncated {
+        /// Records successfully yielded before the cut.
+        records_seen: u64,
+    },
+    /// The time-order contract was violated.
+    Unordered {
+        /// Timestamp regressions observed.
+        violations: u64,
+    },
+}
+
+impl core::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StreamError::Pcap(e) => write!(f, "pcap fault: {e}"),
+            StreamError::Truncated { records_seen } => {
+                write!(f, "stream truncated after {records_seen} records")
+            }
+            StreamError::Unordered { violations } => {
+                write!(
+                    f,
+                    "stream violated timestamp order ({violations} regressions)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<PcapError> for StreamError {
+    fn from(e: PcapError) -> Self {
+        StreamError::Pcap(e)
+    }
+}
+
+/// The fallible sibling of [`RecordStream`]: same lending-batch contract,
+/// but a pull may surface a [`StreamError`] instead of a batch. An error is
+/// terminal — callers must not pull again after `Err`.
+pub trait TryRecordStream {
+    /// Yield the next batch, `Ok(None)` on clean exhaustion, or the fault.
+    fn try_next_batch(&mut self) -> core::result::Result<Option<&[ProbeRecord]>, StreamError>;
+
+    /// Total records this stream will yield, when cheaply known up front.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Adapts an infallible [`RecordStream`] into a [`TryRecordStream`] that
+/// never errors, so the fallible pipeline driver is the only driver.
+#[derive(Debug)]
+pub struct InfallibleStream<'a, S: RecordStream + ?Sized>(pub &'a mut S);
+
+impl<S: RecordStream + ?Sized> TryRecordStream for InfallibleStream<'_, S> {
+    fn try_next_batch(&mut self) -> core::result::Result<Option<&[ProbeRecord]>, StreamError> {
+        Ok(self.0.next_batch())
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.0.len_hint()
     }
 }
 
@@ -158,6 +312,72 @@ mod tests {
         let mut stream = SliceStream::new(&[]);
         assert!(stream.next_batch().is_none());
         assert_eq!(stream.len_hint(), Some(0));
+    }
+
+    #[test]
+    fn slice_stream_at_exactly_one_batch_yields_once() {
+        // Batch boundary edge case: len == batch size must yield exactly one
+        // full batch, then terminal None — not a full batch plus an empty one.
+        let records: Vec<ProbeRecord> = (0..4u64).map(record).collect();
+        let mut stream = SliceStream::with_batch_size(&records, 4);
+        assert_eq!(stream.next_batch().map(<[_]>::len), Some(4));
+        assert!(stream.next_batch().is_none());
+        assert!(stream.next_batch().is_none(), "exhaustion is terminal");
+    }
+
+    #[test]
+    fn fault_policy_parses_and_displays() {
+        for (text, policy) in [
+            ("fail", FaultPolicy::Fail),
+            ("skip", FaultPolicy::SkipRecord),
+            ("skip-record", FaultPolicy::SkipRecord),
+            ("stop", FaultPolicy::StopClean),
+            ("stop-clean", FaultPolicy::StopClean),
+        ] {
+            assert_eq!(text.parse::<FaultPolicy>().unwrap(), policy);
+        }
+        assert!("lenient".parse::<FaultPolicy>().is_err());
+        assert_eq!(FaultPolicy::SkipRecord.to_string(), "skip");
+        assert_eq!(FaultPolicy::default(), FaultPolicy::Fail);
+    }
+
+    #[test]
+    fn fault_counters_absorb_and_report() {
+        let mut a = FaultCounters::default();
+        assert!(!a.any());
+        a.records_skipped = 2;
+        a.bytes_dropped = 100;
+        let b = FaultCounters {
+            records_skipped: 1,
+            duplicates_dropped: 4,
+            bytes_dropped: 11,
+            streams_truncated: 1,
+        };
+        a.absorb(&b);
+        assert_eq!(
+            a,
+            FaultCounters {
+                records_skipped: 3,
+                duplicates_dropped: 4,
+                bytes_dropped: 111,
+                streams_truncated: 1,
+            }
+        );
+        assert!(a.any());
+        assert!(a.to_string().contains("3 records skipped"));
+    }
+
+    #[test]
+    fn infallible_stream_adapter_never_errors() {
+        let records: Vec<ProbeRecord> = (0..5u64).map(record).collect();
+        let mut inner = SliceStream::with_batch_size(&records, 2);
+        let mut stream = InfallibleStream(&mut inner);
+        assert_eq!(TryRecordStream::len_hint(&stream), Some(5));
+        let mut total = 0;
+        while let Some(batch) = stream.try_next_batch().unwrap() {
+            total += batch.len();
+        }
+        assert_eq!(total, 5);
     }
 
     #[test]

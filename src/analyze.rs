@@ -12,23 +12,36 @@
 //! * **Streaming** (default when the monitored-address count is known):
 //!   the capture is parsed incrementally through
 //!   [`synscan_telescope::PcapStream`] and fed batch-by-batch into
-//!   [`collect_year_stream`] — O(batch) memory, one pass. Requires the
+//!   [`try_collect_year_stream`] — O(batch) memory, one pass. Requires the
 //!   capture to be time-ordered (real telescope captures are); unordered
 //!   input is rejected with [`AnalyzeError::UnorderedCapture`].
 //! * **Materialized** (`materialize: true`, or when `monitored` must be
 //!   inferred): the whole capture is loaded, sorted, and analyzed from
 //!   memory — the escape hatch for unordered captures and the inference
 //!   path (the dark set can only be counted after seeing every record).
+//!
+//! Real archives decay, so both shapes take a [`FaultPolicy`]: strict
+//! (`Fail`, the default) turns the first malformed record, truncation, or
+//! timestamp regression into a typed [`AnalyzeError`]; `SkipRecord` /
+//! `StopClean` degrade gracefully instead and tally everything dropped in
+//! [`AnalyzeResult::faults`] so no loss is silent. A `chaos_seed` wires a
+//! deterministic [`synscan_wire::chaos::ChaosReader`] under the parser for
+//! reproducible fault drills.
 
 use std::collections::BTreeMap;
 use std::io::Read;
 
 use synscan_core::analysis::{toolports, yearly, YearAnalysis};
-use synscan_core::pipeline::collect_year_stream;
+use synscan_core::pipeline::{try_collect_year_stream, PipelineError};
 use synscan_core::{CampaignConfig, PipelineMode};
-use synscan_telescope::capture::{classify_technique, import_pcap, PcapStream, ScanTechnique};
-use synscan_wire::stream::SliceStream;
-use synscan_wire::ProbeRecord;
+use synscan_telescope::capture::{
+    classify_technique, import_pcap_with_policy, PcapStream, ScanTechnique,
+};
+use synscan_wire::chaos::{ChaosPlan, ChaosReader};
+use synscan_wire::stream::{
+    FaultCounters, FaultPolicy, InfallibleStream, SliceStream, StreamError, TryRecordStream,
+};
+use synscan_wire::{PcapError, ProbeRecord};
 
 /// Options for an external-capture analysis.
 #[derive(Debug, Clone)]
@@ -47,6 +60,13 @@ pub struct AnalyzeOptions {
     /// Load and sort the whole capture in memory instead of streaming it.
     /// Required for captures that are not time-ordered.
     pub materialize: bool,
+    /// What to do when the capture is malformed: fail fast (default), skip
+    /// the faulty records, or keep the clean prefix.
+    pub policy: FaultPolicy,
+    /// Inject deterministic byte-level faults under the parser (testing /
+    /// drills): `Some(seed)` wraps the input in a
+    /// [`synscan_wire::chaos::ChaosReader`] with [`ChaosPlan::byte_noise`].
+    pub chaos_seed: Option<u64>,
 }
 
 impl Default for AnalyzeOptions {
@@ -57,6 +77,8 @@ impl Default for AnalyzeOptions {
             top_ports: 10,
             pipeline: PipelineMode::Sequential,
             materialize: false,
+            policy: FaultPolicy::Fail,
+            chaos_seed: None,
         }
     }
 }
@@ -65,24 +87,41 @@ impl Default for AnalyzeOptions {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnalyzeError {
     /// The capture could not be parsed as classic pcap.
-    Wire(synscan_wire::WireError),
+    Pcap(PcapError),
+    /// The capture ended mid-stream (torn tail, injected EOF) under the
+    /// strict fault policy.
+    Truncated {
+        /// Records successfully parsed before the cut.
+        records_seen: u64,
+    },
     /// The capture is not time-ordered, so the single-pass streaming
     /// pipeline cannot analyze it. Re-run materialized to sort it first.
     UnorderedCapture {
         /// Consecutive timestamp inversions observed in the capture.
         violations: u64,
     },
+    /// A pipeline shard worker died; the analysis is unrecoverable.
+    WorkerPanicked,
 }
 
 impl std::fmt::Display for AnalyzeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AnalyzeError::Wire(e) => write!(f, "pcap error: {e}"),
+            AnalyzeError::Pcap(e) => write!(
+                f,
+                "pcap error: {e}; re-run with --fault-policy skip to analyze past it"
+            ),
+            AnalyzeError::Truncated { records_seen } => write!(
+                f,
+                "capture truncated after {records_seen} records; re-run with \
+                 --fault-policy skip to keep the prefix"
+            ),
             AnalyzeError::UnorderedCapture { violations } => write!(
                 f,
                 "capture is not time-ordered ({violations} timestamp inversions); \
                  re-run with --materialize to sort it in memory"
             ),
+            AnalyzeError::WorkerPanicked => write!(f, "analysis pipeline worker panicked"),
         }
     }
 }
@@ -90,15 +129,34 @@ impl std::fmt::Display for AnalyzeError {
 impl std::error::Error for AnalyzeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            AnalyzeError::Wire(e) => Some(e),
-            AnalyzeError::UnorderedCapture { .. } => None,
+            AnalyzeError::Pcap(e) => Some(e),
+            _ => None,
         }
     }
 }
 
-impl From<synscan_wire::WireError> for AnalyzeError {
-    fn from(e: synscan_wire::WireError) -> Self {
-        AnalyzeError::Wire(e)
+impl From<PcapError> for AnalyzeError {
+    fn from(e: PcapError) -> Self {
+        AnalyzeError::Pcap(e)
+    }
+}
+
+impl From<StreamError> for AnalyzeError {
+    fn from(e: StreamError) -> Self {
+        match e {
+            StreamError::Pcap(e) => AnalyzeError::Pcap(e),
+            StreamError::Truncated { records_seen } => AnalyzeError::Truncated { records_seen },
+            StreamError::Unordered { violations } => AnalyzeError::UnorderedCapture { violations },
+        }
+    }
+}
+
+impl From<PipelineError> for AnalyzeError {
+    fn from(e: PipelineError) -> Self {
+        match e {
+            PipelineError::Stream(e) => e.into(),
+            PipelineError::WorkerPanicked => AnalyzeError::WorkerPanicked,
+        }
     }
 }
 
@@ -116,24 +174,33 @@ pub struct AnalyzeResult {
     pub non_tcp_frames: u64,
     /// The monitored-address count used for extrapolation.
     pub monitored: u64,
+    /// Everything the fault policy skipped or cut short to produce this
+    /// result — zero across the board for a clean capture.
+    pub faults: FaultCounters,
 }
 
 /// Count the distinct probed destinations of a capture in one streaming
 /// pass — the monitored-address inference without holding any records. The
 /// `analyze` binary uses this as pass one of its two-pass streaming mode.
 pub fn infer_monitored<R: Read>(reader: R) -> Result<u64, AnalyzeError> {
-    use synscan_wire::stream::RecordStream;
-    let mut stream = PcapStream::new(reader)?;
+    infer_monitored_with_policy(reader, FaultPolicy::Fail).map(|(monitored, _)| monitored)
+}
+
+/// As [`infer_monitored`] under an explicit [`FaultPolicy`], with the fault
+/// tally of the pass. Under a lossy policy a malformed capture still infers
+/// from every record the policy could salvage.
+pub fn infer_monitored_with_policy<R: Read>(
+    reader: R,
+    policy: FaultPolicy,
+) -> Result<(u64, FaultCounters), AnalyzeError> {
+    let mut stream = PcapStream::with_policy(reader, policy)?;
     let mut dsts = std::collections::HashSet::new();
-    while let Some(batch) = stream.next_batch() {
+    while let Some(batch) = stream.try_next_batch()? {
         for record in batch {
             dsts.insert(record.dst_ip.0);
         }
     }
-    if let Some(e) = stream.error() {
-        return Err(e.into());
-    }
-    Ok(dsts.len() as u64)
+    Ok((dsts.len() as u64, stream.faults()))
 }
 
 /// Run the pipeline over a pcap stream.
@@ -144,38 +211,47 @@ pub fn analyze_pcap<R: Read>(
     reader: R,
     options: &AnalyzeOptions,
 ) -> Result<AnalyzeResult, AnalyzeError> {
+    match options.chaos_seed {
+        Some(seed) => analyze_pcap_inner(
+            ChaosReader::new(reader, ChaosPlan::byte_noise(seed)),
+            options,
+        ),
+        None => analyze_pcap_inner(reader, options),
+    }
+}
+
+fn analyze_pcap_inner<R: Read>(
+    reader: R,
+    options: &AnalyzeOptions,
+) -> Result<AnalyzeResult, AnalyzeError> {
     let (Some(monitored), false) = (options.monitored, options.materialize) else {
-        let records = import_pcap(reader)?;
-        return Ok(analyze_records(records, options));
+        let (records, import_faults) = import_pcap_with_policy(reader, options.policy)?;
+        let mut result = analyze_records(records, options);
+        result.faults.absorb(&import_faults);
+        return Ok(result);
     };
 
     let config = CampaignConfig::scaled(monitored.max(1));
-    let mut stream = PcapStream::new(reader)?;
+    let mut stream = PcapStream::with_policy(reader, options.policy)?;
     let mut techniques: BTreeMap<&'static str, u64> = BTreeMap::new();
     let admit = |record: &ProbeRecord| {
         let technique = classify_technique(record.flags);
         *techniques.entry(technique_label(technique)).or_default() += 1;
         technique == ScanTechnique::Syn
     };
-    let analysis = collect_year_stream(
+    let outcome = try_collect_year_stream(
         options.year,
         config,
         7.0,
         options.pipeline,
         0,
+        options.policy,
         &mut stream,
         admit,
-    );
-    // A parse error or an ordering violation means the analysis above saw a
-    // wrong or partial stream — surface it instead of the result.
-    if let Some(e) = stream.error() {
-        return Err(e.into());
-    }
-    if stream.order_violations() > 0 {
-        return Err(AnalyzeError::UnorderedCapture {
-            violations: stream.order_violations(),
-        });
-    }
+    )?;
+    let mut faults = stream.faults();
+    faults.absorb(&outcome.faults);
+    let analysis = outcome.analysis;
     let summary = yearly::summarize(&analysis, options.top_ports);
     Ok(AnalyzeResult {
         summary,
@@ -183,11 +259,14 @@ pub fn analyze_pcap<R: Read>(
         non_tcp_frames: stream.non_tcp_frames(),
         monitored,
         analysis,
+        faults,
     })
 }
 
 /// Run the pipeline over already-parsed records (exposed for tests and for
-/// callers with their own capture path). Sorts, so unordered input is fine.
+/// callers with their own capture path). Sorts, so unordered input is fine;
+/// under a lossy policy, exact adjacent duplicates are dropped and counted
+/// exactly as the streaming path would.
 pub fn analyze_records(mut records: Vec<ProbeRecord>, options: &AnalyzeOptions) -> AnalyzeResult {
     records.sort_by_key(|r| r.ts_micros);
 
@@ -210,22 +289,28 @@ pub fn analyze_records(mut records: Vec<ProbeRecord>, options: &AnalyzeOptions) 
         technique == ScanTechnique::Syn
     };
     let mut stream = SliceStream::new(&records);
-    let analysis = collect_year_stream(
+    let mut stream = InfallibleStream(&mut stream);
+    let outcome = try_collect_year_stream(
         options.year,
         config,
         7.0,
         options.pipeline,
         0,
+        options.policy,
         &mut stream,
         admit,
-    );
-    let summary = yearly::summarize(&analysis, options.top_ports);
+    )
+    // Sorted in-memory input cannot regress in time or end mid-stream, so
+    // the driver has nothing to fail on under any policy.
+    .expect("sorted in-memory input cannot fault");
+    let summary = yearly::summarize(&outcome.analysis, options.top_ports);
     AnalyzeResult {
         summary,
         techniques,
-        non_tcp_frames: 0, // import_pcap already skipped them
+        non_tcp_frames: 0, // the pcap importer already skipped them
         monitored,
-        analysis,
+        faults: outcome.faults,
+        analysis: outcome.analysis,
     }
 }
 
@@ -252,6 +337,12 @@ pub fn render_report(result: &AnalyzeResult) -> String {
     let _ = writeln!(out, "  monitored (dark)   {}", result.monitored);
     let _ = writeln!(out, "  window             {:.2} days", a.window_days());
     let _ = writeln!(out, "  frame techniques   {:?}", result.techniques);
+    if result.non_tcp_frames > 0 {
+        let _ = writeln!(out, "  non-TCP frames     {}", result.non_tcp_frames);
+    }
+    if result.faults.any() {
+        let _ = writeln!(out, "  capture faults     {}", result.faults);
+    }
     let _ = writeln!(out, "\ncampaigns ({}):", a.campaigns.len());
     let model = a.model();
     for campaign in a.campaigns.iter().take(25) {
@@ -323,9 +414,11 @@ mod tests {
             result.analysis.campaigns[0].tool(),
             Some(synscan_core::ToolKind::Zmap)
         );
+        assert!(!result.faults.any(), "clean capture reports no faults");
         let report = render_report(&result);
         assert!(report.contains("zmap"));
         assert!(report.contains("443"));
+        assert!(!report.contains("capture faults"));
     }
 
     #[test]
@@ -436,10 +529,82 @@ mod tests {
 
     #[test]
     fn garbage_input_is_an_error_not_a_panic() {
+        for policy in [
+            FaultPolicy::Fail,
+            FaultPolicy::SkipRecord,
+            FaultPolicy::StopClean,
+        ] {
+            let result = analyze_pcap(
+                std::io::Cursor::new(vec![0u8; 100]),
+                &AnalyzeOptions {
+                    policy,
+                    ..AnalyzeOptions::default()
+                },
+            );
+            // Without a valid global header there is nothing to recover to,
+            // under any policy.
+            assert!(matches!(result, Err(AnalyzeError::Pcap(_))), "{policy}");
+        }
+    }
+
+    #[test]
+    fn truncated_capture_fails_strictly_and_skips_gracefully() {
+        let mut bytes = capture_bytes();
+        bytes.truncate(bytes.len() - 11); // tear into the final frame
+        let strict = AnalyzeOptions {
+            monitored: Some(100),
+            ..AnalyzeOptions::default()
+        };
+        let err = analyze_pcap(std::io::Cursor::new(bytes.clone()), &strict).unwrap_err();
+        assert!(matches!(
+            err,
+            AnalyzeError::Pcap(PcapError::TruncatedRecordBody { .. })
+        ));
+        assert!(err.to_string().contains("--fault-policy skip"));
+
         let result = analyze_pcap(
-            std::io::Cursor::new(vec![0u8; 100]),
-            &AnalyzeOptions::default(),
+            std::io::Cursor::new(bytes),
+            &AnalyzeOptions {
+                policy: FaultPolicy::SkipRecord,
+                ..strict
+            },
+        )
+        .expect("skip policy keeps the prefix");
+        assert_eq!(result.analysis.total_packets, 199);
+        assert_eq!(result.faults.streams_truncated, 1);
+        let report = render_report(&result);
+        assert!(report.contains("capture faults"));
+    }
+
+    #[test]
+    fn chaos_seed_is_reproducible_and_counted() {
+        let bytes = capture_bytes();
+        let options = AnalyzeOptions {
+            monitored: Some(100),
+            policy: FaultPolicy::SkipRecord,
+            chaos_seed: Some(0xc0ffee),
+            ..AnalyzeOptions::default()
+        };
+        let a = analyze_pcap(std::io::Cursor::new(bytes.clone()), &options)
+            .expect("skip policy survives byte noise");
+        let b = analyze_pcap(std::io::Cursor::new(bytes.clone()), &options).unwrap();
+        assert_eq!(a.analysis, b.analysis, "same seed, same outcome");
+        assert_eq!(a.faults, b.faults);
+        // Byte noise over a ~13KB capture lands somewhere: either a frame
+        // stopped parsing (non-TCP), a record was skipped, or the stream was
+        // cut — but never a panic, and the clean run is unaffected.
+        let clean = analyze_pcap(
+            std::io::Cursor::new(bytes),
+            &AnalyzeOptions {
+                chaos_seed: None,
+                ..options
+            },
+        )
+        .unwrap();
+        assert!(!clean.faults.any());
+        assert!(
+            a.faults.any() || a.non_tcp_frames > 0 || a.analysis != clean.analysis,
+            "the injected noise must be observable somewhere"
         );
-        assert!(result.is_err());
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! analyze <capture.pcap | -> [--monitored N] [--year Y] [--top N]
 //!         [--pipeline sequential|auto|sharded:N] [--materialize]
+//!         [--fault-policy fail|skip|stop] [--chaos-seed N]
 //! ```
 //!
 //! The capture is SYN-filtered, fingerprinted, grouped into campaigns and
@@ -19,6 +20,14 @@
 //! load-and-sort path, which also accepts captures that are not
 //! time-ordered.
 //!
+//! Real captures get torn and corrupted; by default (`--fault-policy
+//! fail`) the first malformed record aborts with a typed error.
+//! `--fault-policy skip` skips recoverable records and treats a torn tail
+//! as end-of-capture, reporting what was dropped in the summary;
+//! `--fault-policy stop` ends the capture cleanly at the first fault.
+//! `--chaos-seed N` XORs seeded byte noise into the capture before parsing
+//! — a reproducible robustness drill for the policies.
+//!
 //! Try it on the repository's own artifact:
 //!
 //! ```text
@@ -30,10 +39,11 @@
 use std::fs::File;
 use std::io::BufReader;
 
-use synscan::analyze::{analyze_pcap, infer_monitored, render_report, AnalyzeOptions};
+use synscan::analyze::{analyze_pcap, infer_monitored_with_policy, render_report, AnalyzeOptions};
 
 const USAGE: &str = "usage: analyze <capture.pcap | -> [--monitored N] [--year Y] [--top N] \
-                     [--pipeline sequential|auto|sharded:N] [--materialize]\n\
+                     [--pipeline sequential|auto|sharded:N] [--materialize] \
+                     [--fault-policy fail|skip|stop] [--chaos-seed N]\n\
                      \n  <capture.pcap | ->  classic pcap file, or `-` for stdin\
                      \n  --monitored N       dark (monitored) address count; default: inferred \
                      from the capture\
@@ -41,7 +51,11 @@ const USAGE: &str = "usage: analyze <capture.pcap | -> [--monitored N] [--year Y
                      \n  --top N             top ports to summarize (default 10)\
                      \n  --pipeline MODE     sequential | auto | sharded:N (default sequential)\
                      \n  --materialize       load and sort the whole capture instead of \
-                     streaming it (required for unordered captures)";
+                     streaming it (required for unordered captures)\
+                     \n  --fault-policy P    fail | skip | stop: how malformed records are \
+                     handled (default fail)\
+                     \n  --chaos-seed N      XOR seeded byte noise into the capture before \
+                     parsing (robustness drill)";
 
 fn flag_value<T: std::str::FromStr>(
     args: &mut impl Iterator<Item = String>,
@@ -68,10 +82,15 @@ fn run() -> Result<(), String> {
             "--year" => options.year = flag_value(&mut args, "--year", "a calendar year")?,
             "--top" => options.top_ports = flag_value(&mut args, "--top", "a port count")?,
             "--pipeline" => {
-                options.pipeline =
-                    flag_value(&mut args, "--pipeline", "sequential|auto|sharded:N")?
+                options.pipeline = flag_value(&mut args, "--pipeline", "sequential|auto|sharded:N")?
             }
             "--materialize" => options.materialize = true,
+            "--fault-policy" => {
+                options.policy = flag_value(&mut args, "--fault-policy", "fail|skip|stop")?
+            }
+            "--chaos-seed" => {
+                options.chaos_seed = Some(flag_value(&mut args, "--chaos-seed", "a u64 seed")?)
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return Ok(());
@@ -104,10 +123,15 @@ fn run() -> Result<(), String> {
     };
     // Two-pass streaming default: infer the dark set in a record-free pass,
     // then stream the analysis. --materialize restores the single
-    // load-and-sort pass.
+    // load-and-sort pass. The inference pass reads the capture as-is
+    // (chaos noise only decays the analysis pass) but honors the fault
+    // policy, so a torn file can still yield an inferred dark set.
     if options.monitored.is_none() && !options.materialize {
-        let monitored = infer_monitored(open(&path)?)
+        let (monitored, faults) = infer_monitored_with_policy(open(&path)?, options.policy)
             .map_err(|e| format!("cannot read {path} for dark-set inference: {e}"))?;
+        if faults.any() {
+            eprintln!("[analyze] dark-set inference pass: {faults}");
+        }
         options.monitored = Some(monitored);
     }
     let result =

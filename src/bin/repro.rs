@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--scale tiny|small|default] [--out DIR]
-//!       [--pipeline sequential|auto|sharded:N] [--materialize] [TARGET...]
+//!       [--pipeline sequential|auto|sharded:N] [--materialize]
+//!       [--chaos-seed N] [--fault-policy fail|skip|stop] [TARGET...]
 //!
 //! TARGET: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!         prose etl pcap all       (default: all)
@@ -14,6 +15,12 @@
 //! generator plan into the pipeline in O(batch) memory; `--materialize`
 //! restores the generate-then-analyze shape. Every mode produces
 //! bit-identical output.
+//!
+//! `--chaos-seed N` decays every year's record stream with the seeded
+//! benign fault plan (duplicate injection) — a robustness drill: combined
+//! with `--fault-policy skip` the run completes, reports what was dropped,
+//! and reproduces the clean run's numbers exactly. Under the default
+//! `fail` policy the first injected fault aborts the run with an error.
 //!
 //! Each target prints its reproduction to stdout and writes a JSON artifact
 //! into the output directory. EXPERIMENTS.md records how the output compares
@@ -30,16 +37,22 @@ use synscan::core::analysis::{
 use synscan::core::report::render_series;
 use synscan::experiment::{DecadeRun, Experiment};
 use synscan::netmodel::ScannerClass;
+use synscan::wire::{ChaosPlan, FaultPolicy};
 use synscan::{GeneratorConfig, PipelineMode, ToolKind, YearConfig};
 
 const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out DIR] \
-                     [--pipeline sequential|auto|sharded:N] [--materialize] [TARGET...]\n\
+                     [--pipeline sequential|auto|sharded:N] [--materialize] \
+                     [--chaos-seed N] [--fault-policy fail|skip|stop] [TARGET...]\n\
                      \n  --scale NAME        generator scale: tiny | small | default\
                      \n  --seed N            override the generator seed (u64)\
                      \n  --out DIR           artifact output directory (default ./out)\
                      \n  --pipeline MODE     sequential | auto | sharded:N (default auto)\
                      \n  --materialize       build each year's full record vector before \
                      analysis instead of streaming it (same bytes, O(year) memory)\
+                     \n  --chaos-seed N      decay every year's stream with the seeded benign \
+                     fault plan (robustness drill)\
+                     \n  --fault-policy P    fail | skip | stop: how the pipeline reacts to \
+                     faulty records (default fail)\
                      \n  TARGET              table1 table2 fig1..fig10 prose etl pcap all \
                      (default all)";
 
@@ -68,6 +81,8 @@ fn run() -> Result<(), String> {
     let mut seed_override: Option<u64> = None;
     let mut pipeline = PipelineMode::auto();
     let mut materialize = false;
+    let mut chaos_seed: Option<u64> = None;
+    let mut fault_policy = FaultPolicy::Fail;
     let mut targets: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -80,6 +95,12 @@ fn run() -> Result<(), String> {
                 pipeline = flag_value(&mut args, "--pipeline", "sequential|auto|sharded:N")?
             }
             "--materialize" => materialize = true,
+            "--chaos-seed" => {
+                chaos_seed = Some(flag_value(&mut args, "--chaos-seed", "a u64 seed")?)
+            }
+            "--fault-policy" => {
+                fault_policy = flag_value(&mut args, "--fault-policy", "fail|skip|stop")?
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return Ok(());
@@ -107,7 +128,11 @@ fn run() -> Result<(), String> {
             ..GeneratorConfig::default()
         },
         "default" => GeneratorConfig::default(),
-        other => return Err(format!("--scale: invalid value `{other}` (tiny|small|default)")),
+        other => {
+            return Err(format!(
+                "--scale: invalid value `{other}` (tiny|small|default)"
+            ))
+        }
     };
     if let Some(seed) = seed_override {
         gen.seed = seed;
@@ -116,18 +141,28 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("cannot create output dir {}: {e}", out_dir.display()))?;
 
     eprintln!(
-        "[repro] scale={scale}: telescope 1/{}, population 1/{}, {} days/year, pipeline {pipeline}{}",
+        "[repro] scale={scale}: telescope 1/{}, population 1/{}, {} days/year, pipeline {pipeline}{}{}",
         gen.telescope_denominator,
         gen.population_denominator,
         gen.days,
-        if materialize { ", materialized" } else { "" }
+        if materialize { ", materialized" } else { "" },
+        match chaos_seed {
+            Some(seed) => format!(", chaos seed {seed} ({fault_policy} policy)"),
+            None => String::new(),
+        }
     );
     eprintln!("[repro] generating and measuring the decade ...");
     let started = std::time::Instant::now();
-    let run = Experiment::new(gen)
+    let mut experiment = Experiment::new(gen)
         .with_pipeline_mode(pipeline)
         .with_materialize(materialize)
-        .run_decade();
+        .with_fault_policy(fault_policy);
+    if let Some(seed) = chaos_seed {
+        experiment = experiment.with_chaos(ChaosPlan::benign(seed));
+    }
+    let run = experiment
+        .try_run_decade()
+        .map_err(|e| format!("decade run failed: {e} (try --fault-policy skip)"))?;
     eprintln!(
         "[repro] decade done in {:.1}s: {} packets admitted, {} campaigns",
         started.elapsed().as_secs_f64(),
@@ -140,6 +175,10 @@ fn run() -> Result<(), String> {
             .map(|y| y.analysis.campaigns.len())
             .sum::<usize>(),
     );
+    let faults = run.total_faults();
+    if faults.any() {
+        eprintln!("[repro] capture faults across the decade: {faults}");
+    }
 
     let want = |t: &str| targets.iter().any(|x| x == t || x == "all");
     if want("table1") {
@@ -278,8 +317,8 @@ fn etl(run: &DecadeRun, out: &Path) -> Result<(), String> {
 
 fn write_json(out_dir: &Path, name: &str, value: &impl serde::Serialize) -> Result<(), String> {
     let path = out_dir.join(name);
-    let body = serde_json::to_string_pretty(value)
-        .map_err(|e| format!("cannot serialize {name}: {e}"))?;
+    let body =
+        serde_json::to_string_pretty(value).map_err(|e| format!("cannot serialize {name}: {e}"))?;
     fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     eprintln!("[repro] wrote {}", path.display());
     Ok(())

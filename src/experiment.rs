@@ -8,17 +8,27 @@
 //! exists. [`Experiment::with_materialize`] restores the old
 //! generate-then-analyze shape (same bytes, O(year) memory) — useful when
 //! the records themselves are wanted, e.g. for pcap export.
+//!
+//! For robustness drills the harness can decay its own input:
+//! [`Experiment::with_chaos`] wraps every year's record stream in a
+//! [`ChaosStream`] (the plan is re-seeded per year, so a decade run injects
+//! at distinct but reproducible offsets), and
+//! [`Experiment::with_fault_policy`] selects how the pipeline responds. The
+//! fallible entry points ([`Experiment::try_run_year`],
+//! [`Experiment::try_run_decade`]) return `Err` instead of panicking when a
+//! fault is fatal under the chosen policy.
 
 use rayon::prelude::*;
 
 use synscan_core::analysis::YearAnalysis;
-use synscan_core::pipeline::collect_year_stream;
-use synscan_core::{CampaignConfig, PipelineMode};
+use synscan_core::pipeline::{try_collect_year_stream, PipelineError, PipelineMode};
+use synscan_core::CampaignConfig;
 use synscan_netmodel::InternetRegistry;
 use synscan_synthesis::generate::{plan_year, GeneratorConfig, GroundTruth};
 use synscan_synthesis::yearcfg::YearConfig;
 use synscan_telescope::{AddressSet, CaptureSession, CaptureStats};
-use synscan_wire::stream::SliceStream;
+use synscan_wire::chaos::{ChaosPlan, ChaosStream};
+use synscan_wire::stream::{FaultCounters, FaultPolicy, InfallibleStream, SliceStream};
 
 /// One fully processed year.
 #[derive(Debug, Clone)]
@@ -29,6 +39,8 @@ pub struct YearRun {
     pub truth: GroundTruth,
     /// Telescope capture counters (filter efficacy).
     pub capture: CaptureStats,
+    /// What the fault policy dropped or cut short (zero without chaos).
+    pub faults: FaultCounters,
 }
 
 /// The full decade, plus the shared world.
@@ -62,6 +74,15 @@ impl DecadeRun {
             .flat_map(|y| y.analysis.campaigns.iter())
             .collect()
     }
+
+    /// Sum of every year's fault counters (all-zero without chaos).
+    pub fn total_faults(&self) -> FaultCounters {
+        let mut total = FaultCounters::default();
+        for y in &self.years {
+            total.absorb(&y.faults);
+        }
+        total
+    }
 }
 
 /// The experiment harness: a generator configuration plus the derived world.
@@ -72,6 +93,8 @@ pub struct Experiment {
     dark: AddressSet,
     mode: PipelineMode,
     materialize: bool,
+    policy: FaultPolicy,
+    chaos: Option<ChaosPlan>,
 }
 
 impl Experiment {
@@ -86,6 +109,8 @@ impl Experiment {
             dark,
             mode: PipelineMode::Sequential,
             materialize: false,
+            policy: FaultPolicy::Fail,
+            chaos: None,
         }
     }
 
@@ -104,6 +129,21 @@ impl Experiment {
         self
     }
 
+    /// Select how the pipeline reacts to faulty records (relevant when a
+    /// chaos plan is installed; a clean generator stream never faults).
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Decay every year's record stream through a [`ChaosStream`] driven by
+    /// this plan, re-seeded per year. Use the fallible `try_run_*` entry
+    /// points with a non-strict [`FaultPolicy`] to run through the faults.
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Whether years are materialized before analysis.
     pub fn materialize(&self) -> bool {
         self.materialize
@@ -112,6 +152,11 @@ impl Experiment {
     /// The pipeline mode in use.
     pub fn pipeline_mode(&self) -> PipelineMode {
         self.mode
+    }
+
+    /// The fault policy in use.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.policy
     }
 
     /// The generator configuration in use.
@@ -135,11 +180,18 @@ impl Experiment {
     }
 
     /// Run one year end to end.
+    ///
+    /// # Panics
+    /// If a chaos plan is installed and a fault is fatal under the current
+    /// policy; use [`Experiment::try_run_year`] for a `Result`.
     pub fn run_year(&self, year: u16) -> YearRun {
         self.run_year_cfg(&YearConfig::for_year(year))
     }
 
     /// Run one year with an explicit (possibly customized) year config.
+    ///
+    /// # Panics
+    /// As [`Experiment::run_year`].
     pub fn run_year_cfg(&self, year_cfg: &YearConfig) -> YearRun {
         self.run_year_cfg_mode(year_cfg, self.mode)
     }
@@ -147,7 +199,26 @@ impl Experiment {
     /// Run one year with an explicit pipeline mode, overriding the
     /// experiment-wide setting (the decade fan-out uses this to hand each
     /// year its share of the worker budget).
+    ///
+    /// # Panics
+    /// As [`Experiment::run_year`].
     pub fn run_year_cfg_mode(&self, year_cfg: &YearConfig, mode: PipelineMode) -> YearRun {
+        self.try_run_year_cfg_mode(year_cfg, mode)
+            .unwrap_or_else(|e| panic!("year {} failed: {e}", year_cfg.year))
+    }
+
+    /// Fallible [`Experiment::run_year`].
+    pub fn try_run_year(&self, year: u16) -> Result<YearRun, PipelineError> {
+        self.try_run_year_cfg_mode(&YearConfig::for_year(year), self.mode)
+    }
+
+    /// Run one year end to end, surfacing fatal faults as `Err` — the entry
+    /// point for chaos-decayed runs under [`FaultPolicy::Fail`].
+    pub fn try_run_year_cfg_mode(
+        &self,
+        year_cfg: &YearConfig,
+        mode: PipelineMode,
+    ) -> Result<YearRun, PipelineError> {
         let plan = plan_year(year_cfg, &self.gen, &self.registry, &self.dark);
         let mut session = CaptureSession::new(&self.dark, year_cfg.year);
         // Volatility periods: the paper compares week over week inside a
@@ -157,36 +228,81 @@ impl Experiment {
         // Rough distinct-source width: campaigns dominate, each from its own
         // source, plus background stragglers. Only a map pre-size hint.
         let source_hint = (plan.truth.scans as usize).saturating_mul(2);
+        // Per-year reseeding: one user-facing seed, distinct (but
+        // reproducible) injection offsets for every year of the decade.
+        let chaos = self
+            .chaos
+            .as_ref()
+            .map(|plan| plan.reseeded(u64::from(year_cfg.year)));
         let admit = |record: &synscan_wire::ProbeRecord| session.offer(record);
-        let analysis = if self.materialize {
-            let records = plan.materialize(&self.dark);
-            let mut stream = SliceStream::new(&records);
-            collect_year_stream(
-                year_cfg.year,
-                self.campaign_config(),
-                period_days,
-                mode,
-                source_hint,
-                &mut stream,
-                admit,
-            )
-        } else {
-            let mut stream = plan.stream(&self.dark);
-            collect_year_stream(
-                year_cfg.year,
-                self.campaign_config(),
-                period_days,
-                mode,
-                source_hint,
-                &mut stream,
-                admit,
-            )
+        let cfg = self.campaign_config();
+        let year = year_cfg.year;
+        let outcome = match (self.materialize, chaos) {
+            (true, None) => {
+                let records = plan.materialize(&self.dark);
+                let mut stream = SliceStream::new(&records);
+                let mut stream = InfallibleStream(&mut stream);
+                try_collect_year_stream(
+                    year,
+                    cfg,
+                    period_days,
+                    mode,
+                    source_hint,
+                    self.policy,
+                    &mut stream,
+                    admit,
+                )?
+            }
+            (true, Some(chaos_plan)) => {
+                let records = plan.materialize(&self.dark);
+                let stream = SliceStream::new(&records);
+                let mut stream = ChaosStream::new(stream, chaos_plan);
+                try_collect_year_stream(
+                    year,
+                    cfg,
+                    period_days,
+                    mode,
+                    source_hint,
+                    self.policy,
+                    &mut stream,
+                    admit,
+                )?
+            }
+            (false, None) => {
+                let mut stream = plan.stream(&self.dark);
+                let mut stream = InfallibleStream(&mut stream);
+                try_collect_year_stream(
+                    year,
+                    cfg,
+                    period_days,
+                    mode,
+                    source_hint,
+                    self.policy,
+                    &mut stream,
+                    admit,
+                )?
+            }
+            (false, Some(chaos_plan)) => {
+                let stream = plan.stream(&self.dark);
+                let mut stream = ChaosStream::new(stream, chaos_plan);
+                try_collect_year_stream(
+                    year,
+                    cfg,
+                    period_days,
+                    mode,
+                    source_hint,
+                    self.policy,
+                    &mut stream,
+                    admit,
+                )?
+            }
         };
-        YearRun {
-            analysis,
+        Ok(YearRun {
+            analysis: outcome.analysis,
             truth: plan.truth,
             capture: session.stats(),
-        }
+            faults: outcome.faults,
+        })
     }
 
     /// Run the whole decade, years in parallel.
@@ -194,20 +310,31 @@ impl Experiment {
     /// The intra-year shard budget composes with this cross-year rayon
     /// fan-out: each concurrently running year gets `workers / years` shard
     /// threads so the two levels together stay within one machine's budget.
+    ///
+    /// # Panics
+    /// As [`Experiment::run_year`]; use [`Experiment::try_run_decade`] for
+    /// chaos-decayed runs.
     pub fn run_decade(self) -> DecadeRun {
+        self.try_run_decade()
+            .unwrap_or_else(|e| panic!("decade run failed: {e}"))
+    }
+
+    /// Fallible [`Experiment::run_decade`]: the first year with a fatal
+    /// fault aborts the decade with its error.
+    pub fn try_run_decade(self) -> Result<DecadeRun, PipelineError> {
         let configs = YearConfig::decade();
         let concurrent = configs.len().min(rayon::current_num_threads()).max(1);
         let year_mode = self.mode.with_budget(concurrent);
         let mut years: Vec<YearRun> = configs
             .par_iter()
-            .map(|cfg| self.run_year_cfg_mode(cfg, year_mode))
-            .collect();
+            .map(|cfg| self.try_run_year_cfg_mode(cfg, year_mode))
+            .collect::<Result<_, _>>()?;
         years.sort_by_key(|y| y.analysis.year);
-        DecadeRun {
+        Ok(DecadeRun {
             years,
             monitored: self.dark.len() as u64,
             registry: self.registry,
-        }
+        })
     }
 }
 
@@ -226,6 +353,7 @@ mod tests {
         // The pipeline found campaigns.
         assert!(!run.analysis.campaigns.is_empty());
         assert!(run.analysis.total_packets == run.capture.admitted);
+        assert!(!run.faults.any(), "clean run reports no faults");
     }
 
     #[test]
@@ -251,6 +379,7 @@ mod tests {
                 .map(|y| y.analysis.campaigns.len())
                 .sum::<usize>()
         );
+        assert!(!run.total_faults().any());
     }
 
     #[test]
@@ -265,5 +394,23 @@ mod tests {
         assert!(!run.analysis.port_packets.contains_key(&445));
         // 2323 passes.
         assert!(run.analysis.port_packets.contains_key(&2323));
+    }
+
+    #[test]
+    fn benign_chaos_under_skip_matches_the_clean_run() {
+        // Injected adjacent duplicates are dropped by the driver gate before
+        // the capture filter, so both the analysis *and* the capture
+        // statistics equal the clean run's.
+        let clean = Experiment::new(GeneratorConfig::tiny())
+            .with_fault_policy(FaultPolicy::SkipRecord)
+            .run_year(2020);
+        let chaotic = Experiment::new(GeneratorConfig::tiny())
+            .with_fault_policy(FaultPolicy::SkipRecord)
+            .with_chaos(ChaosPlan::benign(0xfeed))
+            .run_year(2020);
+        assert_eq!(clean.analysis, chaotic.analysis);
+        assert_eq!(clean.capture, chaotic.capture);
+        assert!(chaotic.faults.duplicates_dropped > 0);
+        assert_eq!(chaotic.faults.records_skipped, 0);
     }
 }

@@ -46,6 +46,31 @@ fn analysis_survives_a_pcap_round_trip() {
 }
 
 #[test]
+fn a_noop_chaos_reader_is_a_byte_identical_passthrough() {
+    use synscan::wire::chaos::{ChaosPlan, ChaosReader};
+    let experiment = Experiment::new(GeneratorConfig::tiny());
+    let output = synscan::synthesis::generate::generate_year(
+        &synscan::YearConfig::for_year(2020),
+        experiment.config(),
+        experiment.registry(),
+        experiment.dark(),
+    );
+    let pcap_bytes = export_pcap(&output.records, Vec::new()).expect("export");
+
+    // Importing through a ChaosReader with an empty fault plan must be
+    // indistinguishable from importing the raw bytes.
+    let wrapped = ChaosReader::new(std::io::Cursor::new(&pcap_bytes), ChaosPlan::noop(42));
+    let replayed = import_pcap(wrapped).expect("no-op chaos import");
+    assert_eq!(replayed, output.records, "identity adapter");
+
+    let mut probe = ChaosReader::new(std::io::Cursor::new(&pcap_bytes), ChaosPlan::noop(42));
+    let mut copied = Vec::new();
+    std::io::Read::read_to_end(&mut probe, &mut copied).expect("read through");
+    assert_eq!(copied, pcap_bytes, "bytes untouched");
+    assert!(!probe.log().any(), "nothing was injected");
+}
+
+#[test]
 fn pcap_files_are_readable_by_struct_layout() {
     // The global header must be the classic libpcap layout so external
     // tools (tcpdump, wireshark) can open our files.

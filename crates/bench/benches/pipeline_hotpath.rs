@@ -1,0 +1,155 @@
+//! Per-record hot-path throughput of the compacted measurement loop.
+//!
+//! One pre-admitted year of bench-scale telescope traffic is pushed through
+//! the sequential `YearCollector` — the loop every pipeline mode bottoms out
+//! in: intern the source, classify the probe against its dense fingerprint
+//! slot, offer it to the campaign detector, bump the packed aggregation
+//! cells. `pipeline_parallel` measures fan-out; this group isolates the
+//! single-thread record cost the fan-out multiplies.
+//!
+//! Besides the Criterion group, the harness always performs one hand-timed
+//! pass first and rewrites `BENCH_hotpath.json` at the repository root with a
+//! machine-readable baseline (records/sec plus checksum fields). The pass
+//! runs even under `cargo bench -- --test`, so the CI smoke step refreshes
+//! the baseline artifact without a full Criterion sampling run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+use synscan_core::analysis::{YearAnalysis, YearCollector};
+use synscan_core::campaign::{CampaignConfig, Pipeline};
+use synscan_core::pipeline::SizeHints;
+use synscan_netmodel::InternetRegistry;
+use synscan_synthesis::generate::{generate_year, GeneratorConfig};
+use synscan_synthesis::yearcfg::YearConfig;
+use synscan_telescope::{AddressSet, CaptureSession};
+use synscan_wire::ProbeRecord;
+
+const YEAR: u16 = 2020;
+const PERIOD_DAYS: f64 = 1.0;
+const HOUSEKEEPING_STRIDE: usize = 262_144;
+
+/// Same shape as `pipeline_parallel`: enough packets that per-record cost
+/// dominates setup, small enough for CI smoke runs.
+fn heavy_config() -> GeneratorConfig {
+    GeneratorConfig {
+        telescope_denominator: 8,
+        population_denominator: 320,
+        days: 3.0,
+        ..GeneratorConfig::default()
+    }
+}
+
+fn admitted_year() -> (Vec<ProbeRecord>, CampaignConfig) {
+    let gen = heavy_config();
+    let telescope = gen.telescope();
+    let dark = AddressSet::build(&telescope);
+    let registry = InternetRegistry::build(gen.seed, &telescope.blocks);
+    let output = generate_year(&YearConfig::for_year(YEAR), &gen, &registry, &dark);
+    let mut session = CaptureSession::new(&dark, YEAR);
+    let records: Vec<ProbeRecord> = output
+        .records
+        .into_iter()
+        .filter(|r| session.offer(r))
+        .collect();
+    (records, CampaignConfig::scaled(dark.len() as u64))
+}
+
+fn collect(records: &[ProbeRecord], config: CampaignConfig, hints: SizeHints) -> YearAnalysis {
+    let mut collector = YearCollector::with_period(YEAR, config, PERIOD_DAYS);
+    hints.apply_to(&mut collector);
+    for (i, record) in records.iter().enumerate() {
+        collector.offer(record);
+        if i % HOUSEKEEPING_STRIDE == 0 {
+            collector.housekeeping(record.ts_micros);
+        }
+    }
+    collector.finish()
+}
+
+/// Hand-timed baseline pass; returns (elapsed seconds, analysis).
+fn baseline_pass(records: &[ProbeRecord], config: CampaignConfig) -> (f64, YearAnalysis) {
+    let started = Instant::now();
+    let analysis = collect(records, config, SizeHints::none());
+    (started.elapsed().as_secs_f64(), analysis)
+}
+
+fn write_baseline(records: usize, elapsed_secs: f64, analysis: &YearAnalysis) {
+    let records_per_sec = if elapsed_secs > 0.0 {
+        records as f64 / elapsed_secs
+    } else {
+        0.0
+    };
+    let baseline = serde_json::json!({
+        "bench": "pipeline_hotpath",
+        "year": YEAR,
+        "records": records,
+        "elapsed_secs": elapsed_secs,
+        "records_per_sec": records_per_sec,
+        "checks": {
+            "total_packets": analysis.total_packets,
+            "distinct_sources": analysis.distinct_sources,
+            "campaigns": analysis.campaigns.len(),
+        },
+        "note": "single-thread YearCollector::offer loop; refresh with \
+                 `cargo bench -p synscan-bench --bench pipeline_hotpath`",
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    let body = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    if let Err(err) = std::fs::write(path, body + "\n") {
+        eprintln!("pipeline_hotpath: could not write {path}: {err}");
+    } else {
+        println!("pipeline_hotpath: baseline {records_per_sec:.0} records/sec -> {path}");
+    }
+}
+
+fn pipeline_hotpath(c: &mut Criterion) {
+    let (records, config) = admitted_year();
+    println!(
+        "pipeline_hotpath: {} admitted records, year {YEAR}",
+        records.len()
+    );
+
+    let (elapsed, reference) = baseline_pass(&records, config);
+    write_baseline(records.len(), elapsed, &reference);
+
+    // Hints must be an optimization, never an observable: equal analysis
+    // with and without pre-sizing, asserted outside the timed region.
+    assert_eq!(
+        reference,
+        collect(
+            &records,
+            config,
+            SizeHints::new(reference.distinct_sources as usize, 128),
+        ),
+        "pre-sized collector diverged from the unhinted reference"
+    );
+
+    let mut group = c.benchmark_group("pipeline_hotpath");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("offer_loop", |b| {
+        b.iter(|| collect(black_box(&records), config, SizeHints::none()).total_packets)
+    });
+    group.bench_function("offer_loop_presized", |b| {
+        let hints = SizeHints::new(reference.distinct_sources as usize, 128);
+        b.iter(|| collect(black_box(&records), config, hints).total_packets)
+    });
+    // Fingerprint + campaign detection alone (no aggregation cells): the
+    // classify/offer half of the record budget.
+    group.bench_function("classify_offer", |b| {
+        b.iter(|| {
+            let mut pipeline = Pipeline::new(config);
+            for record in black_box(&records) {
+                black_box(pipeline.process(record));
+            }
+            let (campaigns, noise) = pipeline.finish();
+            campaigns.len() as u64 + noise.rejected_packets
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_hotpath);
+criterion_main!(benches);

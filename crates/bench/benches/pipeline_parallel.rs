@@ -21,7 +21,7 @@ use std::hint::black_box;
 
 use synscan_core::analysis::{YearAnalysis, YearCollector};
 use synscan_core::campaign::CampaignConfig;
-use synscan_core::pipeline::{collect_year_sharded, collect_year_stream, PipelineMode};
+use synscan_core::pipeline::{collect_year_sharded, collect_year_stream, PipelineMode, SizeHints};
 use synscan_netmodel::InternetRegistry;
 use synscan_synthesis::generate::{generate_year, plan_year, GeneratorConfig};
 use synscan_synthesis::yearcfg::YearConfig;
@@ -80,8 +80,15 @@ fn pipeline_parallel(c: &mut Criterion) {
     // the exact same analysis.
     let reference = sequential(&records, config);
     for workers in [1usize, 2, 4, 8] {
-        let sharded =
-            collect_year_sharded(YEAR, config, PERIOD_DAYS, workers, 0, &records, |_| true);
+        let sharded = collect_year_sharded(
+            YEAR,
+            config,
+            PERIOD_DAYS,
+            workers,
+            SizeHints::none(),
+            &records,
+            |_| true,
+        );
         assert_eq!(reference, sharded, "sharded:{workers} diverged");
     }
 
@@ -102,7 +109,7 @@ fn pipeline_parallel(c: &mut Criterion) {
                         config,
                         PERIOD_DAYS,
                         workers,
-                        0,
+                        SizeHints::none(),
                         black_box(&records),
                         |_| true,
                     )
@@ -133,16 +140,28 @@ fn pipeline_streaming(c: &mut Criterion) {
         let records = plan.materialize(&dark);
         let mut session = CaptureSession::new(&dark, YEAR);
         let mut stream = SliceStream::new(&records);
-        collect_year_stream(YEAR, config, PERIOD_DAYS, mode, 0, &mut stream, |r| {
-            session.offer(r)
-        })
+        collect_year_stream(
+            YEAR,
+            config,
+            PERIOD_DAYS,
+            mode,
+            SizeHints::none(),
+            &mut stream,
+            |r| session.offer(r),
+        )
     };
     let streamed = |mode: PipelineMode| -> YearAnalysis {
         let mut session = CaptureSession::new(&dark, YEAR);
         let mut stream = plan.stream(&dark);
-        collect_year_stream(YEAR, config, PERIOD_DAYS, mode, 0, &mut stream, |r| {
-            session.offer(r)
-        })
+        collect_year_stream(
+            YEAR,
+            config,
+            PERIOD_DAYS,
+            mode,
+            SizeHints::none(),
+            &mut stream,
+            |r| session.offer(r),
+        )
     };
 
     // Equivalence outside the timed region.

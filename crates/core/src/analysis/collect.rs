@@ -4,6 +4,14 @@
 //! figure modules need, while the embedded fingerprint + campaign pipeline
 //! runs alongside. Memory is proportional to the number of *distinct*
 //! sources, ports and (week, /16) cells — not packets.
+//!
+//! Internally the collector is compact: sources are interned to dense ids
+//! by the pipeline (one hash probe per record), per-source aggregates are
+//! `Vec`-indexed by that id, distinct-source sets are sorted-vec/bitmap
+//! hybrids ([`crate::compact`]), and the remaining tuple-keyed maps pack
+//! their keys into single integers hashed with [`crate::fasthash`]. The
+//! public [`YearAnalysis`] is assembled from this state at
+//! [`YearCollector::finish`] with its historical field types unchanged.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -11,7 +19,9 @@ use synscan_wire::{Ipv4Address, ProbeRecord};
 
 use synscan_scanners::traits::ToolKind;
 
-use crate::campaign::{Campaign, CampaignConfig, NoiseStats, Pipeline};
+use crate::campaign::{tool_slot, Campaign, CampaignConfig, NoiseStats, Pipeline, TOOL_BY_SLOT};
+use crate::compact::{IdSet, PortSet};
+use crate::fasthash::FxHashMap;
 
 /// Seconds per day, as µs.
 const DAY_MICROS: u64 = 86_400 * 1_000_000;
@@ -163,6 +173,22 @@ impl YearAnalysis {
     }
 }
 
+/// Per-port accumulator: packet count plus the distinct-source set, in one
+/// map slot so the hot path pays a single lookup for both.
+#[derive(Debug, Default)]
+struct PortStat {
+    packets: u64,
+    sources: IdSet,
+}
+
+/// Per-(week, /16) accumulator; the distinct-source count is derived from
+/// the set at finish time.
+#[derive(Debug, Default)]
+struct WeekState {
+    packets: u64,
+    sources: IdSet,
+}
+
 /// Streaming collector: offer records, then [`YearCollector::finish`].
 #[derive(Debug)]
 pub struct YearCollector {
@@ -173,15 +199,18 @@ pub struct YearCollector {
     start_micros: Option<u64>,
     end_micros: u64,
     total_packets: u64,
-    sources: HashSet<u32>,
-    port_packets: BTreeMap<u16, u64>,
-    port_source_sets: HashMap<u16, HashSet<u32>>,
-    source_ports: HashMap<u32, HashSet<u16>>,
-    source_packets: HashMap<u32, u64>,
-    day_port_packets: HashMap<(u32, u16), u64>,
-    tool_port_packets: HashMap<(Option<ToolKind>, u16), u64>,
-    week_blocks: HashMap<(u32, u16), WeekCell>,
-    week_block_sources: HashMap<(u32, u16), HashSet<u32>>,
+    /// Packets + distinct sources per port (one lookup per record).
+    port_stats: FxHashMap<u16, PortStat>,
+    /// Packets per source, indexed by interned id.
+    source_packets: Vec<u64>,
+    /// Distinct ports per source, indexed by interned id.
+    source_ports: Vec<PortSet>,
+    /// Packets per packed `(day << 16) | port` key.
+    day_port_packets: FxHashMap<u64, u64>,
+    /// Packets per packed `(tool_slot << 16) | port` key (slot 0 = no tool).
+    tool_port_packets: FxHashMap<u32, u64>,
+    /// Volatility cells per packed `(week << 16) | slash16` key.
+    week_cells: FxHashMap<u64, WeekState>,
 }
 
 impl YearCollector {
@@ -205,15 +234,12 @@ impl YearCollector {
             start_micros: None,
             end_micros: 0,
             total_packets: 0,
-            sources: HashSet::new(),
-            port_packets: BTreeMap::new(),
-            port_source_sets: HashMap::new(),
-            source_ports: HashMap::new(),
-            source_packets: HashMap::new(),
-            day_port_packets: HashMap::new(),
-            tool_port_packets: HashMap::new(),
-            week_blocks: HashMap::new(),
-            week_block_sources: HashMap::new(),
+            port_stats: FxHashMap::default(),
+            source_packets: Vec::new(),
+            source_ports: Vec::new(),
+            day_port_packets: FxHashMap::default(),
+            tool_port_packets: FxHashMap::default(),
+            week_cells: FxHashMap::default(),
         }
     }
 
@@ -235,58 +261,65 @@ impl YearCollector {
         collector
     }
 
-    /// Pre-size the per-source maps for roughly `distinct_sources` sources,
-    /// avoiding rehash churn when the caller knows the stream's width ahead
-    /// of time (generator ground truth, shard fan-out).
+    /// Pre-size the per-source state for roughly `distinct_sources` sources,
+    /// avoiding rehash/regrow churn when the caller knows the stream's width
+    /// ahead of time (generator ground truth, shard fan-out).
     pub fn reserve_sources(&mut self, distinct_sources: usize) {
-        self.sources.reserve(distinct_sources);
+        self.pipeline.reserve_sources(distinct_sources);
         self.source_ports.reserve(distinct_sources);
         self.source_packets.reserve(distinct_sources);
     }
 
+    /// Pre-size the per-port maps for roughly `distinct_ports` ports.
+    pub fn reserve_ports(&mut self, distinct_ports: usize) {
+        self.port_stats.reserve(distinct_ports);
+        self.tool_port_packets.reserve(distinct_ports);
+    }
+
     /// Offer one admitted (SYN-filtered) record in timestamp order.
     pub fn offer(&mut self, record: &ProbeRecord) {
-        let verdict = self.pipeline.process(record);
+        let (verdict, sid) = self.pipeline.process_interned(record);
         let t0 = *self.start_micros.get_or_insert(record.ts_micros);
         self.end_micros = self.end_micros.max(record.ts_micros);
         self.total_packets += 1;
-        self.sources.insert(record.src_ip.0);
 
-        *self.port_packets.entry(record.dst_port).or_default() += 1;
-        self.port_source_sets
-            .entry(record.dst_port)
-            .or_default()
-            .insert(record.src_ip.0);
-        self.source_ports
-            .entry(record.src_ip.0)
-            .or_default()
-            .insert(record.dst_port);
-        *self.source_packets.entry(record.src_ip.0).or_default() += 1;
+        // Ids are dense and assigned in stream order, so a new source grows
+        // the per-source vectors by exactly one slot.
+        let idx = sid as usize;
+        if idx >= self.source_packets.len() {
+            self.source_packets.resize(idx + 1, 0);
+            self.source_ports.resize_with(idx + 1, PortSet::default);
+        }
+        self.source_packets[idx] += 1;
+        self.source_ports[idx].insert(record.dst_port);
+
+        let stat = self.port_stats.entry(record.dst_port).or_default();
+        stat.packets += 1;
+        stat.sources.insert(sid);
 
         let rel = record.ts_micros.saturating_sub(t0);
         let day = (rel / DAY_MICROS) as u32;
         *self
             .day_port_packets
-            .entry((day, record.dst_port))
+            .entry((u64::from(day) << 16) | u64::from(record.dst_port))
             .or_default() += 1;
 
+        let tool_idx = match verdict.tool() {
+            None => 0u32,
+            Some(tool) => 1 + tool_slot(tool) as u32,
+        };
         *self
             .tool_port_packets
-            .entry((verdict.tool(), record.dst_port))
+            .entry((tool_idx << 16) | u32::from(record.dst_port))
             .or_default() += 1;
 
         let week = (rel / self.period_micros) as u32;
-        let key = (week, record.src_ip.slash16());
-        let cell = self.week_blocks.entry(key).or_default();
+        let cell = self
+            .week_cells
+            .entry((u64::from(week) << 16) | u64::from(record.src_ip.slash16()))
+            .or_default();
         cell.packets += 1;
-        if self
-            .week_block_sources
-            .entry(key)
-            .or_default()
-            .insert(record.src_ip.0)
-        {
-            cell.sources += 1;
-        }
+        cell.sources.insert(sid);
     }
 
     /// Periodic housekeeping to bound pipeline memory on long streams.
@@ -294,11 +327,26 @@ impl YearCollector {
         self.pipeline.housekeeping(now_micros);
     }
 
-    /// Finish the year: close campaigns and assemble the analysis bundle.
+    /// Finish the year: close campaigns and assemble the analysis bundle,
+    /// converting the compact internal state back to the public (IP-keyed,
+    /// std-collection) `YearAnalysis` representation.
     pub fn finish(self) -> YearAnalysis {
         let t0 = self.start_micros.unwrap_or(0);
-        let (campaigns, noise) = self.pipeline.finish();
-        let mut week_blocks = self.week_blocks;
+        let (campaigns, noise, table) = self.pipeline.finish_with_sources();
+        let ips = table.ips();
+
+        let mut week_blocks: HashMap<(u32, u16), WeekCell> =
+            HashMap::with_capacity(self.week_cells.len());
+        for (key, state) in &self.week_cells {
+            week_blocks.insert(
+                ((key >> 16) as u32, (key & 0xffff) as u16),
+                WeekCell {
+                    sources: state.sources.len() as u64,
+                    packets: state.packets,
+                    campaigns: 0,
+                },
+            );
+        }
         for campaign in &campaigns {
             let week = (campaign.first_ts_micros.saturating_sub(t0) / self.period_micros) as u32;
             week_blocks
@@ -306,27 +354,57 @@ impl YearCollector {
                 .or_default()
                 .campaigns += 1;
         }
+
+        let mut port_packets = BTreeMap::new();
+        let mut port_sources = BTreeMap::new();
+        let mut port_source_sets: HashMap<u16, HashSet<u32>> =
+            HashMap::with_capacity(self.port_stats.len());
+        for (&port, stat) in &self.port_stats {
+            port_packets.insert(port, stat.packets);
+            port_sources.insert(port, stat.sources.len() as u64);
+            port_source_sets.insert(
+                port,
+                stat.sources.iter().map(|sid| ips[sid as usize]).collect(),
+            );
+        }
+
         YearAnalysis {
             year: self.year,
             start_micros: t0,
             end_micros: self.end_micros,
             total_packets: self.total_packets,
-            distinct_sources: self.sources.len() as u64,
-            port_packets: self.port_packets,
-            port_sources: self
-                .port_source_sets
-                .iter()
-                .map(|(port, set)| (*port, set.len() as u64))
-                .collect(),
+            distinct_sources: table.len() as u64,
+            port_packets,
+            port_sources,
             source_port_counts: self
                 .source_ports
                 .iter()
-                .map(|(src, ports)| (*src, ports.len() as u32))
+                .enumerate()
+                .map(|(sid, ports)| (ips[sid], ports.len() as u32))
                 .collect(),
-            source_packets: self.source_packets,
-            port_source_sets: self.port_source_sets,
-            day_port_packets: self.day_port_packets,
-            tool_port_packets: self.tool_port_packets,
+            source_packets: self
+                .source_packets
+                .iter()
+                .enumerate()
+                .map(|(sid, &packets)| (ips[sid], packets))
+                .collect(),
+            port_source_sets,
+            day_port_packets: self
+                .day_port_packets
+                .iter()
+                .map(|(&key, &n)| (((key >> 16) as u32, (key & 0xffff) as u16), n))
+                .collect(),
+            tool_port_packets: self
+                .tool_port_packets
+                .iter()
+                .map(|(&key, &n)| {
+                    let tool = match key >> 16 {
+                        0 => None,
+                        slot => Some(TOOL_BY_SLOT[slot as usize - 1]),
+                    };
+                    ((tool, (key & 0xffff) as u16), n)
+                })
+                .collect(),
             week_blocks,
             campaigns,
             noise,

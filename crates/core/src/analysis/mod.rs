@@ -30,4 +30,4 @@ pub mod vertical;
 pub mod volatility;
 pub mod yearly;
 
-pub use collect::{YearAnalysis, YearCollector};
+pub use collect::{WeekCell, YearAnalysis, YearCollector};

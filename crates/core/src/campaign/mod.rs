@@ -7,17 +7,26 @@
 //! 100 pps, 1 h — justified by the geometric detection model reproduced in
 //! `synscan_stats::TelescopeModel`) are the defaults; scaled-telescope
 //! simulations scale `min_distinct_dests` proportionally.
+//!
+//! Internally the detector is built around interned source ids
+//! ([`crate::intern::SourceTable`]): per-source open-scan state lives in a
+//! dense `Vec` indexed by id rather than an IP-keyed hash map, so the admit
+//! path performs no per-source hashing of its own (the caller either passes
+//! an already-interned id or the detector's table does the one probe).
 
 pub mod estimate;
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
+use std::fmt;
 
 use synscan_stats::TelescopeModel;
 use synscan_wire::{Ipv4Address, ProbeRecord};
 
 use synscan_scanners::traits::ToolKind;
 
-use crate::fingerprint::{FingerprintEngine, PacketVerdict};
+use crate::fasthash::FxHashSet;
+use crate::fingerprint::{InternedFingerprint, PacketVerdict};
+use crate::intern::{SourceId, SourceTable};
 
 pub use estimate::CampaignEstimates;
 
@@ -124,7 +133,11 @@ impl Campaign {
 }
 
 /// Why a finalized probe sequence was not a campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+///
+/// Declaration order matches the lexicographic order of the variant names,
+/// so a `BTreeMap<RejectReason, _>` iterates (and serializes) in the same
+/// order the old string-keyed map did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
 pub enum RejectReason {
     /// Fewer distinct destinations than the threshold.
     TooFewDestinations,
@@ -132,35 +145,105 @@ pub enum RejectReason {
     TooSlow,
 }
 
+impl RejectReason {
+    /// The stable string name of the reason (identical to its `Debug` and
+    /// serde renderings) — the report-time stringification point.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::TooFewDestinations => "TooFewDestinations",
+            RejectReason::TooSlow => "TooSlow",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Aggregate counters for rejected (non-campaign) traffic.
+///
+/// Counters are keyed by the [`RejectReason`] enum — zero allocation on the
+/// reject path — and stringified only at report time
+/// ([`crate::report::render_noise`]). The serialized form is unchanged:
+/// serde renders unit-variant map keys as their names.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
 pub struct NoiseStats {
     /// Probe sequences rejected, by reason.
-    pub rejected_sequences: BTreeMap<String, u64>,
+    pub rejected_sequences: BTreeMap<RejectReason, u64>,
     /// Packets inside rejected sequences.
     pub rejected_packets: u64,
 }
 
-#[derive(Debug)]
+/// Number of fingerprintable tools (the arity of the vote array).
+pub(crate) const TOOL_SLOTS: usize = 6;
+
+/// Tools in declaration (= `Ord`) order, indexed by vote slot. Rebuilding a
+/// `BTreeMap` by inserting in this order reproduces the map the old
+/// per-record `entry()` calls built.
+pub(crate) const TOOL_BY_SLOT: [ToolKind; TOOL_SLOTS] = [
+    ToolKind::Zmap,
+    ToolKind::Masscan,
+    ToolKind::Nmap,
+    ToolKind::Mirai,
+    ToolKind::Unicorn,
+    ToolKind::Custom,
+];
+
+/// Dense vote-array index of a tool (declaration order).
+#[inline]
+pub(crate) fn tool_slot(tool: ToolKind) -> usize {
+    match tool {
+        ToolKind::Zmap => 0,
+        ToolKind::Masscan => 1,
+        ToolKind::Nmap => 2,
+        ToolKind::Mirai => 3,
+        ToolKind::Unicorn => 4,
+        ToolKind::Custom => 5,
+    }
+}
+
+/// In-flight per-source scan state, laid out for reuse: the sorted port vec
+/// and the destination set keep their capacity across open/close cycles of
+/// the same source, and tool votes are a fixed array instead of a map.
+#[derive(Debug, Clone)]
 struct OpenScan {
     first_ts_micros: u64,
     last_ts_micros: u64,
     packets: u64,
-    dests: HashSet<u32>,
-    port_packets: BTreeMap<u16, u64>,
-    tool_votes: BTreeMap<ToolKind, u64>,
+    dests: FxHashSet<u32>,
+    /// Sorted by port; campaigns rarely touch more than a handful.
+    port_packets: Vec<(u16, u64)>,
+    tool_votes: [u64; TOOL_SLOTS],
 }
 
-impl OpenScan {
-    fn new(record: &ProbeRecord) -> Self {
+impl Default for OpenScan {
+    fn default() -> Self {
         Self {
-            first_ts_micros: record.ts_micros,
-            last_ts_micros: record.ts_micros,
+            first_ts_micros: 0,
+            last_ts_micros: 0,
             packets: 0,
-            dests: HashSet::new(),
-            port_packets: BTreeMap::new(),
-            tool_votes: BTreeMap::new(),
+            dests: FxHashSet::default(),
+            port_packets: Vec::new(),
+            tool_votes: [0; TOOL_SLOTS],
         }
+    }
+}
+
+/// Past this many retained destination buckets, a released scan's set is
+/// dropped instead of cleared, so one giant historical campaign cannot pin
+/// memory for the rest of the year.
+const DESTS_KEEP_CAPACITY: usize = 4096;
+
+impl OpenScan {
+    /// Reset for a fresh sequence starting at `record` (counters were already
+    /// cleared by the previous [`OpenScan::release`], but resetting here too
+    /// keeps the invariant local).
+    fn open(&mut self, record: &ProbeRecord) {
+        self.release();
+        self.first_ts_micros = record.ts_micros;
+        self.last_ts_micros = record.ts_micros;
     }
 
     fn add(&mut self, record: &ProbeRecord, tool: Option<ToolKind>) {
@@ -170,21 +253,70 @@ impl OpenScan {
         self.last_ts_micros = self.last_ts_micros.max(record.ts_micros);
         self.packets += 1;
         self.dests.insert(record.dst_ip.0);
-        *self.port_packets.entry(record.dst_port).or_default() += 1;
+        match self
+            .port_packets
+            .binary_search_by_key(&record.dst_port, |&(port, _)| port)
+        {
+            Ok(i) => self.port_packets[i].1 += 1,
+            Err(i) => self.port_packets.insert(i, (record.dst_port, 1)),
+        }
         if let Some(tool) = tool {
-            *self.tool_votes.entry(tool).or_default() += 1;
+            self.tool_votes[tool_slot(tool)] += 1;
         }
     }
 
-    fn into_campaign(self, src_ip: Ipv4Address) -> Campaign {
-        Campaign {
+    /// Convert the accumulated state into a [`Campaign`] and clear it for
+    /// reuse.
+    fn take_campaign(&mut self, src_ip: Ipv4Address) -> Campaign {
+        let port_packets: BTreeMap<u16, u64> = self.port_packets.iter().copied().collect();
+        let mut tool_votes = BTreeMap::new();
+        for (slot, &votes) in self.tool_votes.iter().enumerate() {
+            if votes > 0 {
+                tool_votes.insert(TOOL_BY_SLOT[slot], votes);
+            }
+        }
+        let campaign = Campaign {
             src_ip,
             first_ts_micros: self.first_ts_micros,
             last_ts_micros: self.last_ts_micros,
             packets: self.packets,
             distinct_dests: self.dests.len() as u64,
-            port_packets: self.port_packets,
-            tool_votes: self.tool_votes,
+            port_packets,
+            tool_votes,
+        };
+        self.release();
+        campaign
+    }
+
+    /// Clear counters, retaining (bounded) capacity for the next sequence.
+    fn release(&mut self) {
+        self.packets = 0;
+        self.port_packets.clear();
+        self.tool_votes = [0; TOOL_SLOTS];
+        if self.dests.capacity() > DESTS_KEEP_CAPACITY {
+            self.dests = FxHashSet::default();
+        } else {
+            self.dests.clear();
+        }
+    }
+}
+
+/// Sentinel for "this source has no open scan".
+const NOT_ACTIVE: u32 = u32::MAX;
+
+/// Per-source slot: position in the active list (or [`NOT_ACTIVE`]) plus the
+/// reusable scan state.
+#[derive(Debug, Clone)]
+struct SourceSlot {
+    active_pos: u32,
+    scan: OpenScan,
+}
+
+impl Default for SourceSlot {
+    fn default() -> Self {
+        Self {
+            active_pos: NOT_ACTIVE,
+            scan: OpenScan::default(),
         }
     }
 }
@@ -229,7 +361,14 @@ impl OpenScan {
 #[derive(Debug)]
 pub struct CampaignDetector {
     config: CampaignConfig,
-    open: HashMap<Ipv4Address, OpenScan>,
+    /// `config.expiry_secs` in µs, precomputed off the per-record path.
+    expiry_micros: u64,
+    table: SourceTable,
+    /// Per-source state, indexed by interned id.
+    slots: Vec<SourceSlot>,
+    /// Ids with an open scan, for O(active) expiry sweeps. Unordered;
+    /// membership position is mirrored in `SourceSlot::active_pos`.
+    active: Vec<SourceId>,
     campaigns: Vec<Campaign>,
     noise: NoiseStats,
 }
@@ -239,7 +378,10 @@ impl CampaignDetector {
     pub fn new(config: CampaignConfig) -> Self {
         Self {
             config,
-            open: HashMap::new(),
+            expiry_micros: (config.expiry_secs * 1e6) as u64,
+            table: SourceTable::new(),
+            slots: Vec::new(),
+            active: Vec::new(),
             campaigns: Vec::new(),
             noise: NoiseStats::default(),
         }
@@ -250,84 +392,149 @@ impl CampaignDetector {
         &self.config
     }
 
+    /// Pre-size the interner and slot table for roughly `sources` distinct
+    /// addresses.
+    pub fn reserve(&mut self, sources: usize) {
+        self.table.reserve(sources);
+        self.slots.reserve(sources);
+    }
+
+    /// Intern `ip` in the detector's source table (the shared table callers
+    /// use to key their own per-source state).
+    #[inline]
+    pub fn intern(&mut self, ip: Ipv4Address) -> SourceId {
+        self.table.intern(ip.0)
+    }
+
+    /// The source interner (id ↔ IP bridge).
+    pub fn source_table(&self) -> &SourceTable {
+        &self.table
+    }
+
+    /// Number of currently open scans.
+    pub fn open_scans(&self) -> usize {
+        self.active.len()
+    }
+
     /// Offer one record with its fingerprint verdict.
     pub fn offer(&mut self, record: &ProbeRecord, tool: Option<ToolKind>) {
-        let expiry_micros = (self.config.expiry_secs * 1e6) as u64;
-        if let Some(scan) = self.open.get(&record.src_ip) {
-            if record.ts_micros.saturating_sub(scan.last_ts_micros) > expiry_micros {
-                let scan = self.open.remove(&record.src_ip).unwrap();
-                self.finalize(record.src_ip, scan);
-            }
+        let sid = self.table.intern(record.src_ip.0);
+        self.offer_interned(sid, record, tool);
+    }
+
+    /// As [`CampaignDetector::offer`], with the source already interned —
+    /// the zero-hash hot path ([`Pipeline`] interns once per record and
+    /// passes the id through).
+    #[inline]
+    pub fn offer_interned(&mut self, sid: SourceId, record: &ProbeRecord, tool: Option<ToolKind>) {
+        if sid as usize >= self.slots.len() {
+            self.slots
+                .resize_with(sid as usize + 1, SourceSlot::default);
         }
-        self.open
-            .entry(record.src_ip)
-            .or_insert_with(|| OpenScan::new(record))
-            .add(record, tool);
+        let slot = &self.slots[sid as usize];
+        if slot.active_pos != NOT_ACTIVE
+            && record.ts_micros.saturating_sub(slot.scan.last_ts_micros) > self.expiry_micros
+        {
+            self.close(sid);
+        }
+        let slot = &mut self.slots[sid as usize];
+        if slot.active_pos == NOT_ACTIVE {
+            slot.scan.open(record);
+            slot.active_pos = self.active.len() as u32;
+            self.active.push(sid);
+        }
+        self.slots[sid as usize].scan.add(record, tool);
     }
 
     /// Expire every open scan idle since before `now_micros` (bounded-memory
-    /// operation over long streams).
+    /// operation over long streams). Cost is O(open scans), not O(sources
+    /// ever seen).
     pub fn expire_idle(&mut self, now_micros: u64) {
-        let expiry_micros = (self.config.expiry_secs * 1e6) as u64;
-        let expired: Vec<Ipv4Address> = self
-            .open
-            .iter()
-            .filter(|(_, s)| now_micros.saturating_sub(s.last_ts_micros) > expiry_micros)
-            .map(|(ip, _)| *ip)
-            .collect();
-        for ip in expired {
-            let scan = self.open.remove(&ip).unwrap();
-            self.finalize(ip, scan);
+        let mut i = 0;
+        while i < self.active.len() {
+            let sid = self.active[i];
+            let last = self.slots[sid as usize].scan.last_ts_micros;
+            if now_micros.saturating_sub(last) > self.expiry_micros {
+                // close() swap-removes: index i now holds a different id.
+                self.close(sid);
+            } else {
+                i += 1;
+            }
         }
     }
 
     /// End of stream: finalize everything and return results.
-    pub fn finish(mut self) -> (Vec<Campaign>, NoiseStats) {
-        let open: Vec<(Ipv4Address, OpenScan)> = self.open.drain().collect();
-        for (ip, scan) in open {
-            self.finalize(ip, scan);
+    pub fn finish(self) -> (Vec<Campaign>, NoiseStats) {
+        let (campaigns, noise, _) = self.finish_with_sources();
+        (campaigns, noise)
+    }
+
+    /// As [`CampaignDetector::finish`], also returning the source table so
+    /// callers that keyed their own state by interned id can map back to
+    /// IPs.
+    pub fn finish_with_sources(mut self) -> (Vec<Campaign>, NoiseStats, SourceTable) {
+        while let Some(&sid) = self.active.last() {
+            self.close(sid);
         }
         self.campaigns
             .sort_by_key(|c| (c.first_ts_micros, c.src_ip));
-        (self.campaigns, self.noise)
+        (self.campaigns, self.noise, self.table)
     }
 
-    fn finalize(&mut self, src_ip: Ipv4Address, scan: OpenScan) {
-        let reason = self.check(&scan);
-        match reason {
-            None => self.campaigns.push(scan.into_campaign(src_ip)),
+    /// Close the open scan of `sid`: remove it from the active list and
+    /// either emit a campaign or count it as noise.
+    fn close(&mut self, sid: SourceId) {
+        let pos = self.slots[sid as usize].active_pos as usize;
+        debug_assert_eq!(self.active[pos], sid);
+        self.active.swap_remove(pos);
+        if let Some(&moved) = self.active.get(pos) {
+            self.slots[moved as usize].active_pos = pos as u32;
+        }
+        self.slots[sid as usize].active_pos = NOT_ACTIVE;
+
+        match check(&self.config, &self.slots[sid as usize].scan) {
+            None => {
+                let src_ip = Ipv4Address(self.table.ip_of(sid));
+                let campaign = self.slots[sid as usize].scan.take_campaign(src_ip);
+                self.campaigns.push(campaign);
+            }
             Some(reason) => {
-                *self
-                    .noise
-                    .rejected_sequences
-                    .entry(format!("{reason:?}"))
-                    .or_default() += 1;
+                let scan = &mut self.slots[sid as usize].scan;
+                *self.noise.rejected_sequences.entry(reason).or_default() += 1;
                 self.noise.rejected_packets += scan.packets;
+                scan.release();
             }
         }
     }
+}
 
-    fn check(&self, scan: &OpenScan) -> Option<RejectReason> {
-        if (scan.dests.len() as u64) < self.config.min_distinct_dests {
-            return Some(RejectReason::TooFewDestinations);
-        }
-        let duration = (scan.last_ts_micros - scan.first_ts_micros) as f64 / 1e6;
-        if duration > 0.0 {
-            let telescope_rate = scan.packets as f64 / duration;
-            let est = self.config.model().extrapolate_rate(telescope_rate);
-            if est < self.config.min_rate_pps {
-                return Some(RejectReason::TooSlow);
-            }
-        }
-        None
+/// The §3.4 campaign test, as a free function so [`CampaignDetector::close`]
+/// can borrow the scan and the config independently.
+fn check(config: &CampaignConfig, scan: &OpenScan) -> Option<RejectReason> {
+    if (scan.dests.len() as u64) < config.min_distinct_dests {
+        return Some(RejectReason::TooFewDestinations);
     }
+    let duration = (scan.last_ts_micros - scan.first_ts_micros) as f64 / 1e6;
+    if duration > 0.0 {
+        let telescope_rate = scan.packets as f64 / duration;
+        let est = config.model().extrapolate_rate(telescope_rate);
+        if est < config.min_rate_pps {
+            return Some(RejectReason::TooSlow);
+        }
+    }
+    None
 }
 
 /// Convenience wrapper running fingerprinting and campaign detection in one
 /// pass — the §3 pipeline end to end.
+///
+/// The detector's [`SourceTable`] is the single interner: each record is
+/// interned exactly once and the dense id keys both the fingerprint state
+/// vector and the open-scan slots, so the whole §3 admit path costs one
+/// hash probe per record.
 #[derive(Debug)]
 pub struct Pipeline {
-    engine: FingerprintEngine,
+    engine: InternedFingerprint,
     detector: CampaignDetector,
 }
 
@@ -340,29 +547,52 @@ impl Pipeline {
     /// cadence. This keeps sharded and sequential runs bit-identical.
     pub fn new(config: CampaignConfig) -> Self {
         Self {
-            engine: FingerprintEngine::with_expiry((config.expiry_secs * 1e6) as u64),
+            engine: InternedFingerprint::with_expiry((config.expiry_secs * 1e6) as u64),
             detector: CampaignDetector::new(config),
         }
     }
 
-    /// Process one record: fingerprint, then feed the detector. Returns the
-    /// per-packet verdict.
+    /// Pre-size interner, fingerprint and campaign state for roughly
+    /// `sources` distinct addresses.
+    pub fn reserve_sources(&mut self, sources: usize) {
+        self.engine.reserve(sources);
+        self.detector.reserve(sources);
+    }
+
+    /// Process one record: intern, fingerprint, then feed the detector.
+    /// Returns the per-packet verdict.
     pub fn process(&mut self, record: &ProbeRecord) -> PacketVerdict {
-        let verdict = self.engine.classify(record);
-        self.detector.offer(record, verdict.tool());
-        verdict
+        self.process_interned(record).0
+    }
+
+    /// As [`Pipeline::process`], also returning the record's interned source
+    /// id so the caller can index its own dense per-source state without
+    /// re-hashing the address.
+    #[inline]
+    pub fn process_interned(&mut self, record: &ProbeRecord) -> (PacketVerdict, SourceId) {
+        let sid = self.detector.intern(record.src_ip);
+        let verdict = self.engine.classify(sid, record);
+        self.detector.offer_interned(sid, record, verdict.tool());
+        (verdict, sid)
     }
 
     /// Periodic housekeeping for long streams.
+    ///
+    /// Only the campaign side needs sweeping: fingerprint state is a dense
+    /// per-source window (resetting lazily on expiry inside `classify`),
+    /// already bounded by the interner's source count.
     pub fn housekeeping(&mut self, now_micros: u64) {
-        let expiry = (self.detector.config().expiry_secs * 1e6) as u64;
-        self.engine.evict_idle(now_micros.saturating_sub(expiry));
         self.detector.expire_idle(now_micros);
     }
 
     /// Finish and return campaigns plus noise statistics.
     pub fn finish(self) -> (Vec<Campaign>, NoiseStats) {
         self.detector.finish()
+    }
+
+    /// Finish, also handing back the source table for id → IP conversion.
+    pub fn finish_with_sources(self) -> (Vec<Campaign>, NoiseStats, SourceTable) {
+        self.detector.finish_with_sources()
     }
 }
 
@@ -419,7 +649,12 @@ mod tests {
         let (campaigns, noise) = det.finish();
         assert!(campaigns.is_empty());
         assert_eq!(noise.rejected_packets, 5);
-        assert_eq!(noise.rejected_sequences.get("TooFewDestinations"), Some(&1));
+        assert_eq!(
+            noise
+                .rejected_sequences
+                .get(&RejectReason::TooFewDestinations),
+            Some(&1)
+        );
     }
 
     #[test]
@@ -433,7 +668,10 @@ mod tests {
         // All probes are within the 1 h expiry? No — 1000 s gaps, fine.
         let (campaigns, noise) = det.finish();
         assert!(campaigns.is_empty());
-        assert_eq!(noise.rejected_sequences.get("TooSlow"), Some(&1));
+        assert_eq!(
+            noise.rejected_sequences.get(&RejectReason::TooSlow),
+            Some(&1)
+        );
     }
 
     #[test]
@@ -541,9 +779,59 @@ mod tests {
             det.offer(&record(1, 100 + i, 80, (i as u64) * 1000), None);
         }
         det.expire_idle(2 * 3600 * 1_000_000);
-        assert_eq!(det.open.len(), 0);
+        assert_eq!(det.open_scans(), 0);
         let (campaigns, _) = det.finish();
         assert_eq!(campaigns.len(), 1);
+    }
+
+    #[test]
+    fn slot_reuse_after_close_starts_clean() {
+        // Same source opens, closes (as noise), and reopens: the recycled
+        // slot must not leak dests/ports/votes from the first sequence.
+        let mut det = CampaignDetector::new(cfg());
+        for i in 0..5u32 {
+            det.offer(
+                &record(9, 100 + i, 80, (i as u64) * 1000),
+                Some(ToolKind::Nmap),
+            );
+        }
+        let later = 3 * 3600 * 1_000_000u64;
+        for i in 0..15u32 {
+            det.offer(&record(9, 500 + i, 443, later + (i as u64) * 1000), None);
+        }
+        let (campaigns, noise) = det.finish();
+        assert_eq!(campaigns.len(), 1);
+        assert_eq!(campaigns[0].packets, 15);
+        assert_eq!(campaigns[0].distinct_dests, 15);
+        assert_eq!(campaigns[0].port_packets.keys().collect::<Vec<_>>(), [&443]);
+        assert!(
+            campaigns[0].tool_votes.is_empty(),
+            "votes from run 1 leaked"
+        );
+        assert_eq!(noise.rejected_packets, 5);
+    }
+
+    #[test]
+    fn active_list_survives_interleaved_closes() {
+        // Many sources open; expire a middle batch (exercising swap_remove
+        // position fixups); the remaining sources still close correctly.
+        let mut det = CampaignDetector::new(cfg());
+        for src in 0..20u32 {
+            for i in 0..12u32 {
+                // Sources 5..10 stop early; the rest keep going.
+                let ts = if (5..10).contains(&src) {
+                    (i as u64) * 1000
+                } else {
+                    5 * 3600 * 1_000_000 + (i as u64) * 1000
+                };
+                det.offer(&record(src, 100 + src * 100 + i, 80, ts), None);
+            }
+        }
+        assert_eq!(det.open_scans(), 20);
+        det.expire_idle(4 * 3600 * 1_000_000);
+        assert_eq!(det.open_scans(), 15, "only the early batch expired");
+        let (campaigns, _) = det.finish();
+        assert_eq!(campaigns.len(), 20);
     }
 
     #[test]
@@ -559,6 +847,41 @@ mod tests {
         let full = CampaignConfig::scaled(71_536);
         assert_eq!(full.min_distinct_dests, 100);
         assert_eq!(full.expiry_secs, 3600.0);
+    }
+
+    #[test]
+    fn reject_reason_names_are_stable() {
+        // The report and serde renderings both lean on these exact strings,
+        // and BTreeMap order must match their lexicographic order.
+        assert_eq!(
+            RejectReason::TooFewDestinations.as_str(),
+            "TooFewDestinations"
+        );
+        assert_eq!(RejectReason::TooSlow.as_str(), "TooSlow");
+        assert_eq!(
+            RejectReason::TooFewDestinations.to_string(),
+            format!("{:?}", RejectReason::TooFewDestinations)
+        );
+        assert!(RejectReason::TooFewDestinations < RejectReason::TooSlow);
+        assert!(
+            RejectReason::TooFewDestinations.as_str() < RejectReason::TooSlow.as_str(),
+            "enum order tracks string order"
+        );
+    }
+
+    #[test]
+    fn noise_stats_serialize_with_string_reason_keys() {
+        let mut noise = NoiseStats::default();
+        noise
+            .rejected_sequences
+            .insert(RejectReason::TooFewDestinations, 3);
+        noise.rejected_sequences.insert(RejectReason::TooSlow, 1);
+        noise.rejected_packets = 44;
+        let json = serde_json::to_string(&noise).unwrap();
+        assert_eq!(
+            json,
+            r#"{"rejected_sequences":{"TooFewDestinations":3,"TooSlow":1},"rejected_packets":44}"#
+        );
     }
 
     #[test]

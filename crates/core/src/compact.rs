@@ -1,0 +1,480 @@
+//! Compact distinct-element sets for the per-record accumulation layer.
+//!
+//! The collector used to keep a heap-allocated `HashSet` behind every
+//! port→sources and source→ports relation — one allocation plus one SipHash
+//! probe per insert, with poor locality on iteration. With sources interned
+//! to dense ids ([`crate::intern`]) both relations become sets of *small
+//! dense integers*, for which two representations beat a hash set:
+//!
+//! * a **sorted inline vector** while the set is small (the common case:
+//!   most sources touch a handful of ports, most ports see few sources),
+//!   where insertion is a short `memmove` and membership a binary search;
+//! * a **bitmap** once the set grows past the inline bound, where insertion
+//!   and membership are single word operations and memory is `max_id/8`
+//!   bytes — compact precisely because interned ids are dense.
+//!
+//! Both keep an exact element count, so cardinality queries (the only thing
+//! most call sites need at `finish()` time) are O(1). Iteration is always
+//! ascending, which makes the `finish()`-time conversion to the public
+//! IP-keyed maps deterministic.
+
+/// Inline capacity of [`IdSet`] before it spills to a bitmap.
+const ID_SMALL_MAX: usize = 16;
+
+/// Inline capacity of [`PortSet`] before it spills to a bitmap.
+const PORT_SMALL_MAX: usize = 32;
+
+/// Words in a full 16-bit port bitmap (65536 bits).
+const PORT_WORDS: usize = 1 << 10;
+
+/// A set of dense [`crate::intern::SourceId`]s (sorted small-vec / bitmap
+/// hybrid).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdSet {
+    /// Sorted, deduplicated inline ids (≤ [`ID_SMALL_MAX`]).
+    Small(Vec<u32>),
+    /// Bitmap over ids, sized to the largest id seen.
+    Bits {
+        /// One bit per id, little-endian within each word.
+        words: Vec<u64>,
+        /// Exact number of set bits.
+        len: u32,
+    },
+}
+
+impl Default for IdSet {
+    fn default() -> Self {
+        IdSet::Small(Vec::new())
+    }
+}
+
+impl IdSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `id`; returns `true` when it was not already present.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        match self {
+            IdSet::Small(items) => match items.binary_search(&id) {
+                Ok(_) => false,
+                Err(pos) => {
+                    if items.len() < ID_SMALL_MAX {
+                        items.insert(pos, id);
+                        return true;
+                    }
+                    let mut words = Vec::new();
+                    let mut len = 0u32;
+                    for &existing in items.iter() {
+                        Self::set_bit(&mut words, existing);
+                        len += 1;
+                    }
+                    Self::set_bit(&mut words, id);
+                    len += 1;
+                    *self = IdSet::Bits { words, len };
+                    true
+                }
+            },
+            IdSet::Bits { words, len } => {
+                if Self::set_bit(words, id) {
+                    *len += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Set one bit, growing the word vector on demand; returns `true` when
+    /// the bit was previously clear.
+    #[inline]
+    fn set_bit(words: &mut Vec<u64>, id: u32) -> bool {
+        let word = (id >> 6) as usize;
+        if word >= words.len() {
+            words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (id & 63);
+        let was_clear = words[word] & mask == 0;
+        words[word] |= mask;
+        was_clear
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: u32) -> bool {
+        match self {
+            IdSet::Small(items) => items.binary_search(&id).is_ok(),
+            IdSet::Bits { words, .. } => {
+                let word = (id >> 6) as usize;
+                word < words.len() && words[word] & (1u64 << (id & 63)) != 0
+            }
+        }
+    }
+
+    /// Number of distinct ids.
+    pub fn len(&self) -> usize {
+        match self {
+            IdSet::Small(items) => items.len(),
+            IdSet::Bits { len, .. } => *len as usize,
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate ids in ascending order.
+    pub fn iter(&self) -> IdSetIter<'_> {
+        match self {
+            IdSet::Small(items) => IdSetIter::Small(items.iter()),
+            IdSet::Bits { words, .. } => IdSetIter::Bits {
+                words,
+                word: 0,
+                current: words.first().copied().unwrap_or(0),
+            },
+        }
+    }
+
+    /// Merge `other` into `self` (set union) — the cross-shard combine for
+    /// compact sets. Sorted inputs merge sequentially; bitmap pairs OR word
+    /// by word.
+    pub fn union_with(&mut self, other: &IdSet) {
+        match (&mut *self, other) {
+            (IdSet::Small(mine), IdSet::Small(theirs))
+                if mine.len() + theirs.len() <= ID_SMALL_MAX =>
+            {
+                // Sorted two-pointer merge with dedup; the bound check above
+                // guarantees the merged set still fits inline (it can only
+                // shrink under dedup).
+                let merged = sorted_union(mine, theirs);
+                *mine = merged;
+            }
+            _ => {
+                for id in other.iter() {
+                    self.insert(id);
+                }
+            }
+        }
+    }
+}
+
+/// Union of two sorted, deduplicated slices, preserving both invariants.
+fn sorted_union(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Ascending iterator over an [`IdSet`].
+#[derive(Debug)]
+pub enum IdSetIter<'a> {
+    /// Inline representation: iterate the sorted slice.
+    Small(std::slice::Iter<'a, u32>),
+    /// Bitmap representation: walk set bits word by word.
+    Bits {
+        /// The bitmap words.
+        words: &'a [u64],
+        /// Index of the word `current` was loaded from.
+        word: usize,
+        /// Remaining unvisited bits of the current word.
+        current: u64,
+    },
+}
+
+impl Iterator for IdSetIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            IdSetIter::Small(iter) => iter.next().copied(),
+            IdSetIter::Bits {
+                words,
+                word,
+                current,
+            } => loop {
+                if *current != 0 {
+                    let bit = current.trailing_zeros();
+                    *current &= *current - 1;
+                    return Some((*word as u32) * 64 + bit);
+                }
+                *word += 1;
+                if *word >= words.len() {
+                    return None;
+                }
+                *current = words[*word];
+            },
+        }
+    }
+}
+
+/// A set of 16-bit destination ports (sorted small-vec / fixed bitmap
+/// hybrid). Only the cardinality is consumed at `finish()` time
+/// (`source_port_counts`), so the bitmap variant keeps an exact counter and
+/// never needs to iterate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortSet {
+    /// Sorted, deduplicated inline ports (≤ [`PORT_SMALL_MAX`]).
+    Small(Vec<u16>),
+    /// Full 8 KiB port bitmap — only for the rare wide (vertical) scanners.
+    Bits {
+        /// 65536 bits, one per port.
+        words: Box<[u64]>,
+        /// Exact number of set bits.
+        len: u32,
+    },
+}
+
+impl Default for PortSet {
+    fn default() -> Self {
+        PortSet::Small(Vec::new())
+    }
+}
+
+impl PortSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `port`; returns `true` when it was not already present.
+    #[inline]
+    pub fn insert(&mut self, port: u16) -> bool {
+        match self {
+            PortSet::Small(items) => match items.binary_search(&port) {
+                Ok(_) => false,
+                Err(pos) => {
+                    if items.len() < PORT_SMALL_MAX {
+                        items.insert(pos, port);
+                        return true;
+                    }
+                    let mut words = vec![0u64; PORT_WORDS].into_boxed_slice();
+                    for &existing in items.iter() {
+                        words[usize::from(existing >> 6)] |= 1u64 << (existing & 63);
+                    }
+                    words[usize::from(port >> 6)] |= 1u64 << (port & 63);
+                    *self = PortSet::Bits {
+                        words,
+                        len: PORT_SMALL_MAX as u32 + 1,
+                    };
+                    true
+                }
+            },
+            PortSet::Bits { words, len } => {
+                let word = &mut words[usize::from(port >> 6)];
+                let mask = 1u64 << (port & 63);
+                if *word & mask == 0 {
+                    *word |= mask;
+                    *len += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Whether `port` is in the set.
+    pub fn contains(&self, port: u16) -> bool {
+        match self {
+            PortSet::Small(items) => items.binary_search(&port).is_ok(),
+            PortSet::Bits { words, .. } => {
+                words[usize::from(port >> 6)] & (1u64 << (port & 63)) != 0
+            }
+        }
+    }
+
+    /// Number of distinct ports.
+    pub fn len(&self) -> usize {
+        match self {
+            PortSet::Small(items) => items.len(),
+            PortSet::Bits { len, .. } => *len as usize,
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idset_inserts_dedups_and_counts() {
+        let mut set = IdSet::new();
+        assert!(set.is_empty());
+        assert!(set.insert(5));
+        assert!(set.insert(3));
+        assert!(!set.insert(5), "duplicate rejected");
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(3));
+        assert!(!set.contains(4));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    fn idset_spills_to_bitmap_and_stays_exact() {
+        let mut set = IdSet::new();
+        // Duplicate-heavy stream around the spill boundary.
+        for round in 0..3 {
+            for id in 0..40u32 {
+                let inserted = set.insert(id * 3);
+                assert_eq!(inserted, round == 0, "id {id} round {round}");
+            }
+        }
+        assert!(matches!(set, IdSet::Bits { .. }), "spilled past inline max");
+        assert_eq!(set.len(), 40);
+        assert_eq!(
+            set.iter().collect::<Vec<_>>(),
+            (0..40u32).map(|i| i * 3).collect::<Vec<_>>(),
+            "bitmap iteration is ascending and exact"
+        );
+        assert!(set.contains(117));
+        assert!(!set.contains(118));
+    }
+
+    #[test]
+    fn idset_exact_boundary_spill() {
+        let mut set = IdSet::new();
+        for id in 0..16u32 {
+            set.insert(id);
+        }
+        assert!(matches!(set, IdSet::Small(_)), "inline at the bound");
+        set.insert(16);
+        assert!(matches!(set, IdSet::Bits { .. }), "bound + 1 spills");
+        assert_eq!(set.len(), 17);
+    }
+
+    #[test]
+    fn idset_union_small_small_inline() {
+        // Empty × non-empty, overlapping, all staying inline.
+        let mut a = IdSet::new();
+        let mut b = IdSet::new();
+        a.union_with(&b);
+        assert!(a.is_empty(), "empty ∪ empty");
+        for id in [1u32, 5, 9] {
+            b.insert(id);
+        }
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5, 9], "empty ∪ b = b");
+        let mut c = IdSet::new();
+        for id in [5u32, 7] {
+            c.insert(id);
+        }
+        a.union_with(&c);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5, 7, 9]);
+        assert!(matches!(a, IdSet::Small(_)));
+    }
+
+    #[test]
+    fn idset_union_spilling_and_mixed_reprs() {
+        // Cross-shard shape: two disjoint dense ranges, each inline, whose
+        // union must spill; then union a bitmap into a small set.
+        let mut low = IdSet::new();
+        let mut high = IdSet::new();
+        for id in 0..12u32 {
+            low.insert(id);
+            high.insert(100 + id);
+        }
+        low.union_with(&high);
+        assert_eq!(low.len(), 24);
+        assert!(low.contains(0) && low.contains(111));
+
+        let mut big = IdSet::new();
+        for id in 0..50u32 {
+            big.insert(id * 2);
+        }
+        let mut small = IdSet::new();
+        small.insert(1);
+        small.insert(4); // overlaps big
+        small.union_with(&big);
+        assert_eq!(small.len(), 51);
+        let mut expected: Vec<u32> = (0..50u32).map(|i| i * 2).collect();
+        expected.push(1);
+        expected.sort_unstable();
+        assert_eq!(small.iter().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn idset_union_is_idempotent() {
+        let mut a = IdSet::new();
+        for id in 0..30u32 {
+            a.insert(id);
+        }
+        let snapshot = a.clone();
+        let b = a.clone();
+        a.union_with(&b);
+        assert_eq!(a, snapshot, "self-union changes nothing");
+    }
+
+    #[test]
+    fn portset_inserts_and_spills() {
+        let mut set = PortSet::new();
+        assert!(set.insert(443));
+        assert!(!set.insert(443));
+        assert!(set.insert(80));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(80) && !set.contains(22));
+
+        // A vertical scanner hitting every 7th port: spills to the bitmap
+        // and the count stays exact under duplicates.
+        for _ in 0..2 {
+            for p in (0..u16::MAX).step_by(7) {
+                set.insert(p);
+            }
+        }
+        assert!(matches!(set, PortSet::Bits { .. }));
+        let expected = (0..u16::MAX).step_by(7).count() + 2
+            - usize::from(443 % 7 == 0)
+            - usize::from(80 % 7 == 0);
+        assert_eq!(set.len(), expected);
+        assert!(set.contains(7) && set.contains(443));
+    }
+
+    #[test]
+    fn portset_boundary_ports() {
+        let mut set = PortSet::new();
+        assert!(set.insert(0));
+        assert!(set.insert(u16::MAX));
+        assert_eq!(set.len(), 2);
+        for p in 1..=PORT_SMALL_MAX as u16 {
+            set.insert(p);
+        }
+        assert!(matches!(set, PortSet::Bits { .. }));
+        assert!(set.contains(0) && set.contains(u16::MAX));
+        assert_eq!(set.len(), 2 + PORT_SMALL_MAX);
+    }
+
+    #[test]
+    fn sorted_union_edge_cases() {
+        assert_eq!(sorted_union(&[], &[]), Vec::<u32>::new());
+        assert_eq!(sorted_union(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(sorted_union(&[], &[3]), vec![3]);
+        assert_eq!(sorted_union(&[1, 3, 5], &[1, 3, 5]), vec![1, 3, 5]);
+        assert_eq!(sorted_union(&[1, 4], &[2, 3, 9]), vec![1, 2, 3, 4, 9]);
+    }
+}

@@ -25,6 +25,8 @@ use synscan_scanners::traits::ToolKind;
 use self::pairwise::PairwiseState;
 use self::rules::single_packet_verdict;
 
+use crate::intern::SourceId;
+
 /// The verdict for one packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketVerdict {
@@ -125,6 +127,71 @@ impl FingerprintEngine {
     /// Number of sources currently tracked.
     pub fn tracked_sources(&self) -> usize {
         self.pairwise.len()
+    }
+}
+
+/// Fingerprint engine keyed by interned source id instead of address.
+///
+/// Functionally identical to [`FingerprintEngine`] — same rules, same
+/// pairwise windows, same lazy expiry reset — but per-source state is a
+/// dense `Vec<PairwiseState>` indexed by [`SourceId`], so `classify` does no
+/// hashing at all: the caller interned the address already (one probe,
+/// shared with the campaign detector) and everything here is an array
+/// index. Memory is bounded by the interner: one fixed-size probe window
+/// per distinct source, no eviction needed.
+#[derive(Debug)]
+pub struct InternedFingerprint {
+    states: Vec<PairwiseState>,
+    /// Same lazy-reset contract as [`FingerprintEngine::with_expiry`]: gaps
+    /// longer than this reset the source's window inside `classify`,
+    /// deterministically, independent of any housekeeping cadence.
+    expiry_micros: u64,
+}
+
+impl InternedFingerprint {
+    /// Fresh engine whose per-source state resets after `expiry_micros` of
+    /// source silence.
+    pub fn with_expiry(expiry_micros: u64) -> Self {
+        Self {
+            states: Vec::new(),
+            expiry_micros,
+        }
+    }
+
+    /// Pre-size the state vector for roughly `sources` distinct sources.
+    pub fn reserve(&mut self, sources: usize) {
+        self.states.reserve(sources);
+    }
+
+    /// Classify one probe of the source interned as `sid`, updating its
+    /// pairwise state. Same precedence as [`FingerprintEngine::classify`].
+    #[inline]
+    pub fn classify(&mut self, sid: SourceId, record: &ProbeRecord) -> PacketVerdict {
+        let idx = sid as usize;
+        if idx >= self.states.len() {
+            self.states.resize_with(idx + 1, PairwiseState::default);
+        }
+        let state = &mut self.states[idx];
+        if record.ts_micros.saturating_sub(state.last_seen_micros()) > self.expiry_micros {
+            state.reset();
+        }
+        if let Some(tool) = single_packet_verdict(record) {
+            // A single-packet match still refreshes pairwise history so a
+            // later unmarked packet can pair against it if needed.
+            state.push(record);
+            return PacketVerdict::Single(tool);
+        }
+        let verdict = state.test(record);
+        state.push(record);
+        match verdict {
+            Some(tool) => PacketVerdict::Paired(tool),
+            None => PacketVerdict::Unattributed,
+        }
+    }
+
+    /// Number of sources with allocated state.
+    pub fn tracked_sources(&self) -> usize {
+        self.states.len()
     }
 }
 
@@ -270,6 +337,41 @@ mod tests {
             forever.classify(&mk(2, 100 + expiry + 1)),
             PacketVerdict::Paired(ToolKind::Nmap)
         );
+    }
+
+    #[test]
+    fn interned_engine_matches_address_keyed_engine() {
+        use crate::intern::SourceTable;
+        // Mixed single-packet, pairwise, and unattributable sources, replayed
+        // a second time past the expiry gap: the dense-id engine must agree
+        // with the map-keyed reference verdict for verdict.
+        let expiry = 2_000_000u64;
+        let nmap = records_for(&NmapScanner::new(21), 400, 8);
+        let zmap = records_for(&ZmapScanner::new(22), 401, 8);
+        let custom = records_for(&CustomScanner::new(23), 402, 8);
+        let mut stream: Vec<ProbeRecord> = Vec::new();
+        for i in 0..8 {
+            stream.extend([nmap[i], zmap[i], custom[i]]);
+        }
+        let shift = expiry * 2;
+        let late: Vec<ProbeRecord> = stream
+            .iter()
+            .map(|r| {
+                let mut r = *r;
+                r.ts_micros += shift;
+                r
+            })
+            .collect();
+        stream.extend(late);
+
+        let mut reference = FingerprintEngine::with_expiry(expiry);
+        let mut fast = InternedFingerprint::with_expiry(expiry);
+        let mut table = SourceTable::new();
+        for rec in &stream {
+            let sid = table.intern(rec.src_ip.0);
+            assert_eq!(fast.classify(sid, rec), reference.classify(rec), "{rec:?}");
+        }
+        assert_eq!(fast.tracked_sources(), 3);
     }
 
     #[test]

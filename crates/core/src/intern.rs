@@ -1,0 +1,124 @@
+//! Source-address interning: one hash probe per record, dense ids after.
+//!
+//! Every stateful stage of the measurement loop is keyed by source address
+//! (§3.3 fingerprint windows, §3.4 open-scan state, the per-source
+//! aggregates). Before this layer existed each stage re-hashed the same
+//! 32-bit address — ~8 SipHash probes per admitted record. A
+//! [`SourceTable`] assigns each distinct `src_ip` a dense `u32` index at
+//! admission; every downstream per-source structure is then a plain `Vec`
+//! indexed by that id, so the *only* per-source keyed lookup left in the
+//! admit path is the intern probe itself (one [`crate::fasthash`] probe).
+//!
+//! Ids are assigned in first-appearance order, which is deterministic for a
+//! given record stream. Nothing downstream depends on the numbering: all
+//! public output maps are re-keyed by IP at `finish()` time via
+//! [`SourceTable::ips`].
+
+use crate::fasthash::FxHashMap;
+
+/// Dense index of an interned source address (assignment order = first
+/// appearance in the stream).
+pub type SourceId = u32;
+
+/// Interner mapping `src_ip` ↔ dense [`SourceId`].
+#[derive(Debug, Clone, Default)]
+pub struct SourceTable {
+    ids: FxHashMap<u32, SourceId>,
+    ips: Vec<u32>,
+}
+
+impl SourceTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size for roughly `sources` distinct addresses (rehash avoidance;
+    /// never load-bearing).
+    pub fn reserve(&mut self, sources: usize) {
+        self.ids.reserve(sources);
+        self.ips.reserve(sources);
+    }
+
+    /// Intern `ip`, assigning the next dense id on first sight.
+    ///
+    /// This is the one keyed lookup per record the hot path performs for
+    /// per-source state.
+    #[inline]
+    pub fn intern(&mut self, ip: u32) -> SourceId {
+        if let Some(&id) = self.ids.get(&ip) {
+            return id;
+        }
+        let id = self.ips.len() as SourceId;
+        self.ids.insert(ip, id);
+        self.ips.push(ip);
+        id
+    }
+
+    /// The id of `ip`, if it has been interned.
+    pub fn get(&self, ip: u32) -> Option<SourceId> {
+        self.ids.get(&ip).copied()
+    }
+
+    /// The address behind `id`.
+    ///
+    /// # Panics
+    /// If `id` was not produced by this table.
+    pub fn ip_of(&self, id: SourceId) -> u32 {
+        self.ips[id as usize]
+    }
+
+    /// All interned addresses, indexed by id — the `finish()`-time bridge
+    /// from dense per-source vectors back to IP-keyed public maps.
+    pub fn ips(&self) -> &[u32] {
+        &self.ips
+    }
+
+    /// Number of distinct addresses interned.
+    pub fn len(&self) -> usize {
+        self.ips.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ips.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_first_appearance_ordered() {
+        let mut table = SourceTable::new();
+        assert_eq!(table.intern(0x0a00_0001), 0);
+        assert_eq!(table.intern(0x0b00_0002), 1);
+        assert_eq!(table.intern(0x0a00_0001), 0, "re-intern is stable");
+        assert_eq!(table.intern(0x0c00_0003), 2);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.ips(), &[0x0a00_0001, 0x0b00_0002, 0x0c00_0003]);
+    }
+
+    #[test]
+    fn round_trips_ip_and_id() {
+        let mut table = SourceTable::new();
+        table.reserve(100);
+        for i in 0..100u32 {
+            let ip = i.wrapping_mul(2_654_435_761);
+            let id = table.intern(ip);
+            assert_eq!(table.ip_of(id), ip);
+            assert_eq!(table.get(ip), Some(id));
+        }
+        assert_eq!(table.get(0xdead_beef), None);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn empty_table() {
+        let table = SourceTable::new();
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.ips(), &[] as &[u32]);
+    }
+}

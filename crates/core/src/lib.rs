@@ -36,15 +36,21 @@
 pub mod analysis;
 pub mod campaign;
 pub mod classify;
+pub mod compact;
+pub mod fasthash;
 pub mod fingerprint;
+pub mod intern;
 pub mod pipeline;
 pub mod report;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignDetector};
+pub use campaign::{Campaign, CampaignConfig, CampaignDetector, RejectReason};
 pub use classify::classify_source;
-pub use fingerprint::{FingerprintEngine, PacketVerdict};
+pub use compact::{IdSet, PortSet};
+pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use fingerprint::{FingerprintEngine, InternedFingerprint, PacketVerdict};
+pub use intern::{SourceId, SourceTable};
 pub use pipeline::{
     collect_year_sharded, collect_year_stream, try_collect_year_stream, PipelineError,
-    PipelineMode, PipelineOutcome,
+    PipelineMode, PipelineOutcome, SizeHints,
 };
 pub use synscan_scanners::traits::ToolKind;

@@ -34,8 +34,8 @@ use crossbeam::channel;
 
 use synscan_scanners::traits::mix64;
 use synscan_wire::stream::{
-    FaultCounters, FaultPolicy, InfallibleStream, RecordStream, SliceStream, StreamError,
-    TryRecordStream,
+    BatchPool, FaultCounters, FaultPolicy, InfallibleStream, RecordStream, SliceStream,
+    StreamError, TryRecordStream,
 };
 use synscan_wire::{Ipv4Address, ProbeRecord};
 
@@ -139,6 +139,50 @@ impl std::str::FromStr for PipelineMode {
 /// lifetime; every record of one source lands on the same shard.
 pub fn shard_of(src: Ipv4Address, workers: usize) -> usize {
     (mix64(u64::from(src.0)) % workers as u64) as usize
+}
+
+/// Expected-cardinality hints for pre-sizing the collector's hot state
+/// (interner, per-source vectors, per-port maps). Hints are never
+/// load-bearing: `0` / [`SizeHints::none`] simply means "grow on demand".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SizeHints {
+    /// Expected distinct scanning sources across the whole stream.
+    pub sources: usize,
+    /// Expected distinct destination ports across the whole stream.
+    pub ports: usize,
+}
+
+impl SizeHints {
+    /// No hints: every table starts empty and grows on demand.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Hint only the source cardinality.
+    pub fn sources(sources: usize) -> Self {
+        Self { sources, ports: 0 }
+    }
+
+    /// Hint both cardinalities.
+    pub fn new(sources: usize, ports: usize) -> Self {
+        Self { sources, ports }
+    }
+
+    /// The share of these hints one of `workers` source-sharded workers
+    /// should reserve: sources partition across shards, ports do not (every
+    /// shard can see every port).
+    fn per_worker(self, workers: usize) -> Self {
+        Self {
+            sources: self.sources / workers.max(1),
+            ports: self.ports,
+        }
+    }
+
+    /// Apply the hints to a collector (pre-sizes its hot tables).
+    pub fn apply_to(self, collector: &mut YearCollector) {
+        collector.reserve_sources(self.sources);
+        collector.reserve_ports(self.ports);
+    }
 }
 
 /// One message on a shard channel.
@@ -286,13 +330,14 @@ impl FaultGate {
 /// `admit` is the ingress/SYN filter — it runs on the calling thread, in
 /// stream order, exactly once per record, so stateful filters
 /// ([`synscan_telescope::CaptureSession`]) keep exact statistics.
-/// `source_hint` pre-sizes per-source maps (0 = no hint).
+/// `hints` pre-sizes the collector's hot state ([`SizeHints::none`] = grow
+/// on demand).
 pub fn collect_year_stream<S, F>(
     year: u16,
     config: CampaignConfig,
     period_days: f64,
     mode: PipelineMode,
-    source_hint: usize,
+    hints: SizeHints,
     stream: &mut S,
     admit: F,
 ) -> YearAnalysis
@@ -306,7 +351,7 @@ where
         config,
         period_days,
         mode,
-        source_hint,
+        hints,
         FaultPolicy::Fail,
         &mut stream,
         admit,
@@ -348,7 +393,7 @@ pub fn try_collect_year_stream<S, F>(
     config: CampaignConfig,
     period_days: f64,
     mode: PipelineMode,
-    source_hint: usize,
+    hints: SizeHints,
     policy: FaultPolicy,
     stream: &mut S,
     mut admit: F,
@@ -361,7 +406,7 @@ where
     let workers = match mode {
         PipelineMode::Sequential => {
             let mut collector = YearCollector::with_period(year, config, period_days);
-            collector.reserve_sources(source_hint);
+            hints.apply_to(&mut collector);
             'feed: loop {
                 let batch = match stream.try_next_batch() {
                     Ok(Some(batch)) => batch,
@@ -408,19 +453,31 @@ where
     };
 
     let partials: Result<Vec<Option<YearAnalysis>>, PipelineError> = thread::scope(|scope| {
+        // Consumed batch buffers flow back to the feeder over this channel
+        // (bounded to the fan-out's maximum in-flight count, so try_send
+        // from a worker can only fail if the feeder stopped draining — in
+        // which case the buffer is simply dropped).
+        let (recycle_tx, recycle_rx) =
+            channel::bounded::<Vec<ProbeRecord>>(workers * (CHANNEL_DEPTH + 2));
         let mut txs = Vec::with_capacity(workers);
         let mut joins = Vec::with_capacity(workers);
         for _ in 0..workers {
             let (tx, rx) = channel::bounded::<ShardMsg>(CHANNEL_DEPTH);
             txs.push(tx);
-            let hint = source_hint / workers;
-            joins.push(scope.spawn(move || worker_loop(year, config, period_days, hint, rx)));
+            let hint = hints.per_worker(workers);
+            let recycle = recycle_tx.clone();
+            joins.push(
+                scope.spawn(move || worker_loop(year, config, period_days, hint, rx, recycle)),
+            );
         }
+        drop(recycle_tx);
 
         // The feeder: gate, filter in stream order, route by source hash.
-        let mut batches: Vec<Vec<ProbeRecord>> = (0..workers)
-            .map(|_| Vec::with_capacity(BATCH_RECORDS))
-            .collect();
+        // Batch buffers come from the pool, which refills from workers'
+        // returned buffers — steady state allocates nothing per batch.
+        let mut pool = BatchPool::new();
+        let mut batches: Vec<Vec<ProbeRecord>> =
+            (0..workers).map(|_| pool.acquire(BATCH_RECORDS)).collect();
         let mut origin_sent = false;
         let mut fatal: Option<PipelineError> = None;
         'feed: loop {
@@ -457,7 +514,11 @@ where
                 let batch = &mut batches[shard];
                 batch.push(*record);
                 if batch.len() >= BATCH_RECORDS {
-                    let full = std::mem::replace(batch, Vec::with_capacity(BATCH_RECORDS));
+                    while let Ok(returned) = recycle_rx.try_recv() {
+                        pool.release(returned);
+                    }
+                    let replacement = pool.acquire(BATCH_RECORDS);
+                    let full = std::mem::replace(batch, replacement);
                     let _ = txs[shard].send(ShardMsg::Batch(full));
                 }
             }
@@ -515,7 +576,7 @@ pub fn collect_year_sharded<F>(
     config: CampaignConfig,
     period_days: f64,
     workers: usize,
-    source_hint: usize,
+    hints: SizeHints,
     records: &[ProbeRecord],
     admit: F,
 ) -> YearAnalysis
@@ -530,30 +591,32 @@ where
         PipelineMode::Sharded {
             workers: workers.max(1),
         },
-        source_hint,
+        hints,
         &mut stream,
         admit,
     )
 }
 
 /// One shard: own a full collector (fingerprint + campaigns + aggregates)
-/// for the sources routed here.
+/// for the sources routed here. Consumed batch buffers go back to the
+/// feeder via `recycle`.
 fn worker_loop(
     year: u16,
     config: CampaignConfig,
     period_days: f64,
-    source_hint: usize,
+    hints: SizeHints,
     rx: channel::Receiver<ShardMsg>,
+    recycle: channel::Sender<Vec<ProbeRecord>>,
 ) -> Option<YearAnalysis> {
     let mut collector: Option<YearCollector> = None;
     for msg in rx {
         match msg {
             ShardMsg::Origin(t0) => {
                 let mut fresh = YearCollector::with_origin(year, config, period_days, t0);
-                fresh.reserve_sources(source_hint);
+                hints.apply_to(&mut fresh);
                 collector = Some(fresh);
             }
-            ShardMsg::Batch(batch) => {
+            ShardMsg::Batch(mut batch) => {
                 let collector = collector
                     .as_mut()
                     .expect("Origin message precedes every batch");
@@ -566,6 +629,10 @@ fn worker_loop(
                 if let Some(last) = batch.last() {
                     collector.housekeeping(last.ts_micros);
                 }
+                batch.clear();
+                // Best-effort: a full (or closed) recycle channel just means
+                // this buffer is dropped instead of reused.
+                let _ = recycle.try_send(batch);
             }
         }
     }
@@ -620,9 +687,15 @@ mod tests {
         let records = stream();
         let expected = sequential(&records);
         for workers in [1usize, 2, 3, 8] {
-            let got = collect_year_sharded(2020, cfg(), 7.0, workers, 64, &records, |r| {
-                r.dst_port != 23
-            });
+            let got = collect_year_sharded(
+                2020,
+                cfg(),
+                7.0,
+                workers,
+                SizeHints::sources(64),
+                &records,
+                |r| r.dst_port != 23,
+            );
             assert_eq!(expected, got, "workers = {workers}");
         }
     }
@@ -638,8 +711,15 @@ mod tests {
             // An adversarial batch size: prime, far from BATCH_RECORDS, so
             // batch boundaries land mid-source and mid-burst.
             let mut input = SliceStream::with_batch_size(&records, 257);
-            let got =
-                collect_year_stream(2020, cfg(), 7.0, mode, 64, &mut input, |r| r.dst_port != 23);
+            let got = collect_year_stream(
+                2020,
+                cfg(),
+                7.0,
+                mode,
+                SizeHints::sources(64),
+                &mut input,
+                |r| r.dst_port != 23,
+            );
             assert_eq!(expected, got, "mode = {mode}");
         }
     }
@@ -647,7 +727,7 @@ mod tests {
     #[test]
     fn nothing_admitted_produces_an_empty_analysis() {
         let records = stream();
-        let got = collect_year_sharded(2020, cfg(), 7.0, 4, 0, &records, |_| false);
+        let got = collect_year_sharded(2020, cfg(), 7.0, 4, SizeHints::none(), &records, |_| false);
         assert_eq!(got.total_packets, 0);
         assert_eq!(got.distinct_sources, 0);
         assert!(got.campaigns.is_empty());
@@ -697,7 +777,15 @@ mod tests {
             PipelineMode::Sharded { workers: 3 },
         ] {
             let mut stream = SliceStream::new(&[]);
-            let got = collect_year_stream(2020, cfg(), 7.0, mode, 0, &mut stream, |_| true);
+            let got = collect_year_stream(
+                2020,
+                cfg(),
+                7.0,
+                mode,
+                SizeHints::none(),
+                &mut stream,
+                |_| true,
+            );
             assert_eq!(got.total_packets, 0, "mode = {mode}");
             assert_eq!(got.distinct_sources, 0);
             assert!(got.campaigns.is_empty());
@@ -709,7 +797,7 @@ mod tests {
                 cfg(),
                 7.0,
                 mode,
-                0,
+                SizeHints::none(),
                 FaultPolicy::SkipRecord,
                 &mut stream,
                 |_| true,
@@ -765,7 +853,7 @@ mod tests {
                 cfg(),
                 7.0,
                 mode,
-                0,
+                SizeHints::none(),
                 FaultPolicy::Fail,
                 &mut faulty,
                 |r| r.dst_port != 23,
@@ -803,7 +891,7 @@ mod tests {
                 cfg(),
                 7.0,
                 mode,
-                0,
+                SizeHints::none(),
                 FaultPolicy::SkipRecord,
                 &mut faulty,
                 |r| r.dst_port != 23,
@@ -839,7 +927,7 @@ mod tests {
                 cfg(),
                 7.0,
                 mode,
-                64,
+                SizeHints::sources(64),
                 FaultPolicy::SkipRecord,
                 &mut input,
                 |r| r.dst_port != 23,
@@ -860,7 +948,7 @@ mod tests {
             cfg(),
             7.0,
             PipelineMode::Sequential,
-            0,
+            SizeHints::none(),
             FaultPolicy::Fail,
             &mut input,
             |r| r.dst_port != 23,
@@ -886,7 +974,7 @@ mod tests {
                 cfg(),
                 7.0,
                 mode,
-                0,
+                SizeHints::none(),
                 FaultPolicy::Fail,
                 &mut input,
                 |r| r.dst_port != 23,
@@ -905,7 +993,7 @@ mod tests {
                 cfg(),
                 7.0,
                 mode,
-                0,
+                SizeHints::none(),
                 FaultPolicy::SkipRecord,
                 &mut input,
                 |r| r.dst_port != 23,

@@ -4,6 +4,7 @@
 use std::fmt::Write as _;
 
 use crate::analysis::yearly::YearSummary;
+use crate::campaign::NoiseStats;
 
 /// A multi-year (Table 1 style) report.
 #[derive(Debug, Clone, Default, serde::Serialize)]
@@ -89,6 +90,18 @@ impl DecadeReport {
     }
 }
 
+/// Render noise/rejection statistics as an aligned text block. Rejection
+/// reasons are kept as enum keys on the hot path; this is the one place
+/// they become strings, so the rendered names stay byte-identical to the
+/// old per-rejection `format!("{reason:?}")` output.
+pub fn render_noise(noise: &NoiseStats) -> String {
+    let mut out = format!("# noise ({} rejected packets)\n", noise.rejected_packets);
+    for (reason, count) in &noise.rejected_sequences {
+        let _ = writeln!(out, "{:>24}  {count}", reason.as_str());
+    }
+    out
+}
+
 /// Render any `(label, value)` series as an aligned two-column text block —
 /// the benches use this to print figure series.
 pub fn render_series<L: std::fmt::Display, V: std::fmt::Display>(
@@ -141,6 +154,22 @@ mod tests {
     #[test]
     fn empty_report_has_no_growth() {
         assert!(DecadeReport::default().packets_per_day_growth().is_none());
+    }
+
+    #[test]
+    fn noise_rendering_uses_debug_names() {
+        use crate::campaign::RejectReason;
+        let noise = NoiseStats {
+            rejected_sequences: BTreeMap::from([
+                (RejectReason::TooFewDestinations, 7),
+                (RejectReason::TooSlow, 2),
+            ]),
+            rejected_packets: 41,
+        };
+        let text = render_noise(&noise);
+        assert!(text.starts_with("# noise (41 rejected packets)\n"));
+        assert!(text.contains("TooFewDestinations  7"));
+        assert!(text.contains("TooSlow  2"));
     }
 
     #[test]

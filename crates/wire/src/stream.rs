@@ -261,6 +261,51 @@ impl RecordStream for SliceStream<'_> {
     }
 }
 
+/// A free-list of reusable record batch buffers.
+///
+/// Batch consumers that hand `Vec<ProbeRecord>`s across threads (the sharded
+/// pipeline feeder) used to allocate a fresh ~16k-record vector per batch in
+/// flight — a steady allocation churn exactly on the hot path. A pool keeps
+/// released buffers (cleared, capacity intact) and hands them back on
+/// [`BatchPool::acquire`], so steady-state sharded throughput allocates
+/// nothing per batch.
+#[derive(Debug, Default)]
+pub struct BatchPool {
+    free: Vec<Vec<ProbeRecord>>,
+}
+
+impl BatchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a cleared buffer with at least `capacity` reserved, reusing a
+    /// released one when available.
+    pub fn acquire(&mut self, capacity: usize) -> Vec<ProbeRecord> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                if buf.capacity() < capacity {
+                    buf.reserve(capacity - buf.len());
+                }
+                buf
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Return a buffer to the pool for reuse (contents are discarded).
+    pub fn release(&mut self, buf: Vec<ProbeRecord>) {
+        self.free.push(buf);
+    }
+
+    /// Buffers currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
 /// Drain a stream into one `Vec` — the explicit materialization point.
 /// Everything that "needs the whole year" funnels through here, so grepping
 /// for `collect` finds every place the O(batch) guarantee is given up.
@@ -378,6 +423,28 @@ mod tests {
             total += batch.len();
         }
         assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn batch_pool_recycles_capacity() {
+        let mut pool = BatchPool::new();
+        assert_eq!(pool.idle(), 0);
+        // Cold acquire allocates fresh.
+        let mut a = pool.acquire(8);
+        assert!(a.capacity() >= 8 && a.is_empty());
+        a.extend((0..8u64).map(record));
+        let cap = a.capacity();
+        pool.release(a);
+        assert_eq!(pool.idle(), 1);
+        // Warm acquire reuses the released buffer, cleared.
+        let b = pool.acquire(4);
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "capacity survives the round trip");
+        assert_eq!(pool.idle(), 0);
+        // A too-small pooled buffer is grown to the requested capacity.
+        pool.release(Vec::with_capacity(2));
+        let c = pool.acquire(64);
+        assert!(c.capacity() >= 64);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::collections::BTreeMap;
 use std::io::Read;
 
 use synscan_core::analysis::{toolports, yearly, YearAnalysis};
-use synscan_core::pipeline::{try_collect_year_stream, PipelineError};
+use synscan_core::pipeline::{try_collect_year_stream, PipelineError, SizeHints};
 use synscan_core::{CampaignConfig, PipelineMode};
 use synscan_telescope::capture::{
     classify_technique, import_pcap_with_policy, PcapStream, ScanTechnique,
@@ -244,7 +244,7 @@ fn analyze_pcap_inner<R: Read>(
         config,
         7.0,
         options.pipeline,
-        0,
+        SizeHints::none(),
         options.policy,
         &mut stream,
         admit,
@@ -295,7 +295,7 @@ pub fn analyze_records(mut records: Vec<ProbeRecord>, options: &AnalyzeOptions) 
         config,
         7.0,
         options.pipeline,
-        0,
+        SizeHints::none(),
         options.policy,
         &mut stream,
         admit,

@@ -21,7 +21,7 @@
 use rayon::prelude::*;
 
 use synscan_core::analysis::YearAnalysis;
-use synscan_core::pipeline::{try_collect_year_stream, PipelineError, PipelineMode};
+use synscan_core::pipeline::{try_collect_year_stream, PipelineError, PipelineMode, SizeHints};
 use synscan_core::CampaignConfig;
 use synscan_netmodel::InternetRegistry;
 use synscan_synthesis::generate::{plan_year, GeneratorConfig, GroundTruth};
@@ -226,8 +226,18 @@ impl Experiment {
         // shorter periods so Figure 2 still gets several period pairs.
         let period_days = (self.gen.days / 5.0).clamp(1.0, 7.0);
         // Rough distinct-source width: campaigns dominate, each from its own
-        // source, plus background stragglers. Only a map pre-size hint.
-        let source_hint = (plan.truth.scans as usize).saturating_mul(2);
+        // source, plus background stragglers. Port width: horizontal scans
+        // cluster on the popular-port list, vertical scans fan out to their
+        // widest bucket. Only pre-size hints, never load-bearing.
+        let hints = SizeHints::new(
+            (plan.truth.scans as usize).saturating_mul(2),
+            plan.truth
+                .vertical_scans
+                .keys()
+                .max()
+                .map_or(0, |&ports| ports as usize)
+                + 64,
+        );
         // Per-year reseeding: one user-facing seed, distinct (but
         // reproducible) injection offsets for every year of the decade.
         let chaos = self
@@ -247,7 +257,7 @@ impl Experiment {
                     cfg,
                     period_days,
                     mode,
-                    source_hint,
+                    hints,
                     self.policy,
                     &mut stream,
                     admit,
@@ -262,7 +272,7 @@ impl Experiment {
                     cfg,
                     period_days,
                     mode,
-                    source_hint,
+                    hints,
                     self.policy,
                     &mut stream,
                     admit,
@@ -276,7 +286,7 @@ impl Experiment {
                     cfg,
                     period_days,
                     mode,
-                    source_hint,
+                    hints,
                     self.policy,
                     &mut stream,
                     admit,
@@ -290,7 +300,7 @@ impl Experiment {
                     cfg,
                     period_days,
                     mode,
-                    source_hint,
+                    hints,
                     self.policy,
                     &mut stream,
                     admit,

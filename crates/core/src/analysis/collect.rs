@@ -20,6 +20,7 @@ use synscan_wire::{Ipv4Address, ProbeRecord};
 use synscan_scanners::traits::ToolKind;
 
 use crate::campaign::{tool_slot, Campaign, CampaignConfig, NoiseStats, Pipeline, TOOL_BY_SLOT};
+use crate::checkpoint::{CheckpointError, SnapReader, SnapWriter};
 use crate::compact::{IdSet, PortSet};
 use crate::fasthash::FxHashMap;
 
@@ -175,7 +176,7 @@ impl YearAnalysis {
 
 /// Per-port accumulator: packet count plus the distinct-source set, in one
 /// map slot so the hot path pays a single lookup for both.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct PortStat {
     packets: u64,
     sources: IdSet,
@@ -183,14 +184,14 @@ struct PortStat {
 
 /// Per-(week, /16) accumulator; the distinct-source count is derived from
 /// the set at finish time.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct WeekState {
     packets: u64,
     sources: IdSet,
 }
 
 /// Streaming collector: offer records, then [`YearCollector::finish`].
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct YearCollector {
     year: u16,
     pipeline: Pipeline,
@@ -261,6 +262,13 @@ impl YearCollector {
         collector
     }
 
+    /// Timestamp of the first admitted record — the day/week binning origin —
+    /// or `None` before any record has been offered. Checkpoints persist this
+    /// so resumed sharded runs can re-broadcast the origin to fresh workers.
+    pub fn origin(&self) -> Option<u64> {
+        self.start_micros
+    }
+
     /// Pre-size the per-source state for roughly `distinct_sources` sources,
     /// avoiding rehash/regrow churn when the caller knows the stream's width
     /// ahead of time (generator ground truth, shard fan-out).
@@ -325,6 +333,153 @@ impl YearCollector {
     /// Periodic housekeeping to bound pipeline memory on long streams.
     pub fn housekeeping(&mut self, now_micros: u64) {
         self.pipeline.housekeeping(now_micros);
+    }
+
+    /// Serialize the complete collector state for a pipeline checkpoint.
+    ///
+    /// The campaign configuration is written first, so
+    /// [`YearCollector::restore_from`] is self-contained. Hash maps are
+    /// serialized in sorted key order: the byte stream for a given logical
+    /// state is unique, independent of map iteration order.
+    pub fn snapshot_to(&self, w: &mut SnapWriter) {
+        self.pipeline.config().snapshot_to(w);
+        w.put_u16(self.year);
+        w.put_u64(self.monitored);
+        w.put_u64(self.period_micros);
+        w.put_opt_u64(self.start_micros);
+        w.put_u64(self.end_micros);
+        w.put_u64(self.total_packets);
+        self.pipeline.snapshot_to(w);
+
+        let mut ports: Vec<u16> = self.port_stats.keys().copied().collect();
+        ports.sort_unstable();
+        w.put_u64(ports.len() as u64);
+        for port in ports {
+            let stat = &self.port_stats[&port];
+            w.put_u16(port);
+            w.put_u64(stat.packets);
+            stat.sources.snapshot_to(w);
+        }
+
+        w.put_u64(self.source_packets.len() as u64);
+        for &packets in &self.source_packets {
+            w.put_u64(packets);
+        }
+        w.put_u64(self.source_ports.len() as u64);
+        for ports in &self.source_ports {
+            ports.snapshot_to(w);
+        }
+
+        let mut day_keys: Vec<u64> = self.day_port_packets.keys().copied().collect();
+        day_keys.sort_unstable();
+        w.put_u64(day_keys.len() as u64);
+        for key in day_keys {
+            w.put_u64(key);
+            w.put_u64(self.day_port_packets[&key]);
+        }
+
+        let mut tool_keys: Vec<u32> = self.tool_port_packets.keys().copied().collect();
+        tool_keys.sort_unstable();
+        w.put_u64(tool_keys.len() as u64);
+        for key in tool_keys {
+            w.put_u32(key);
+            w.put_u64(self.tool_port_packets[&key]);
+        }
+
+        let mut week_keys: Vec<u64> = self.week_cells.keys().copied().collect();
+        week_keys.sort_unstable();
+        w.put_u64(week_keys.len() as u64);
+        for key in week_keys {
+            let cell = &self.week_cells[&key];
+            w.put_u64(key);
+            w.put_u64(cell.packets);
+            cell.sources.snapshot_to(w);
+        }
+    }
+
+    /// Rebuild a collector written by [`YearCollector::snapshot_to`].
+    pub fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, CheckpointError> {
+        let config = CampaignConfig::restore_from(r)?;
+        let year = r.take_u16()?;
+        let monitored = r.take_u64()?;
+        let period_micros = r.take_u64()?;
+        if period_micros == 0 {
+            return Err(CheckpointError::Corrupt("zero volatility period".into()));
+        }
+        let start_micros = r.take_opt_u64()?;
+        let end_micros = r.take_u64()?;
+        let total_packets = r.take_u64()?;
+        let pipeline = Pipeline::restore_from(config, r)?;
+
+        let n_ports = r.take_len(11)?;
+        let mut port_stats = FxHashMap::default();
+        port_stats.reserve(n_ports);
+        for _ in 0..n_ports {
+            let port = r.take_u16()?;
+            let packets = r.take_u64()?;
+            let sources = IdSet::restore_from(r)?;
+            port_stats.insert(port, PortStat { packets, sources });
+        }
+        if port_stats.len() != n_ports {
+            return Err(CheckpointError::Corrupt(
+                "duplicate port in collector snapshot".into(),
+            ));
+        }
+
+        let n_sources = r.take_len(8)?;
+        let mut source_packets = Vec::with_capacity(n_sources);
+        for _ in 0..n_sources {
+            source_packets.push(r.take_u64()?);
+        }
+        let n_port_sets = r.take_len(2)?;
+        let mut source_ports = Vec::with_capacity(n_port_sets);
+        for _ in 0..n_port_sets {
+            source_ports.push(PortSet::restore_from(r)?);
+        }
+
+        let n_days = r.take_len(16)?;
+        let mut day_port_packets = FxHashMap::default();
+        day_port_packets.reserve(n_days);
+        for _ in 0..n_days {
+            let key = r.take_u64()?;
+            let n = r.take_u64()?;
+            day_port_packets.insert(key, n);
+        }
+
+        let n_tools = r.take_len(12)?;
+        let mut tool_port_packets = FxHashMap::default();
+        tool_port_packets.reserve(n_tools);
+        for _ in 0..n_tools {
+            let key = r.take_u32()?;
+            let n = r.take_u64()?;
+            tool_port_packets.insert(key, n);
+        }
+
+        let n_weeks = r.take_len(17)?;
+        let mut week_cells = FxHashMap::default();
+        week_cells.reserve(n_weeks);
+        for _ in 0..n_weeks {
+            let key = r.take_u64()?;
+            let packets = r.take_u64()?;
+            let sources = IdSet::restore_from(r)?;
+            week_cells.insert(key, WeekState { packets, sources });
+        }
+
+        Ok(Self {
+            year,
+            pipeline,
+            monitored,
+            period_micros,
+            start_micros,
+            end_micros,
+            total_packets,
+            port_stats,
+            source_packets,
+            source_ports,
+            day_port_packets,
+            tool_port_packets,
+            week_cells,
+        })
     }
 
     /// Finish the year: close campaigns and assemble the analysis bundle,
@@ -595,6 +750,80 @@ mod tests {
         }
         let merged = YearAnalysis::merge_partials(vec![odd.finish(), even.finish()]);
         assert_eq!(sequential.finish(), merged);
+    }
+
+    fn collector_round_trip(collector: &YearCollector) -> YearCollector {
+        let mut w = SnapWriter::new();
+        collector.snapshot_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = YearCollector::restore_from(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0, "snapshot fully consumed");
+        back
+    }
+
+    #[test]
+    fn empty_collector_snapshot_round_trips() {
+        let collector = YearCollector::with_period(2020, cfg(), 7.0);
+        let back = collector_round_trip(&collector);
+        assert_eq!(back, collector);
+        assert_eq!(back.finish(), collector.finish());
+    }
+
+    #[test]
+    fn collector_snapshot_with_pinned_origin_round_trips() {
+        let collector = YearCollector::with_origin(2020, cfg(), 7.0, 123_456);
+        let back = collector_round_trip(&collector);
+        assert_eq!(back, collector);
+        assert_eq!(back.finish().start_micros, 123_456);
+    }
+
+    #[test]
+    fn mid_stream_collector_snapshot_resumes_bit_identically() {
+        use synscan_scanners::traits::craft_record;
+        use synscan_scanners::zmap::ZmapScanner;
+        // A mixed stream — plain SYNs across two /16s and two weeks, plus a
+        // ZMap-fingerprinted burst — split at an arbitrary record boundary.
+        let z = ZmapScanner::new(9);
+        let mut records: Vec<ProbeRecord> = (0..30u32)
+            .map(|i| {
+                record(
+                    0x0101_0000 + (i % 3),
+                    100 + i,
+                    [80u16, 443, 7547][i as usize % 3],
+                    u64::from(i) * 40_000,
+                )
+            })
+            .collect();
+        for i in 0..12u64 {
+            records.push(craft_record(
+                &z,
+                Ipv4Address(0x0202_0001),
+                Ipv4Address(0x0a00_0000 + i as u32),
+                23,
+                i,
+                1_200_000 + i * 1000,
+                8,
+            ));
+        }
+        records.sort_by_key(|r| r.ts_micros);
+
+        let mut uninterrupted = YearCollector::with_period(2021, cfg(), 7.0);
+        for r in &records {
+            uninterrupted.offer(r);
+        }
+
+        let split = 17;
+        let mut first_half = YearCollector::with_period(2021, cfg(), 7.0);
+        for r in &records[..split] {
+            first_half.offer(r);
+        }
+        let mut resumed = collector_round_trip(&first_half);
+        assert_eq!(resumed, first_half);
+        for r in &records[split..] {
+            resumed.offer(r);
+        }
+        assert_eq!(resumed.finish(), uninterrupted.finish());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use synscan_wire::{Ipv4Address, ProbeRecord};
 
 use synscan_scanners::traits::ToolKind;
 
+use crate::checkpoint::{CheckpointError, SnapReader, SnapWriter};
 use crate::fasthash::FxHashSet;
 use crate::fingerprint::{InternedFingerprint, PacketVerdict};
 use crate::intern::{SourceId, SourceTable};
@@ -79,6 +80,25 @@ impl CampaignConfig {
     pub fn model(&self) -> TelescopeModel {
         TelescopeModel::new(self.monitored_addresses)
     }
+
+    /// Serialize the thresholds for a pipeline checkpoint (floats as raw
+    /// IEEE-754 bits, so the round trip is exact).
+    pub fn snapshot_to(&self, w: &mut SnapWriter) {
+        w.put_u64(self.min_distinct_dests);
+        w.put_f64(self.min_rate_pps);
+        w.put_f64(self.expiry_secs);
+        w.put_u64(self.monitored_addresses);
+    }
+
+    /// Rebuild a configuration written by [`CampaignConfig::snapshot_to`].
+    pub fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, CheckpointError> {
+        Ok(Self {
+            min_distinct_dests: r.take_u64()?,
+            min_rate_pps: r.take_f64()?,
+            expiry_secs: r.take_f64()?,
+            monitored_addresses: r.take_u64()?,
+        })
+    }
 }
 
 impl Default for CampaignConfig {
@@ -130,6 +150,57 @@ impl Campaign {
     pub fn estimates(&self, model: &TelescopeModel) -> CampaignEstimates {
         CampaignEstimates::from_campaign(self, model)
     }
+
+    /// Serialize the campaign for a pipeline checkpoint.
+    pub fn snapshot_to(&self, w: &mut SnapWriter) {
+        w.put_u32(self.src_ip.0);
+        w.put_u64(self.first_ts_micros);
+        w.put_u64(self.last_ts_micros);
+        w.put_u64(self.packets);
+        w.put_u64(self.distinct_dests);
+        w.put_u64(self.port_packets.len() as u64);
+        for (&port, &packets) in &self.port_packets {
+            w.put_u16(port);
+            w.put_u64(packets);
+        }
+        w.put_u64(self.tool_votes.len() as u64);
+        for (&tool, &votes) in &self.tool_votes {
+            w.put_tool(tool);
+            w.put_u64(votes);
+        }
+    }
+
+    /// Rebuild a campaign written by [`Campaign::snapshot_to`].
+    pub fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, CheckpointError> {
+        let src_ip = Ipv4Address(r.take_u32()?);
+        let first_ts_micros = r.take_u64()?;
+        let last_ts_micros = r.take_u64()?;
+        let packets = r.take_u64()?;
+        let distinct_dests = r.take_u64()?;
+        let ports = r.take_len(10)?;
+        let mut port_packets = BTreeMap::new();
+        for _ in 0..ports {
+            let port = r.take_u16()?;
+            let packets = r.take_u64()?;
+            port_packets.insert(port, packets);
+        }
+        let tools = r.take_len(9)?;
+        let mut tool_votes = BTreeMap::new();
+        for _ in 0..tools {
+            let tool = r.take_tool()?;
+            let votes = r.take_u64()?;
+            tool_votes.insert(tool, votes);
+        }
+        Ok(Self {
+            src_ip,
+            first_ts_micros,
+            last_ts_micros,
+            packets,
+            distinct_dests,
+            port_packets,
+            tool_votes,
+        })
+    }
 }
 
 /// Why a finalized probe sequence was not a campaign.
@@ -162,6 +233,23 @@ impl fmt::Display for RejectReason {
     }
 }
 
+/// Checkpoint wire code of a reject reason.
+fn reject_code(reason: RejectReason) -> u8 {
+    match reason {
+        RejectReason::TooFewDestinations => 0,
+        RejectReason::TooSlow => 1,
+    }
+}
+
+/// Inverse of [`reject_code`].
+fn reject_from_code(code: u8) -> Result<RejectReason, CheckpointError> {
+    match code {
+        0 => Ok(RejectReason::TooFewDestinations),
+        1 => Ok(RejectReason::TooSlow),
+        c => Err(CheckpointError::Corrupt(format!("reject-reason code {c}"))),
+    }
+}
+
 /// Aggregate counters for rejected (non-campaign) traffic.
 ///
 /// Counters are keyed by the [`RejectReason`] enum — zero allocation on the
@@ -174,6 +262,33 @@ pub struct NoiseStats {
     pub rejected_sequences: BTreeMap<RejectReason, u64>,
     /// Packets inside rejected sequences.
     pub rejected_packets: u64,
+}
+
+impl NoiseStats {
+    /// Serialize the counters for a pipeline checkpoint.
+    pub fn snapshot_to(&self, w: &mut SnapWriter) {
+        w.put_u64(self.rejected_sequences.len() as u64);
+        for (&reason, &count) in &self.rejected_sequences {
+            w.put_u8(reject_code(reason));
+            w.put_u64(count);
+        }
+        w.put_u64(self.rejected_packets);
+    }
+
+    /// Rebuild counters written by [`NoiseStats::snapshot_to`].
+    pub fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, CheckpointError> {
+        let len = r.take_len(9)?;
+        let mut rejected_sequences = BTreeMap::new();
+        for _ in 0..len {
+            let reason = reject_from_code(r.take_u8()?)?;
+            let count = r.take_u64()?;
+            rejected_sequences.insert(reason, count);
+        }
+        Ok(Self {
+            rejected_sequences,
+            rejected_packets: r.take_u64()?,
+        })
+    }
 }
 
 /// Number of fingerprintable tools (the arity of the vote array).
@@ -207,7 +322,7 @@ pub(crate) fn tool_slot(tool: ToolKind) -> usize {
 /// In-flight per-source scan state, laid out for reuse: the sorted port vec
 /// and the destination set keep their capacity across open/close cycles of
 /// the same source, and tool votes are a fixed array instead of a map.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct OpenScan {
     first_ts_micros: u64,
     last_ts_micros: u64,
@@ -299,6 +414,73 @@ impl OpenScan {
             self.dests.clear();
         }
     }
+
+    /// Serialize for a pipeline checkpoint. Destinations are written in
+    /// sorted order so the byte stream is independent of hash-set iteration
+    /// order.
+    fn snapshot_to(&self, w: &mut SnapWriter) {
+        w.put_u64(self.first_ts_micros);
+        w.put_u64(self.last_ts_micros);
+        w.put_u64(self.packets);
+        let mut dests: Vec<u32> = self.dests.iter().copied().collect();
+        dests.sort_unstable();
+        w.put_u64(dests.len() as u64);
+        for dest in dests {
+            w.put_u32(dest);
+        }
+        w.put_u64(self.port_packets.len() as u64);
+        for &(port, packets) in &self.port_packets {
+            w.put_u16(port);
+            w.put_u64(packets);
+        }
+        for &votes in &self.tool_votes {
+            w.put_u64(votes);
+        }
+    }
+
+    /// Rebuild state written by [`OpenScan::snapshot_to`].
+    fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, CheckpointError> {
+        let first_ts_micros = r.take_u64()?;
+        let last_ts_micros = r.take_u64()?;
+        let packets = r.take_u64()?;
+        let n_dests = r.take_len(4)?;
+        let mut dests = FxHashSet::default();
+        dests.reserve(n_dests);
+        for _ in 0..n_dests {
+            dests.insert(r.take_u32()?);
+        }
+        if dests.len() != n_dests {
+            return Err(CheckpointError::Corrupt(
+                "duplicate destination in open-scan snapshot".into(),
+            ));
+        }
+        let n_ports = r.take_len(10)?;
+        let mut port_packets = Vec::with_capacity(n_ports);
+        for _ in 0..n_ports {
+            let port = r.take_u16()?;
+            let packets = r.take_u64()?;
+            if let Some(&(prev, _)) = port_packets.last() {
+                if prev >= port {
+                    return Err(CheckpointError::Corrupt(
+                        "open-scan port list not strictly sorted".into(),
+                    ));
+                }
+            }
+            port_packets.push((port, packets));
+        }
+        let mut tool_votes = [0u64; TOOL_SLOTS];
+        for votes in &mut tool_votes {
+            *votes = r.take_u64()?;
+        }
+        Ok(Self {
+            first_ts_micros,
+            last_ts_micros,
+            packets,
+            dests,
+            port_packets,
+            tool_votes,
+        })
+    }
 }
 
 /// Sentinel for "this source has no open scan".
@@ -306,7 +488,7 @@ const NOT_ACTIVE: u32 = u32::MAX;
 
 /// Per-source slot: position in the active list (or [`NOT_ACTIVE`]) plus the
 /// reusable scan state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct SourceSlot {
     active_pos: u32,
     scan: OpenScan,
@@ -358,7 +540,7 @@ impl Default for SourceSlot {
 /// assert_eq!(campaigns[0].tool(), Some(synscan_core::ToolKind::Zmap));
 /// assert_eq!(noise.rejected_packets, 0);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignDetector {
     config: CampaignConfig,
     /// `config.expiry_secs` in µs, precomputed off the per-record path.
@@ -506,6 +688,87 @@ impl CampaignDetector {
             }
         }
     }
+
+    /// Serialize the full detector state — interner, per-source slots, the
+    /// active list, finalized campaigns, and noise counters — for a pipeline
+    /// checkpoint. The configuration is *not* written; it is supplied again
+    /// on [`CampaignDetector::restore_from`] (the caller owns it and writes
+    /// it alongside, so restore stays self-contained at the collector layer).
+    pub fn snapshot_to(&self, w: &mut SnapWriter) {
+        self.table.snapshot_to(w);
+        w.put_u64(self.slots.len() as u64);
+        for slot in &self.slots {
+            w.put_u32(slot.active_pos);
+            slot.scan.snapshot_to(w);
+        }
+        w.put_u64(self.active.len() as u64);
+        for &sid in &self.active {
+            w.put_u32(sid);
+        }
+        w.put_u64(self.campaigns.len() as u64);
+        for campaign in &self.campaigns {
+            campaign.snapshot_to(w);
+        }
+        self.noise.snapshot_to(w);
+    }
+
+    /// Rebuild a detector written by [`CampaignDetector::snapshot_to`],
+    /// re-deriving the precomputed expiry from `config` and validating the
+    /// active-list ↔ slot mirror invariant.
+    pub fn restore_from(
+        config: CampaignConfig,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Self, CheckpointError> {
+        let table = SourceTable::restore_from(r)?;
+        let n_slots = r.take_len(44)?;
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let active_pos = r.take_u32()?;
+            let scan = OpenScan::restore_from(r)?;
+            slots.push(SourceSlot { active_pos, scan });
+        }
+        let n_active = r.take_len(4)?;
+        let mut active = Vec::with_capacity(n_active);
+        for _ in 0..n_active {
+            active.push(r.take_u32()?);
+        }
+        for (pos, &sid) in active.iter().enumerate() {
+            let mirrored = slots
+                .get(sid as usize)
+                .map(|slot| slot.active_pos)
+                .unwrap_or(NOT_ACTIVE);
+            if mirrored as usize != pos {
+                return Err(CheckpointError::Corrupt(format!(
+                    "active list entry {pos} (source {sid}) not mirrored by its slot"
+                )));
+            }
+        }
+        let open = slots
+            .iter()
+            .filter(|slot| slot.active_pos != NOT_ACTIVE)
+            .count();
+        if open != active.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "{open} slots marked active but {} active-list entries",
+                active.len()
+            )));
+        }
+        let n_campaigns = r.take_len(40)?;
+        let mut campaigns = Vec::with_capacity(n_campaigns);
+        for _ in 0..n_campaigns {
+            campaigns.push(Campaign::restore_from(r)?);
+        }
+        let noise = NoiseStats::restore_from(r)?;
+        Ok(Self {
+            config,
+            expiry_micros: (config.expiry_secs * 1e6) as u64,
+            table,
+            slots,
+            active,
+            campaigns,
+            noise,
+        })
+    }
 }
 
 /// The §3.4 campaign test, as a free function so [`CampaignDetector::close`]
@@ -532,7 +795,7 @@ fn check(config: &CampaignConfig, scan: &OpenScan) -> Option<RejectReason> {
 /// interned exactly once and the dense id keys both the fingerprint state
 /// vector and the open-scan slots, so the whole §3 admit path costs one
 /// hash probe per record.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pipeline {
     engine: InternedFingerprint,
     detector: CampaignDetector,
@@ -550,6 +813,11 @@ impl Pipeline {
             engine: InternedFingerprint::with_expiry((config.expiry_secs * 1e6) as u64),
             detector: CampaignDetector::new(config),
         }
+    }
+
+    /// The campaign thresholds this pipeline runs under.
+    pub fn config(&self) -> &CampaignConfig {
+        self.detector.config()
     }
 
     /// Pre-size interner, fingerprint and campaign state for roughly
@@ -593,6 +861,24 @@ impl Pipeline {
     /// Finish, also handing back the source table for id → IP conversion.
     pub fn finish_with_sources(self) -> (Vec<Campaign>, NoiseStats, SourceTable) {
         self.detector.finish_with_sources()
+    }
+
+    /// Serialize fingerprint and campaign state for a pipeline checkpoint.
+    pub fn snapshot_to(&self, w: &mut SnapWriter) {
+        self.engine.snapshot_to(w);
+        self.detector.snapshot_to(w);
+    }
+
+    /// Rebuild a pipeline written by [`Pipeline::snapshot_to`] under the
+    /// given campaign thresholds (which the caller checkpoints alongside).
+    pub fn restore_from(
+        config: CampaignConfig,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Self, CheckpointError> {
+        Ok(Self {
+            engine: InternedFingerprint::restore_from(r)?,
+            detector: CampaignDetector::restore_from(config, r)?,
+        })
     }
 }
 
@@ -882,6 +1168,131 @@ mod tests {
             json,
             r#"{"rejected_sequences":{"TooFewDestinations":3,"TooSlow":1},"rejected_packets":44}"#
         );
+    }
+
+    fn detector_round_trip(det: &CampaignDetector) -> CampaignDetector {
+        let mut w = SnapWriter::new();
+        det.snapshot_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = CampaignDetector::restore_from(det.config, &mut r).unwrap();
+        assert_eq!(r.remaining(), 0, "snapshot fully consumed");
+        back
+    }
+
+    #[test]
+    fn empty_detector_snapshot_round_trips() {
+        let det = CampaignDetector::new(cfg());
+        assert_eq!(detector_round_trip(&det), det);
+    }
+
+    #[test]
+    fn mid_stream_detector_snapshot_round_trips_and_finishes_identically() {
+        let mut det = CampaignDetector::new(cfg());
+        // Source 1: a finalized campaign (closed by an expiry gap).
+        for i in 0..15u32 {
+            det.offer(
+                &record(1, 100 + i, 80, (i as u64) * 1000),
+                Some(ToolKind::Zmap),
+            );
+        }
+        // Source 2: finalized noise (too few destinations, closed by gap).
+        for i in 0..3u32 {
+            det.offer(&record(2, 200 + i, 22, (i as u64) * 1000), None);
+        }
+        // A long gap closes both, then sources 3 and 4 open fresh scans that
+        // are still in flight at snapshot time.
+        let later = 3 * 3600 * 1_000_000u64;
+        for i in 0..8u32 {
+            det.offer(&record(3, 300 + i, 443, later + (i as u64) * 1000), None);
+            det.offer(
+                &record(4, 400 + i, 8080, later + (i as u64) * 1000 + 3),
+                Some(ToolKind::Masscan),
+            );
+        }
+        assert_eq!(det.open_scans(), 2);
+
+        let restored = detector_round_trip(&det);
+        assert_eq!(restored, det, "full state equality after round trip");
+
+        // Feed the identical continuation into both and compare final output.
+        let mut det = det;
+        let mut restored = restored;
+        for i in 8..20u32 {
+            for d in [&mut det, &mut restored] {
+                d.offer(&record(3, 300 + i, 443, later + (i as u64) * 1000), None);
+                d.offer(
+                    &record(4, 400 + i, 8080, later + (i as u64) * 1000 + 3),
+                    Some(ToolKind::Masscan),
+                );
+            }
+        }
+        let (campaigns_a, noise_a, table_a) = det.finish_with_sources();
+        let (campaigns_b, noise_b, table_b) = restored.finish_with_sources();
+        assert_eq!(campaigns_a, campaigns_b);
+        assert_eq!(noise_a, noise_b);
+        assert_eq!(table_a, table_b);
+        assert_eq!(campaigns_a.len(), 3);
+    }
+
+    #[test]
+    fn detector_snapshot_with_broken_active_mirror_is_rejected() {
+        let mut det = CampaignDetector::new(cfg());
+        for i in 0..5u32 {
+            det.offer(&record(1, 100 + i, 80, (i as u64) * 1000), None);
+        }
+        let mut w = SnapWriter::new();
+        det.snapshot_to(&mut w);
+        let mut bytes = w.into_bytes();
+        // The single slot's active_pos is the first u32 after the interner
+        // block (len u64 + one ip u32, then slot count u64). Corrupt it.
+        let pos = 8 + 4 + 8;
+        bytes[pos..pos + 4].copy_from_slice(&7u32.to_le_bytes());
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            CampaignDetector::restore_from(cfg(), &mut r),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn pipeline_snapshot_round_trips_mid_stream() {
+        use synscan_scanners::traits::craft_record;
+        use synscan_scanners::zmap::ZmapScanner;
+        let mut pipeline = Pipeline::new(cfg());
+        let z = ZmapScanner::new(5);
+        let mk = |i: u64| {
+            craft_record(
+                &z,
+                Ipv4Address(88),
+                Ipv4Address(0x0800_0000 + i as u32),
+                443,
+                i,
+                i * 5000,
+                9,
+            )
+        };
+        for i in 0..10u64 {
+            pipeline.process(&mk(i));
+        }
+        let mut w = SnapWriter::new();
+        pipeline.snapshot_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let restored = Pipeline::restore_from(cfg(), &mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(restored, pipeline);
+
+        let mut pipeline = pipeline;
+        let mut restored = restored;
+        for i in 10..25u64 {
+            assert_eq!(restored.process(&mk(i)), pipeline.process(&mk(i)));
+        }
+        let (campaigns_a, noise_a) = pipeline.finish();
+        let (campaigns_b, noise_b) = restored.finish();
+        assert_eq!(campaigns_a, campaigns_b);
+        assert_eq!(noise_a, noise_b);
+        assert_eq!(campaigns_a[0].tool(), Some(ToolKind::Zmap));
     }
 
     #[test]

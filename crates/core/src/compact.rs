@@ -18,6 +18,8 @@
 //! ascending, which makes the `finish()`-time conversion to the public
 //! IP-keyed maps deterministic.
 
+use crate::checkpoint::{CheckpointError, SnapReader, SnapWriter};
+
 /// Inline capacity of [`IdSet`] before it spills to a bitmap.
 const ID_SMALL_MAX: usize = 16;
 
@@ -135,6 +137,63 @@ impl IdSet {
                 word: 0,
                 current: words.first().copied().unwrap_or(0),
             },
+        }
+    }
+
+    /// Serialize the exact representation (variant included, so a restored
+    /// set is bit-identical, not just set-equal) for a pipeline checkpoint.
+    pub fn snapshot_to(&self, w: &mut SnapWriter) {
+        match self {
+            IdSet::Small(items) => {
+                w.put_u8(0);
+                w.put_u64(items.len() as u64);
+                for &id in items {
+                    w.put_u32(id);
+                }
+            }
+            IdSet::Bits { words, len } => {
+                w.put_u8(1);
+                w.put_u32(*len);
+                w.put_u64(words.len() as u64);
+                for &word in words {
+                    w.put_u64(word);
+                }
+            }
+        }
+    }
+
+    /// Rebuild a set written by [`IdSet::snapshot_to`].
+    pub fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, CheckpointError> {
+        match r.take_u8()? {
+            0 => {
+                let len = r.take_len(4)?;
+                if len > ID_SMALL_MAX {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "inline IdSet of {len} ids"
+                    )));
+                }
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    items.push(r.take_u32()?);
+                }
+                Ok(IdSet::Small(items))
+            }
+            1 => {
+                let len = r.take_u32()?;
+                let word_count = r.take_len(8)?;
+                let mut words = Vec::with_capacity(word_count);
+                for _ in 0..word_count {
+                    words.push(r.take_u64()?);
+                }
+                let bits: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+                if bits != u64::from(len) {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "IdSet bitmap has {bits} bits, recorded len {len}"
+                    )));
+                }
+                Ok(IdSet::Bits { words, len })
+            }
+            t => Err(CheckpointError::Corrupt(format!("IdSet tag {t}"))),
         }
     }
 
@@ -317,6 +376,62 @@ impl PortSet {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Serialize the exact representation for a pipeline checkpoint.
+    pub fn snapshot_to(&self, w: &mut SnapWriter) {
+        match self {
+            PortSet::Small(items) => {
+                w.put_u8(0);
+                w.put_u64(items.len() as u64);
+                for &port in items {
+                    w.put_u16(port);
+                }
+            }
+            PortSet::Bits { words, len } => {
+                w.put_u8(1);
+                w.put_u32(*len);
+                for &word in words.iter() {
+                    w.put_u64(word);
+                }
+            }
+        }
+    }
+
+    /// Rebuild a set written by [`PortSet::snapshot_to`]. The bitmap variant
+    /// is always exactly [`PORT_WORDS`] words, so only the inline length is
+    /// encoded.
+    pub fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, CheckpointError> {
+        match r.take_u8()? {
+            0 => {
+                let len = r.take_len(2)?;
+                if len > PORT_SMALL_MAX {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "inline PortSet of {len} ports"
+                    )));
+                }
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    items.push(r.take_u16()?);
+                }
+                Ok(PortSet::Small(items))
+            }
+            1 => {
+                let len = r.take_u32()?;
+                let mut words = vec![0u64; PORT_WORDS].into_boxed_slice();
+                for word in words.iter_mut() {
+                    *word = r.take_u64()?;
+                }
+                let bits: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+                if bits != u64::from(len) {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "PortSet bitmap has {bits} bits, recorded len {len}"
+                    )));
+                }
+                Ok(PortSet::Bits { words, len })
+            }
+            t => Err(CheckpointError::Corrupt(format!("PortSet tag {t}"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -467,6 +582,88 @@ mod tests {
         assert!(matches!(set, PortSet::Bits { .. }));
         assert!(set.contains(0) && set.contains(u16::MAX));
         assert_eq!(set.len(), 2 + PORT_SMALL_MAX);
+    }
+
+    fn round_trip_idset(set: &IdSet) -> IdSet {
+        let mut w = SnapWriter::new();
+        set.snapshot_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = IdSet::restore_from(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0, "snapshot fully consumed");
+        back
+    }
+
+    fn round_trip_portset(set: &PortSet) -> PortSet {
+        let mut w = SnapWriter::new();
+        set.snapshot_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = PortSet::restore_from(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0, "snapshot fully consumed");
+        back
+    }
+
+    #[test]
+    fn idset_snapshot_round_trips_both_representations() {
+        // Empty, inline, boundary, and bitmap states.
+        assert_eq!(round_trip_idset(&IdSet::new()), IdSet::new());
+
+        let mut inline = IdSet::new();
+        for id in [3u32, 9, 4_000_000_000] {
+            inline.insert(id);
+        }
+        assert_eq!(round_trip_idset(&inline), inline);
+
+        let mut at_bound = IdSet::new();
+        for id in 0..16u32 {
+            at_bound.insert(id);
+        }
+        assert_eq!(round_trip_idset(&at_bound), at_bound);
+
+        let mut bitmap = IdSet::new();
+        for id in 0..40u32 {
+            bitmap.insert(id * 11);
+        }
+        assert!(matches!(bitmap, IdSet::Bits { .. }));
+        assert_eq!(round_trip_idset(&bitmap), bitmap);
+    }
+
+    #[test]
+    fn idset_restore_rejects_inconsistent_bitmaps() {
+        let mut set = IdSet::new();
+        for id in 0..40u32 {
+            set.insert(id);
+        }
+        let mut w = SnapWriter::new();
+        set.snapshot_to(&mut w);
+        let mut bytes = w.into_bytes();
+        // Flip a data bit so the recorded cardinality no longer matches.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x80;
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            IdSet::restore_from(&mut r),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn portset_snapshot_round_trips_both_representations() {
+        assert_eq!(round_trip_portset(&PortSet::new()), PortSet::new());
+
+        let mut inline = PortSet::new();
+        for port in [0u16, 443, u16::MAX] {
+            inline.insert(port);
+        }
+        assert_eq!(round_trip_portset(&inline), inline);
+
+        let mut bitmap = PortSet::new();
+        for port in (0..u16::MAX).step_by(7) {
+            bitmap.insert(port);
+        }
+        assert!(matches!(bitmap, PortSet::Bits { .. }));
+        assert_eq!(round_trip_portset(&bitmap), bitmap);
     }
 
     #[test]

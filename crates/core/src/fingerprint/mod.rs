@@ -25,6 +25,7 @@ use synscan_scanners::traits::ToolKind;
 use self::pairwise::PairwiseState;
 use self::rules::single_packet_verdict;
 
+use crate::checkpoint::{CheckpointError, SnapReader, SnapWriter};
 use crate::intern::SourceId;
 
 /// The verdict for one packet.
@@ -139,7 +140,7 @@ impl FingerprintEngine {
 /// shared with the campaign detector) and everything here is an array
 /// index. Memory is bounded by the interner: one fixed-size probe window
 /// per distinct source, no eviction needed.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InternedFingerprint {
     states: Vec<PairwiseState>,
     /// Same lazy-reset contract as [`FingerprintEngine::with_expiry`]: gaps
@@ -192,6 +193,30 @@ impl InternedFingerprint {
     /// Number of sources with allocated state.
     pub fn tracked_sources(&self) -> usize {
         self.states.len()
+    }
+
+    /// Serialize every per-source pairwise window (dense-id order) and the
+    /// expiry for a pipeline checkpoint.
+    pub fn snapshot_to(&self, w: &mut SnapWriter) {
+        w.put_u64(self.expiry_micros);
+        w.put_u64(self.states.len() as u64);
+        for state in &self.states {
+            state.snapshot_to(w);
+        }
+    }
+
+    /// Rebuild an engine written by [`InternedFingerprint::snapshot_to`].
+    pub fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, CheckpointError> {
+        let expiry_micros = r.take_u64()?;
+        let len = r.take_len(10)?;
+        let mut states = Vec::with_capacity(len);
+        for _ in 0..len {
+            states.push(PairwiseState::restore_from(r)?);
+        }
+        Ok(Self {
+            states,
+            expiry_micros,
+        })
     }
 }
 
@@ -372,6 +397,49 @@ mod tests {
             assert_eq!(fast.classify(sid, rec), reference.classify(rec), "{rec:?}");
         }
         assert_eq!(fast.tracked_sources(), 3);
+    }
+
+    #[test]
+    fn interned_snapshot_round_trips_and_preserves_verdicts() {
+        use crate::intern::SourceTable;
+        let expiry = 2_000_000u64;
+
+        // Empty engine round-trips.
+        let empty = InternedFingerprint::with_expiry(expiry);
+        let mut w = SnapWriter::new();
+        empty.snapshot_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = InternedFingerprint::restore_from(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back, empty);
+
+        // Populated engine: pairwise windows, sticky confirmations, and a
+        // default (never-seen) slot in the middle of the dense range.
+        let nmap = records_for(&NmapScanner::new(31), 500, 6);
+        let custom = records_for(&CustomScanner::new(32), 501, 6);
+        let zmap = records_for(&ZmapScanner::new(33), 502, 6);
+        let mut engine = InternedFingerprint::with_expiry(expiry);
+        let mut table = SourceTable::new();
+        for rec in nmap.iter().chain(&custom).chain(&zmap) {
+            let sid = table.intern(rec.src_ip.0);
+            engine.classify(sid, rec);
+        }
+        let mut w = SnapWriter::new();
+        engine.snapshot_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut restored = InternedFingerprint::restore_from(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0, "snapshot fully consumed");
+        assert_eq!(restored, engine);
+
+        // The restored engine classifies the continuation of each stream
+        // exactly like the original would.
+        let mut engine = engine;
+        for rec in records_for(&NmapScanner::new(31), 500, 8).iter().skip(6) {
+            let sid = table.intern(rec.src_ip.0);
+            assert_eq!(restored.classify(sid, rec), engine.classify(sid, rec));
+        }
     }
 
     #[test]

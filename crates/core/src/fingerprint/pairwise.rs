@@ -19,11 +19,13 @@ use synscan_scanners::nmap::nmap_pair_relation;
 use synscan_scanners::traits::ToolKind;
 use synscan_scanners::unicorn::unicorn_pair_relation;
 
+use crate::checkpoint::{CheckpointError, SnapReader, SnapWriter};
+
 /// Number of recent probes kept per source.
 const WINDOW: usize = 8;
 
 /// Minimal stored view of a probe for pairwise testing.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct StoredProbe {
     seq: u32,
     dst_ip: u32,
@@ -43,7 +45,7 @@ impl From<&ProbeRecord> for StoredProbe {
 }
 
 /// Sliding pairwise state for one source.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct PairwiseState {
     window: Vec<StoredProbe>,
     last_seen_micros: u64,
@@ -124,6 +126,56 @@ impl PairwiseState {
             self.window.remove(0);
         }
         self.window.push(record.into());
+    }
+
+    /// Serialize the window, last-seen stamp, and sticky attribution for a
+    /// pipeline checkpoint.
+    pub fn snapshot_to(&self, w: &mut SnapWriter) {
+        w.put_u8(self.window.len() as u8);
+        for probe in &self.window {
+            w.put_u32(probe.seq);
+            w.put_u32(probe.dst_ip);
+            w.put_u16(probe.src_port);
+            w.put_u16(probe.dst_port);
+        }
+        w.put_u64(self.last_seen_micros);
+        match self.confirmed {
+            Some(tool) => {
+                w.put_u8(1);
+                w.put_tool(tool);
+            }
+            None => w.put_u8(0),
+        }
+    }
+
+    /// Rebuild state written by [`PairwiseState::snapshot_to`].
+    pub fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, CheckpointError> {
+        let len = usize::from(r.take_u8()?);
+        if len > WINDOW {
+            return Err(CheckpointError::Corrupt(format!(
+                "pairwise window of {len} probes"
+            )));
+        }
+        let mut window = Vec::with_capacity(len);
+        for _ in 0..len {
+            window.push(StoredProbe {
+                seq: r.take_u32()?,
+                dst_ip: r.take_u32()?,
+                src_port: r.take_u16()?,
+                dst_port: r.take_u16()?,
+            });
+        }
+        let last_seen_micros = r.take_u64()?;
+        let confirmed = match r.take_u8()? {
+            0 => None,
+            1 => Some(r.take_tool()?),
+            t => return Err(CheckpointError::Corrupt(format!("confirmed tag {t}"))),
+        };
+        Ok(Self {
+            window,
+            last_seen_micros,
+            confirmed,
+        })
     }
 }
 
@@ -211,6 +263,60 @@ mod tests {
         state.push(&mk(0x2345_1111));
         let candidate = mk(0x1114_1114);
         assert_eq!(state.test(&candidate), None);
+    }
+
+    fn round_trip(state: &PairwiseState) -> PairwiseState {
+        let mut w = SnapWriter::new();
+        state.snapshot_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = PairwiseState::restore_from(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0, "snapshot fully consumed");
+        back
+    }
+
+    #[test]
+    fn snapshot_round_trips_empty_partial_and_confirmed_states() {
+        // Empty (default) state.
+        let empty = PairwiseState::default();
+        assert_eq!(round_trip(&empty), empty);
+
+        // Partially filled window, no attribution yet.
+        let n = NmapScanner::new(7);
+        let mut partial = PairwiseState::default();
+        let p = probe(&n, 0);
+        partial.push(&p);
+        assert_eq!(round_trip(&partial), partial);
+
+        // Saturated window with a sticky confirmation.
+        let mut confirmed = PairwiseState::default();
+        for i in 0..20u64 {
+            let p = probe(&n, i);
+            confirmed.test(&p);
+            confirmed.push(&p);
+        }
+        assert_eq!(confirmed.confirmed, Some(ToolKind::Nmap));
+        let back = round_trip(&confirmed);
+        assert_eq!(back, confirmed);
+        // The restored state classifies exactly like the original.
+        let next = probe(&n, 21);
+        assert_eq!(
+            back.clone().test(&next),
+            confirmed.clone().test(&next),
+            "restored state behaves identically"
+        );
+    }
+
+    #[test]
+    fn oversized_window_snapshot_is_rejected() {
+        let mut w = SnapWriter::new();
+        w.put_u8(WINDOW as u8 + 1);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            PairwiseState::restore_from(&mut r),
+            Err(CheckpointError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! public output maps are re-keyed by IP at `finish()` time via
 //! [`SourceTable::ips`].
 
+use crate::checkpoint::{CheckpointError, SnapReader, SnapWriter};
 use crate::fasthash::FxHashMap;
 
 /// Dense index of an interned source address (assignment order = first
@@ -21,7 +22,7 @@ use crate::fasthash::FxHashMap;
 pub type SourceId = u32;
 
 /// Interner mapping `src_ip` ↔ dense [`SourceId`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SourceTable {
     ids: FxHashMap<u32, SourceId>,
     ips: Vec<u32>,
@@ -83,6 +84,33 @@ impl SourceTable {
     pub fn is_empty(&self) -> bool {
         self.ips.is_empty()
     }
+
+    /// Serialize for a pipeline checkpoint. The id-ordered `ips` vector is
+    /// the whole state: the reverse map is rebuilt on restore by
+    /// re-interning in order, which reassigns the identical dense ids.
+    pub fn snapshot_to(&self, w: &mut SnapWriter) {
+        w.put_u64(self.ips.len() as u64);
+        for &ip in &self.ips {
+            w.put_u32(ip);
+        }
+    }
+
+    /// Rebuild a table written by [`SourceTable::snapshot_to`].
+    pub fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, CheckpointError> {
+        let len = r.take_len(4)?;
+        let mut table = SourceTable::new();
+        table.reserve(len);
+        for expected in 0..len {
+            let ip = r.take_u32()?;
+            let id = table.intern(ip);
+            if id as usize != expected {
+                return Err(CheckpointError::Corrupt(format!(
+                    "duplicate address {ip:#010x} in interner snapshot"
+                )));
+            }
+        }
+        Ok(table)
+    }
 }
 
 #[cfg(test)]
@@ -120,5 +148,47 @@ mod tests {
         assert!(table.is_empty());
         assert_eq!(table.len(), 0);
         assert_eq!(table.ips(), &[] as &[u32]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_ids_and_lookups() {
+        let mut table = SourceTable::new();
+        for i in 0..50u32 {
+            table.intern(i.wrapping_mul(2_654_435_761));
+        }
+        let mut w = SnapWriter::new();
+        table.snapshot_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = SourceTable::restore_from(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back, table, "ids, ips, and the reverse map all match");
+        // The restored table keeps assigning fresh ids past the snapshot.
+        let mut back = back;
+        assert_eq!(back.intern(0xdead_beef), 50);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let mut w = SnapWriter::new();
+        SourceTable::new().snapshot_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = SourceTable::restore_from(&mut r).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn snapshot_with_duplicate_addresses_is_rejected() {
+        let mut w = SnapWriter::new();
+        w.put_u64(2);
+        w.put_u32(7);
+        w.put_u32(7);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            SourceTable::restore_from(&mut r),
+            Err(CheckpointError::Corrupt(_))
+        ));
     }
 }

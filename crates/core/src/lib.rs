@@ -29,12 +29,19 @@
 //! For telescope-scale inputs, [`pipeline`] fans one year's stream out to
 //! source-sharded worker threads and merges the partial analyses back into a
 //! result bit-identical to the sequential pass.
+//!
+//! Long (decade-scale) runs are made crash-safe by [`checkpoint`] (atomic,
+//! checksummed snapshots of the full pipeline state), [`supervise`] (worker
+//! heartbeats, panic containment, stall watchdog), and
+//! [`pipeline::supervised`] (the checkpointed, resumable driver tying both
+//! together).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod campaign;
+pub mod checkpoint;
 pub mod classify;
 pub mod compact;
 pub mod fasthash;
@@ -42,15 +49,24 @@ pub mod fingerprint;
 pub mod intern;
 pub mod pipeline;
 pub mod report;
+pub mod supervise;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignDetector, RejectReason};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointHeader};
 pub use classify::classify_source;
 pub use compact::{IdSet, PortSet};
 pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use fingerprint::{FingerprintEngine, InternedFingerprint, PacketVerdict};
 pub use intern::{SourceId, SourceTable};
+pub use pipeline::supervised::{
+    run_year_supervised, AdmitState, CheckpointOptions, FilterAdmit, RunError, RunSpec, RunStatus,
+    SupervisorOptions,
+};
 pub use pipeline::{
     collect_year_sharded, collect_year_stream, try_collect_year_stream, PipelineError,
     PipelineMode, PipelineOutcome, SizeHints,
+};
+pub use supervise::{
+    InjectedFaults, StallEvent, SupervisionConfig, SupervisionReport, WorkerFailure,
 };
 pub use synscan_scanners::traits::ToolKind;

@@ -42,6 +42,8 @@ use synscan_wire::{Ipv4Address, ProbeRecord};
 use crate::analysis::{YearAnalysis, YearCollector};
 use crate::campaign::CampaignConfig;
 
+pub mod supervised;
+
 /// Records per channel message / stream batch — re-exported from the wire
 /// layer so every stage of the pipeline agrees on the batch granularity.
 pub use synscan_wire::stream::BATCH_RECORDS;
@@ -202,6 +204,14 @@ pub enum PipelineError {
     Stream(StreamError),
     /// A shard worker panicked; its partial analysis is unrecoverable.
     WorkerPanicked,
+    /// A specific shard worker died mid-run (its channel closed early or its
+    /// panic was contained by the supervisor). Unlike
+    /// [`PipelineError::WorkerPanicked`] the shard is known, so a supervised
+    /// caller can retry the run from that shard's last checkpoint.
+    WorkerFailed {
+        /// Index of the shard whose worker failed.
+        shard: u32,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -209,6 +219,9 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::Stream(e) => write!(f, "input stream fault: {e}"),
             PipelineError::WorkerPanicked => write!(f, "pipeline worker panicked"),
+            PipelineError::WorkerFailed { shard } => {
+                write!(f, "pipeline worker for shard {shard} failed")
+            }
         }
     }
 }
@@ -505,8 +518,13 @@ where
                     continue;
                 }
                 if !origin_sent {
-                    for tx in &txs {
-                        let _ = tx.send(ShardMsg::Origin(record.ts_micros));
+                    for (shard, tx) in txs.iter().enumerate() {
+                        if tx.send(ShardMsg::Origin(record.ts_micros)).is_err() {
+                            fatal = Some(PipelineError::WorkerFailed {
+                                shard: shard as u32,
+                            });
+                            break 'feed;
+                        }
                     }
                     origin_sent = true;
                 }
@@ -519,14 +537,25 @@ where
                     }
                     let replacement = pool.acquire(BATCH_RECORDS);
                     let full = std::mem::replace(batch, replacement);
-                    let _ = txs[shard].send(ShardMsg::Batch(full));
+                    // A send on a closed channel means the worker is gone
+                    // (it panicked and dropped its receiver): stop feeding
+                    // and surface the shard instead of pushing into the void.
+                    if txs[shard].send(ShardMsg::Batch(full)).is_err() {
+                        fatal = Some(PipelineError::WorkerFailed {
+                            shard: shard as u32,
+                        });
+                        break 'feed;
+                    }
                 }
             }
         }
         if fatal.is_none() {
-            for (tx, batch) in txs.iter().zip(batches) {
-                if !batch.is_empty() {
-                    let _ = tx.send(ShardMsg::Batch(batch));
+            for (shard, (tx, batch)) in txs.iter().zip(batches).enumerate() {
+                if !batch.is_empty() && tx.send(ShardMsg::Batch(batch)).is_err() {
+                    fatal = Some(PipelineError::WorkerFailed {
+                        shard: shard as u32,
+                    });
+                    break;
                 }
             }
         }
@@ -617,9 +646,19 @@ fn worker_loop(
                 collector = Some(fresh);
             }
             ShardMsg::Batch(mut batch) => {
-                let collector = collector
-                    .as_mut()
-                    .expect("Origin message precedes every batch");
+                // The feeder's protocol sends Origin before any batch; if the
+                // protocol ever drifts, degrade to this shard's first record
+                // as the origin instead of panicking the worker. (A shifted
+                // origin skews day/week bins; a panic loses the whole run.)
+                let Some(first) = batch.first() else {
+                    continue;
+                };
+                let first_ts = first.ts_micros;
+                let collector = collector.get_or_insert_with(|| {
+                    let mut fresh = YearCollector::with_origin(year, config, period_days, first_ts);
+                    hints.apply_to(&mut fresh);
+                    fresh
+                });
                 for record in &batch {
                     collector.offer(record);
                 }

@@ -147,6 +147,15 @@ impl<'a> CaptureSession<'a> {
     pub fn stats(&self) -> CaptureStats {
         self.stats
     }
+
+    /// Replace the running counters wholesale.
+    ///
+    /// Used by checkpoint resume: the session's counters are part of a run's
+    /// observable output, so a resumed run restores them from the snapshot
+    /// instead of recounting the already-processed prefix.
+    pub fn restore_stats(&mut self, stats: CaptureStats) {
+        self.stats = stats;
+    }
 }
 
 /// Write records to a classic pcap stream as full Ethernet frames.
@@ -406,6 +415,30 @@ mod tests {
         assert_eq!(stats.other_scan_techniques, 4);
         assert_eq!(stats.backscatter, 1);
         assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn restored_stats_continue_counting_where_they_left_off() {
+        let set = set();
+        let dark = set.addresses()[0];
+        let mut first = CaptureSession::new(&set, 2020);
+        assert!(first.offer(&record(dark, 80, TcpFlags::SYN)));
+        assert!(!first.offer(&record(dark, 80, TcpFlags::SYN_ACK)));
+        let snapshot = first.stats();
+
+        // A fresh session restored from the snapshot counts as if it had
+        // processed the prefix itself.
+        let mut resumed = CaptureSession::new(&set, 2020);
+        resumed.restore_stats(snapshot);
+        assert!(resumed.offer(&record(dark, 80, TcpFlags::SYN)));
+        assert!(!resumed.offer(&record(dark, 80, TcpFlags::SYN_ACK)));
+
+        let mut uninterrupted = CaptureSession::new(&set, 2020);
+        for _ in 0..2 {
+            uninterrupted.offer(&record(dark, 80, TcpFlags::SYN));
+            uninterrupted.offer(&record(dark, 80, TcpFlags::SYN_ACK));
+        }
+        assert_eq!(resumed.stats(), uninterrupted.stats());
     }
 
     #[test]

@@ -68,8 +68,8 @@ pub use ipv4::{Address as Ipv4Address, Ipv4Packet, Ipv4Repr, Protocol};
 pub use pcap::{PcapError, PcapReader, PcapRecord, PcapWriter};
 pub use probe::{ProbeRecord, SynFrameBuilder};
 pub use stream::{
-    BatchPool, FaultCounters, FaultPolicy, NullSink, RecordSink, RecordStream, SliceStream,
-    StreamError, TryRecordStream,
+    skip_records, BatchPool, FaultCounters, FaultPolicy, NullSink, RecordSink, RecordStream,
+    SliceStream, StreamError, TryRecordStream,
 };
 pub use tcp::{TcpFlags, TcpPacket, TcpRepr};
 pub use tcp_options::{option_signature, parse_options, TcpOption};

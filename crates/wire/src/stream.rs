@@ -306,6 +306,29 @@ impl BatchPool {
     }
 }
 
+/// Fast-forward a fallible stream past (at least) `n` records by pulling
+/// whole batches, returning the exact count consumed.
+///
+/// Checkpoint resume rebuilds the deterministic stream from scratch and
+/// skips the records the interrupted run already processed. Because the
+/// cursor in a checkpoint is always a sum of whole pulled batches, a
+/// faithful replay consumes *exactly* `n` records; callers treat any other
+/// return (an early end of stream, or an overshoot from mismatched batch
+/// boundaries) as evidence the checkpoint does not belong to this stream.
+pub fn skip_records<S: TryRecordStream + ?Sized>(
+    stream: &mut S,
+    n: u64,
+) -> core::result::Result<u64, StreamError> {
+    let mut consumed = 0u64;
+    while consumed < n {
+        match stream.try_next_batch()? {
+            Some(batch) => consumed += batch.len() as u64,
+            None => break,
+        }
+    }
+    Ok(consumed)
+}
+
 /// Drain a stream into one `Vec` — the explicit materialization point.
 /// Everything that "needs the whole year" funnels through here, so grepping
 /// for `collect` finds every place the O(batch) guarantee is given up.
@@ -368,6 +391,38 @@ mod tests {
         assert_eq!(stream.next_batch().map(<[_]>::len), Some(4));
         assert!(stream.next_batch().is_none());
         assert!(stream.next_batch().is_none(), "exhaustion is terminal");
+    }
+
+    #[test]
+    fn skip_records_consumes_whole_batches() {
+        let records: Vec<ProbeRecord> = (0..10u64).map(record).collect();
+
+        // A cursor on a batch boundary lands exactly.
+        let mut inner = SliceStream::with_batch_size(&records, 3);
+        let mut stream = InfallibleStream(&mut inner);
+        assert_eq!(skip_records(&mut stream, 6), Ok(6));
+        assert_eq!(
+            stream.try_next_batch().unwrap().map(<[_]>::len),
+            Some(3),
+            "the stream resumes at the first unskipped batch"
+        );
+
+        // A cursor inside a batch overshoots to the batch end; callers treat
+        // the mismatch as a foreign checkpoint.
+        let mut inner = SliceStream::with_batch_size(&records, 3);
+        let mut stream = InfallibleStream(&mut inner);
+        assert_eq!(skip_records(&mut stream, 5), Ok(6));
+
+        // A cursor past the end of the stream stops at exhaustion.
+        let mut inner = SliceStream::with_batch_size(&records, 3);
+        let mut stream = InfallibleStream(&mut inner);
+        assert_eq!(skip_records(&mut stream, 99), Ok(10));
+
+        // Zero is a no-op: nothing is pulled.
+        let mut inner = SliceStream::with_batch_size(&records, 3);
+        let mut stream = InfallibleStream(&mut inner);
+        assert_eq!(skip_records(&mut stream, 0), Ok(0));
+        assert_eq!(stream.try_next_batch().unwrap().map(<[_]>::len), Some(3));
     }
 
     #[test]

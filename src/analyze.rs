@@ -27,13 +27,27 @@
 //! [`AnalyzeResult::faults`] so no loss is silent. A `chaos_seed` wires a
 //! deterministic [`synscan_wire::chaos::ChaosReader`] under the parser for
 //! reproducible fault drills.
+//!
+//! For captures large enough that a crash mid-analysis hurts,
+//! [`analyze_pcap_checkpointed`] runs the streaming shape under the
+//! supervised driver: the full pipeline state (including the technique
+//! census) checkpoints atomically to a directory, a caller-owned stop flag
+//! triggers a final checkpoint, and a resumed run fast-forwards the capture
+//! to produce output bit-identical to an uninterrupted one.
 
 use std::collections::BTreeMap;
 use std::io::Read;
+use std::sync::atomic::AtomicBool;
 
+use crate::experiment::CheckpointSpec;
 use synscan_core::analysis::{toolports, yearly, YearAnalysis};
+use synscan_core::checkpoint::{SnapReader, SnapWriter};
 use synscan_core::pipeline::{try_collect_year_stream, PipelineError, SizeHints};
-use synscan_core::{CampaignConfig, PipelineMode};
+use synscan_core::{
+    run_year_supervised, AdmitState, CampaignConfig, Checkpoint, CheckpointError,
+    CheckpointOptions, PipelineMode, RunError, RunSpec, RunStatus, SupervisionConfig,
+    SupervisionReport, SupervisorOptions,
+};
 use synscan_telescope::capture::{
     classify_technique, import_pcap_with_policy, PcapStream, ScanTechnique,
 };
@@ -155,7 +169,9 @@ impl From<PipelineError> for AnalyzeError {
     fn from(e: PipelineError) -> Self {
         match e {
             PipelineError::Stream(e) => e.into(),
-            PipelineError::WorkerPanicked => AnalyzeError::WorkerPanicked,
+            PipelineError::WorkerPanicked | PipelineError::WorkerFailed { .. } => {
+                AnalyzeError::WorkerPanicked
+            }
         }
     }
 }
@@ -260,6 +276,247 @@ fn analyze_pcap_inner<R: Read>(
         monitored,
         analysis,
         faults,
+    })
+}
+
+/// Why a checkpointed capture analysis failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointedAnalyzeError {
+    /// The underlying analysis failed.
+    Analyze(AnalyzeError),
+    /// Persisting or resuming a checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// Checkpointed analysis only runs in the streaming shape: supply the
+    /// monitored-address count and do not materialize.
+    NeedsStreaming,
+}
+
+impl std::fmt::Display for CheckpointedAnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointedAnalyzeError::Analyze(e) => write!(f, "{e}"),
+            CheckpointedAnalyzeError::Checkpoint(e) => write!(f, "{e}"),
+            CheckpointedAnalyzeError::NeedsStreaming => write!(
+                f,
+                "checkpointed analysis is streaming-only: supply --monitored \
+                 and drop --materialize"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointedAnalyzeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointedAnalyzeError::Analyze(e) => Some(e),
+            CheckpointedAnalyzeError::Checkpoint(e) => Some(e),
+            CheckpointedAnalyzeError::NeedsStreaming => None,
+        }
+    }
+}
+
+impl From<AnalyzeError> for CheckpointedAnalyzeError {
+    fn from(e: AnalyzeError) -> Self {
+        CheckpointedAnalyzeError::Analyze(e)
+    }
+}
+
+impl From<CheckpointError> for CheckpointedAnalyzeError {
+    fn from(e: CheckpointError) -> Self {
+        CheckpointedAnalyzeError::Checkpoint(e)
+    }
+}
+
+impl From<RunError> for CheckpointedAnalyzeError {
+    fn from(e: RunError) -> Self {
+        match e {
+            RunError::Pipeline(e) => CheckpointedAnalyzeError::Analyze(e.into()),
+            RunError::Checkpoint(e) => CheckpointedAnalyzeError::Checkpoint(e),
+        }
+    }
+}
+
+/// How a checkpointed capture analysis ended.
+#[derive(Debug)]
+pub enum AnalyzeStatus {
+    /// The capture was analyzed to the end.
+    Completed {
+        /// The finished analysis, identical to [`analyze_pcap`]'s.
+        result: AnalyzeResult,
+        /// Supervision events of the run.
+        report: SupervisionReport,
+        /// Checkpoints written during this run.
+        checkpoints: u64,
+    },
+    /// The run stopped early — stop flag or interrupt drill — after
+    /// persisting a checkpoint to resume from.
+    Interrupted {
+        /// Checkpoints written during this run.
+        checkpoints: u64,
+        /// Capture records consumed when the run stopped.
+        cursor: u64,
+    },
+}
+
+/// The §3.1 techniques in snapshot order; `Other` last so unknown flag
+/// combinations index safely.
+const TECHNIQUES: [ScanTechnique; 7] = [
+    ScanTechnique::Syn,
+    ScanTechnique::Fin,
+    ScanTechnique::Null,
+    ScanTechnique::Xmas,
+    ScanTechnique::Ack,
+    ScanTechnique::Backscatter,
+    ScanTechnique::Other,
+];
+
+/// [`AdmitState`] adapter for the capture analysis: the SYN filter doubles
+/// as the technique census, and both survive a checkpoint/resume cycle.
+#[derive(Debug, Default)]
+struct TechniqueAdmit {
+    counts: [u64; TECHNIQUES.len()],
+}
+
+impl TechniqueAdmit {
+    fn census(&self) -> BTreeMap<&'static str, u64> {
+        TECHNIQUES
+            .iter()
+            .zip(self.counts)
+            .filter(|(_, n)| *n > 0)
+            .map(|(t, n)| (technique_label(*t), n))
+            .collect()
+    }
+}
+
+impl AdmitState for TechniqueAdmit {
+    fn admit(&mut self, record: &ProbeRecord) -> bool {
+        let technique = classify_technique(record.flags);
+        let idx = TECHNIQUES
+            .iter()
+            .position(|t| *t == technique)
+            .unwrap_or(TECHNIQUES.len() - 1);
+        self.counts[idx] += 1;
+        technique == ScanTechnique::Syn
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        for n in self.counts {
+            w.put_u64(n);
+        }
+        w.into_bytes()
+    }
+
+    fn restore(&mut self, blob: &[u8]) -> Result<(), CheckpointError> {
+        let mut r = SnapReader::new(blob);
+        for slot in &mut self.counts {
+            *slot = r.take_u64()?;
+        }
+        if r.remaining() != 0 {
+            return Err(CheckpointError::Corrupt(
+                "trailing bytes after technique census".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// [`analyze_pcap`]'s streaming shape under the supervised, checkpointed
+/// driver.
+///
+/// Requires the streaming preconditions (`monitored` known, `materialize`
+/// off). With [`CheckpointSpec::resume`], the analysis restarts from its
+/// latest checkpoint in the directory: the capture is re-read only to
+/// fast-forward the parser, and the finished result is bit-identical to an
+/// uninterrupted run's. The checkpoint identity seed is the chaos seed (0
+/// without chaos), so a resume under different noise is rejected.
+pub fn analyze_pcap_checkpointed<R: Read>(
+    reader: R,
+    options: &AnalyzeOptions,
+    ckpt: &CheckpointSpec,
+    stop: Option<&AtomicBool>,
+) -> Result<AnalyzeStatus, CheckpointedAnalyzeError> {
+    match options.chaos_seed {
+        Some(seed) => checkpointed_inner(
+            ChaosReader::new(reader, ChaosPlan::byte_noise(seed)),
+            options,
+            ckpt,
+            stop,
+        ),
+        None => checkpointed_inner(reader, options, ckpt, stop),
+    }
+}
+
+fn checkpointed_inner<R: Read>(
+    reader: R,
+    options: &AnalyzeOptions,
+    ckpt: &CheckpointSpec,
+    stop: Option<&AtomicBool>,
+) -> Result<AnalyzeStatus, CheckpointedAnalyzeError> {
+    let (Some(monitored), false) = (options.monitored, options.materialize) else {
+        return Err(CheckpointedAnalyzeError::NeedsStreaming);
+    };
+    let resume = if ckpt.resume {
+        Checkpoint::load_latest(&ckpt.dir, options.year)?
+    } else {
+        None
+    };
+    let mut stream = PcapStream::with_policy(reader, options.policy).map_err(AnalyzeError::from)?;
+    let mut admit = TechniqueAdmit::default();
+    let spec = RunSpec {
+        year: options.year,
+        config: CampaignConfig::scaled(monitored.max(1)),
+        period_days: 7.0,
+        mode: options.pipeline,
+        hints: SizeHints::none(),
+        policy: options.policy,
+    };
+    let opts = SupervisorOptions {
+        supervision: SupervisionConfig::default(),
+        checkpoint: Some(CheckpointOptions {
+            dir: ckpt.dir.clone(),
+            every: ckpt.every,
+            seed: options.chaos_seed.unwrap_or(0),
+            interrupt_after: ckpt.interrupt_after,
+        }),
+        resume,
+        stop,
+        inject: None,
+    };
+    let status = run_year_supervised(&spec, opts, &mut stream, &mut admit)?;
+    Ok(match status {
+        RunStatus::Completed {
+            outcome,
+            report,
+            checkpoints,
+        } => {
+            // The parser re-reads the whole capture on resume (the
+            // fast-forward replays it), so its parse-level fault tally and
+            // frame counts cover the full file either way.
+            let mut faults = stream.faults();
+            faults.absorb(&outcome.faults);
+            let analysis = outcome.analysis;
+            let summary = yearly::summarize(&analysis, options.top_ports);
+            AnalyzeStatus::Completed {
+                result: AnalyzeResult {
+                    summary,
+                    techniques: admit.census(),
+                    non_tcp_frames: stream.non_tcp_frames(),
+                    monitored,
+                    analysis,
+                    faults,
+                },
+                report,
+                checkpoints,
+            }
+        }
+        RunStatus::Interrupted {
+            checkpoints,
+            cursor,
+        } => AnalyzeStatus::Interrupted {
+            checkpoints,
+            cursor,
+        },
     })
 }
 
@@ -574,6 +831,56 @@ mod tests {
         assert_eq!(result.faults.streams_truncated, 1);
         let report = render_report(&result);
         assert!(report.contains("capture faults"));
+    }
+
+    #[test]
+    fn checkpointed_streaming_analysis_resumes_bit_identical() {
+        let bytes = capture_bytes();
+        let options = AnalyzeOptions {
+            monitored: Some(100),
+            ..AnalyzeOptions::default()
+        };
+        let baseline = analyze_pcap(std::io::Cursor::new(bytes.clone()), &options).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("synscan-analyze-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Interrupt right after the first checkpoint ...
+        let spec = CheckpointSpec::new(&dir).every(50).interrupt_after(Some(1));
+        let status =
+            analyze_pcap_checkpointed(std::io::Cursor::new(bytes.clone()), &options, &spec, None)
+                .unwrap();
+        assert!(matches!(status, AnalyzeStatus::Interrupted { .. }));
+
+        // ... and resume: the finished result equals the uninterrupted one.
+        let spec = CheckpointSpec::new(&dir).every(50).resume(true);
+        let status =
+            analyze_pcap_checkpointed(std::io::Cursor::new(bytes), &options, &spec, None).unwrap();
+        let AnalyzeStatus::Completed { result, .. } = status else {
+            panic!("resumed analysis completes");
+        };
+        assert_eq!(result.analysis, baseline.analysis);
+        assert_eq!(result.techniques, baseline.techniques);
+        assert_eq!(result.faults, baseline.faults);
+        assert_eq!(result.non_tcp_frames, baseline.non_tcp_frames);
+        assert_eq!(result.monitored, baseline.monitored);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_analysis_requires_the_streaming_shape() {
+        let dir =
+            std::env::temp_dir().join(format!("synscan-analyze-ckpt-shape-{}", std::process::id()));
+        let spec = CheckpointSpec::new(&dir);
+        let err = analyze_pcap_checkpointed(
+            std::io::Cursor::new(capture_bytes()),
+            &AnalyzeOptions::default(), // monitored unknown
+            &spec,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err, CheckpointedAnalyzeError::NeedsStreaming);
     }
 
     #[test]

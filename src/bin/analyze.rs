@@ -4,6 +4,8 @@
 //! analyze <capture.pcap | -> [--monitored N] [--year Y] [--top N]
 //!         [--pipeline sequential|auto|sharded:N] [--materialize]
 //!         [--fault-policy fail|skip|stop] [--chaos-seed N]
+//!         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+//!         [--die-after-checkpoints K]
 //! ```
 //!
 //! The capture is SYN-filtered, fingerprinted, grouped into campaigns and
@@ -28,6 +30,13 @@
 //! `--chaos-seed N` XORs seeded byte noise into the capture before parsing
 //! — a reproducible robustness drill for the policies.
 //!
+//! `--checkpoint-dir DIR` makes the streaming analysis crash-safe: the full
+//! pipeline state checkpoints atomically into the directory,
+//! SIGINT/SIGTERM checkpoint before exiting, and `--resume` restarts from
+//! the latest checkpoint with bit-identical output. Streaming-only (needs
+//! `--monitored`, file input); `--die-after-checkpoints K` is the
+//! kill-and-resume drill hook.
+//!
 //! Try it on the repository's own artifact:
 //!
 //! ```text
@@ -38,12 +47,19 @@
 
 use std::fs::File;
 use std::io::BufReader;
+use std::path::PathBuf;
 
-use synscan::analyze::{analyze_pcap, infer_monitored_with_policy, render_report, AnalyzeOptions};
+use synscan::analyze::{
+    analyze_pcap, analyze_pcap_checkpointed, infer_monitored_with_policy, render_report,
+    AnalyzeOptions, AnalyzeStatus,
+};
+use synscan::experiment::CheckpointSpec;
 
 const USAGE: &str = "usage: analyze <capture.pcap | -> [--monitored N] [--year Y] [--top N] \
                      [--pipeline sequential|auto|sharded:N] [--materialize] \
-                     [--fault-policy fail|skip|stop] [--chaos-seed N]\n\
+                     [--fault-policy fail|skip|stop] [--chaos-seed N] \
+                     [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
+                     [--die-after-checkpoints K]\n\
                      \n  <capture.pcap | ->  classic pcap file, or `-` for stdin\
                      \n  --monitored N       dark (monitored) address count; default: inferred \
                      from the capture\
@@ -55,7 +71,15 @@ const USAGE: &str = "usage: analyze <capture.pcap | -> [--monitored N] [--year Y
                      \n  --fault-policy P    fail | skip | stop: how malformed records are \
                      handled (default fail)\
                      \n  --chaos-seed N      XOR seeded byte noise into the capture before \
-                     parsing (robustness drill)";
+                     parsing (robustness drill)\
+                     \n  --checkpoint-dir D  persist pipeline checkpoints into D \
+                     (streaming-only; needs --monitored and a file input)\
+                     \n  --checkpoint-every N  records between periodic checkpoints \
+                     (default 500000; 0 = only on completion)\
+                     \n  --resume            restart from the latest checkpoint in \
+                     --checkpoint-dir\
+                     \n  --die-after-checkpoints K  abort the process after K checkpoints \
+                     (kill-and-resume drill)";
 
 fn flag_value<T: std::str::FromStr>(
     args: &mut impl Iterator<Item = String>,
@@ -74,8 +98,30 @@ fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     let mut path: Option<String> = None;
     let mut options = AnalyzeOptions::default();
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut checkpoint_every: u64 = 500_000;
+    let mut resume = false;
+    let mut die_after: Option<u64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(PathBuf::from(flag_value::<String>(
+                    &mut args,
+                    "--checkpoint-dir",
+                    "a directory",
+                )?))
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = flag_value(&mut args, "--checkpoint-every", "a record count")?
+            }
+            "--resume" => resume = true,
+            "--die-after-checkpoints" => {
+                die_after = Some(flag_value(
+                    &mut args,
+                    "--die-after-checkpoints",
+                    "a checkpoint count",
+                )?)
+            }
             "--monitored" => {
                 options.monitored = Some(flag_value(&mut args, "--monitored", "an address count")?)
             }
@@ -106,7 +152,15 @@ fn run() -> Result<(), String> {
         std::process::exit(2);
     };
 
+    if checkpoint_dir.is_none() && (resume || die_after.is_some()) {
+        return Err("--resume / --die-after-checkpoints need --checkpoint-dir".into());
+    }
     if path == "-" {
+        if checkpoint_dir.is_some() {
+            // A resumed run has to re-read the capture to fast-forward the
+            // parser, and stdin cannot be replayed.
+            return Err("--checkpoint-dir needs a file input (stdin cannot be re-read)".into());
+        }
         // stdin cannot be rewound: streams single-pass when --monitored is
         // given, otherwise analyze_pcap materializes to infer the dark set.
         let stdin = std::io::stdin();
@@ -134,15 +188,94 @@ fn run() -> Result<(), String> {
         }
         options.monitored = Some(monitored);
     }
-    let result =
-        analyze_pcap(open(&path)?, &options).map_err(|e| format!("cannot analyze {path}: {e}"))?;
-    print!("{}", render_report(&result));
-    Ok(())
+    let Some(dir) = checkpoint_dir else {
+        let result = analyze_pcap(open(&path)?, &options)
+            .map_err(|e| format!("cannot analyze {path}: {e}"))?;
+        print!("{}", render_report(&result));
+        return Ok(());
+    };
+
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+    let spec = CheckpointSpec::new(&dir)
+        .every(checkpoint_every)
+        .resume(resume)
+        .interrupt_after(die_after);
+    let stop = sig::install();
+    let status = analyze_pcap_checkpointed(open(&path)?, &options, &spec, Some(stop))
+        .map_err(|e| format!("cannot analyze {path}: {e}"))?;
+    match status {
+        AnalyzeStatus::Completed {
+            result,
+            report,
+            checkpoints,
+        } => {
+            if !report.stalls.is_empty() || !report.failures.is_empty() || report.retried > 0 {
+                eprintln!(
+                    "[analyze] supervision: {} stalls, {} contained failures, {} retries",
+                    report.stalls.len(),
+                    report.failures.len(),
+                    report.retried
+                );
+            }
+            eprintln!(
+                "[analyze] {checkpoints} checkpoints written to {}",
+                dir.display()
+            );
+            print!("{}", render_report(&result));
+            Ok(())
+        }
+        AnalyzeStatus::Interrupted {
+            checkpoints,
+            cursor,
+        } => {
+            eprintln!(
+                "[analyze] interrupted at record {cursor}: {checkpoints} checkpoints in {}",
+                dir.display()
+            );
+            if die_after.is_some() {
+                // The kill-and-resume drill dies the way a crash would.
+                std::process::abort();
+            }
+            Err("analysis interrupted; re-run with --resume to continue".into())
+        }
+    }
 }
 
 fn main() {
     if let Err(e) = run() {
         eprintln!("analyze: {e}");
         std::process::exit(1);
+    }
+}
+
+/// Minimal SIGINT/SIGTERM hook with no signal-handling crate: the handler
+/// flips one atomic, and the supervised driver checkpoints and exits at the
+/// next batch boundary. Only an atomic store happens in signal context.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    pub fn install() -> &'static AtomicBool {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        extern "C" fn on_signal(_signum: i32) {
+            STOP.store(true, Ordering::SeqCst);
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+        &STOP
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() -> &'static AtomicBool {
+        &STOP
     }
 }

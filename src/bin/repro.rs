@@ -3,7 +3,9 @@
 //! ```text
 //! repro [--scale tiny|small|default] [--out DIR]
 //!       [--pipeline sequential|auto|sharded:N] [--materialize]
-//!       [--chaos-seed N] [--fault-policy fail|skip|stop] [TARGET...]
+//!       [--chaos-seed N] [--fault-policy fail|skip|stop]
+//!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+//!       [--die-after-checkpoints K] [TARGET...]
 //!
 //! TARGET: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!         prose etl pcap all       (default: all)
@@ -22,6 +24,13 @@
 //! and reproduces the clean run's numbers exactly. Under the default
 //! `fail` policy the first injected fault aborts the run with an error.
 //!
+//! `--checkpoint-dir DIR` makes the run crash-safe: each year periodically
+//! persists an atomic checkpoint of its full pipeline state, SIGINT/SIGTERM
+//! trigger a final checkpoint before exiting, and `--resume` restarts a
+//! killed run from the per-year checkpoints with bit-identical output.
+//! `--die-after-checkpoints K` is the kill-and-resume drill: abort the
+//! process (as a crash would) right after K checkpoints per year.
+//!
 //! Each target prints its reproduction to stdout and writes a JSON artifact
 //! into the output directory. EXPERIMENTS.md records how the output compares
 //! with the paper's numbers.
@@ -35,14 +44,16 @@ use synscan::core::analysis::{
     vertical, volatility,
 };
 use synscan::core::report::render_series;
-use synscan::experiment::{DecadeRun, Experiment};
+use synscan::experiment::{CheckpointSpec, DecadeRun, DecadeStatus, Experiment};
 use synscan::netmodel::ScannerClass;
 use synscan::wire::{ChaosPlan, FaultPolicy};
 use synscan::{GeneratorConfig, PipelineMode, ToolKind, YearConfig};
 
 const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out DIR] \
                      [--pipeline sequential|auto|sharded:N] [--materialize] \
-                     [--chaos-seed N] [--fault-policy fail|skip|stop] [TARGET...]\n\
+                     [--chaos-seed N] [--fault-policy fail|skip|stop] \
+                     [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
+                     [--die-after-checkpoints K] [TARGET...]\n\
                      \n  --scale NAME        generator scale: tiny | small | default\
                      \n  --seed N            override the generator seed (u64)\
                      \n  --out DIR           artifact output directory (default ./out)\
@@ -53,6 +64,14 @@ const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out
                      fault plan (robustness drill)\
                      \n  --fault-policy P    fail | skip | stop: how the pipeline reacts to \
                      faulty records (default fail)\
+                     \n  --checkpoint-dir D  persist per-year pipeline checkpoints into D; \
+                     SIGINT/SIGTERM checkpoint before exiting\
+                     \n  --checkpoint-every N  records between periodic checkpoints \
+                     (default 500000; 0 = only on completion)\
+                     \n  --resume            restart each year from its latest checkpoint \
+                     in --checkpoint-dir\
+                     \n  --die-after-checkpoints K  abort the process after K checkpoints \
+                     per year (kill-and-resume drill)\
                      \n  TARGET              table1 table2 fig1..fig10 prose etl pcap all \
                      (default all)";
 
@@ -83,9 +102,31 @@ fn run() -> Result<(), String> {
     let mut materialize = false;
     let mut chaos_seed: Option<u64> = None;
     let mut fault_policy = FaultPolicy::Fail;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut checkpoint_every: u64 = 500_000;
+    let mut resume = false;
+    let mut die_after: Option<u64> = None;
     let mut targets: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(PathBuf::from(flag_value::<String>(
+                    &mut args,
+                    "--checkpoint-dir",
+                    "a directory",
+                )?))
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = flag_value(&mut args, "--checkpoint-every", "a record count")?
+            }
+            "--resume" => resume = true,
+            "--die-after-checkpoints" => {
+                die_after = Some(flag_value(
+                    &mut args,
+                    "--die-after-checkpoints",
+                    "a checkpoint count",
+                )?)
+            }
             "--scale" => scale = flag_value(&mut args, "--scale", "tiny|small|default")?,
             "--out" => {
                 out_dir = PathBuf::from(flag_value::<String>(&mut args, "--out", "a directory")?)
@@ -160,9 +201,60 @@ fn run() -> Result<(), String> {
     if let Some(seed) = chaos_seed {
         experiment = experiment.with_chaos(ChaosPlan::benign(seed));
     }
-    let run = experiment
-        .try_run_decade()
-        .map_err(|e| format!("decade run failed: {e} (try --fault-policy skip)"))?;
+    let run = match &checkpoint_dir {
+        None => {
+            if resume || die_after.is_some() {
+                return Err("--resume / --die-after-checkpoints need --checkpoint-dir".into());
+            }
+            experiment
+                .try_run_decade()
+                .map_err(|e| format!("decade run failed: {e} (try --fault-policy skip)"))?
+        }
+        Some(dir) => {
+            fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+            let spec = CheckpointSpec::new(dir)
+                .every(checkpoint_every)
+                .resume(resume)
+                .interrupt_after(die_after);
+            let stop = sig::install();
+            match experiment
+                .try_run_decade_checkpointed(&spec, Some(stop))
+                .map_err(|e| format!("decade run failed: {e} (try --fault-policy skip)"))?
+            {
+                DecadeStatus::Completed { run, supervision } => {
+                    if !supervision.stalls.is_empty()
+                        || !supervision.failures.is_empty()
+                        || supervision.retried > 0
+                    {
+                        eprintln!(
+                            "[repro] supervision: {} stalls, {} contained failures, {} retries",
+                            supervision.stalls.len(),
+                            supervision.failures.len(),
+                            supervision.retried
+                        );
+                    }
+                    run
+                }
+                DecadeStatus::Interrupted {
+                    completed,
+                    interrupted,
+                } => {
+                    eprintln!(
+                        "[repro] interrupted: {completed} years completed, years {interrupted:?} \
+                         checkpointed in {}",
+                        dir.display()
+                    );
+                    if die_after.is_some() {
+                        // The kill-and-resume drill dies the way a crash
+                        // would: no unwinding, no cleanup.
+                        std::process::abort();
+                    }
+                    return Err("run interrupted; re-run with --resume to continue".into());
+                }
+            }
+        }
+    };
     eprintln!(
         "[repro] decade done in {:.1}s: {} packets admitted, {} campaigns",
         started.elapsed().as_secs_f64(),
@@ -227,6 +319,37 @@ fn main() {
     if let Err(e) = run() {
         eprintln!("repro: {e}");
         std::process::exit(1);
+    }
+}
+
+/// Minimal SIGINT/SIGTERM hook with no signal-handling crate: the handler
+/// flips one atomic, and the supervised driver checkpoints and exits at the
+/// next batch boundary. Only an atomic store happens in signal context.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    pub fn install() -> &'static AtomicBool {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        extern "C" fn on_signal(_signum: i32) {
+            STOP.store(true, Ordering::SeqCst);
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+        &STOP
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() -> &'static AtomicBool {
+        &STOP
     }
 }
 

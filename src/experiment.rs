@@ -17,18 +17,36 @@
 //! fallible entry points ([`Experiment::try_run_year`],
 //! [`Experiment::try_run_decade`]) return `Err` instead of panicking when a
 //! fault is fatal under the chosen policy.
+//!
+//! Long runs survive crashes: [`Experiment::try_run_year_checkpointed`] and
+//! [`Experiment::try_run_decade_checkpointed`] route through the supervised
+//! driver ([`synscan_core::run_year_supervised`]), which persists atomic
+//! per-year checkpoints to a directory, stops cleanly when a caller-owned
+//! stop flag is raised (e.g. from a SIGINT handler), resumes a killed run
+//! from its last checkpoint with bit-identical results, and retries a
+//! panicked shard worker once from the last checkpoint before giving up.
+
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 use rayon::prelude::*;
 
 use synscan_core::analysis::YearAnalysis;
+use synscan_core::checkpoint::{SnapReader, SnapWriter};
 use synscan_core::pipeline::{try_collect_year_stream, PipelineError, PipelineMode, SizeHints};
-use synscan_core::CampaignConfig;
+use synscan_core::{
+    run_year_supervised, AdmitState, CampaignConfig, Checkpoint, CheckpointError,
+    CheckpointOptions, InjectedFaults, RunError, RunSpec, RunStatus, SupervisionConfig,
+    SupervisionReport, SupervisorOptions,
+};
 use synscan_netmodel::InternetRegistry;
 use synscan_synthesis::generate::{plan_year, GeneratorConfig, GroundTruth};
 use synscan_synthesis::yearcfg::YearConfig;
 use synscan_telescope::{AddressSet, CaptureSession, CaptureStats};
 use synscan_wire::chaos::{ChaosPlan, ChaosStream};
 use synscan_wire::stream::{FaultCounters, FaultPolicy, InfallibleStream, SliceStream};
+use synscan_wire::ProbeRecord;
 
 /// One fully processed year.
 #[derive(Debug, Clone)]
@@ -85,6 +103,147 @@ impl DecadeRun {
     }
 }
 
+/// Where and how often a supervised run checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Directory holding one `checkpoint-year{year}.ckpt` file per year.
+    pub dir: PathBuf,
+    /// Checkpoint after at least this many stream records since the last
+    /// cut. `0` = only the final completion checkpoint.
+    pub every: u64,
+    /// Restart each year from its latest on-disk checkpoint (from scratch
+    /// when none exists) instead of ignoring old state.
+    pub resume: bool,
+    /// Abort the run right after writing this many checkpoints — the
+    /// kill-and-resume drill hook (`--die-after-checkpoints`); `None` in
+    /// normal operation.
+    pub interrupt_after: Option<u64>,
+}
+
+impl CheckpointSpec {
+    /// Checkpoint into `dir` with completion-only cuts, no resume.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every: 0,
+            resume: false,
+            interrupt_after: None,
+        }
+    }
+
+    /// Set the record-count checkpoint interval.
+    pub fn every(mut self, every: u64) -> Self {
+        self.every = every;
+        self
+    }
+
+    /// Enable resuming from the latest on-disk checkpoint.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Arm the interrupt-after-N-checkpoints drill.
+    pub fn interrupt_after(mut self, after: Option<u64>) -> Self {
+        self.interrupt_after = after;
+        self
+    }
+}
+
+/// How a supervised, checkpointed year run ended.
+#[derive(Debug, Clone)]
+pub enum YearStatus {
+    /// The year ran to completion.
+    Completed {
+        /// The finished year, identical to an unsupervised run's.
+        run: YearRun,
+        /// Stalls observed, failures survived, and retries spent.
+        report: SupervisionReport,
+        /// Checkpoints written during this run (not counting resumed-from
+        /// state).
+        checkpoints: u64,
+    },
+    /// The run stopped early — stop flag or interrupt drill — after
+    /// persisting a checkpoint to resume from.
+    Interrupted {
+        /// Checkpoints written during this run.
+        checkpoints: u64,
+        /// Stream records consumed when the run stopped.
+        cursor: u64,
+    },
+}
+
+/// How a supervised, checkpointed decade run ended.
+#[derive(Debug)]
+pub enum DecadeStatus {
+    /// Every year completed.
+    Completed {
+        /// The assembled decade, identical to an unsupervised run's.
+        run: DecadeRun,
+        /// Supervision events merged across all ten years.
+        supervision: SupervisionReport,
+    },
+    /// At least one year stopped early; every interrupted year left a
+    /// checkpoint, so re-running with `resume` finishes the decade.
+    Interrupted {
+        /// Years that completed during this invocation.
+        completed: usize,
+        /// Years that stopped early, ascending.
+        interrupted: Vec<u16>,
+    },
+}
+
+/// [`AdmitState`] adapter over the telescope capture: admits records via
+/// [`CaptureSession::offer`] and checkpoints the seven capture counters so a
+/// resumed run's capture statistics continue exactly where the interrupted
+/// run's stopped.
+struct SessionAdmit<'a> {
+    session: CaptureSession<'a>,
+}
+
+impl AdmitState for SessionAdmit<'_> {
+    fn admit(&mut self, record: &ProbeRecord) -> bool {
+        self.session.offer(record)
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let s = self.session.stats();
+        let mut w = SnapWriter::new();
+        for v in [
+            s.offered,
+            s.not_dark,
+            s.outage_lost,
+            s.ingress_blocked,
+            s.backscatter,
+            s.other_scan_techniques,
+            s.admitted,
+        ] {
+            w.put_u64(v);
+        }
+        w.into_bytes()
+    }
+
+    fn restore(&mut self, blob: &[u8]) -> Result<(), CheckpointError> {
+        let mut r = SnapReader::new(blob);
+        let stats = CaptureStats {
+            offered: r.take_u64()?,
+            not_dark: r.take_u64()?,
+            outage_lost: r.take_u64()?,
+            ingress_blocked: r.take_u64()?,
+            backscatter: r.take_u64()?,
+            other_scan_techniques: r.take_u64()?,
+            admitted: r.take_u64()?,
+        };
+        if r.remaining() != 0 {
+            return Err(CheckpointError::Corrupt(
+                "trailing bytes after capture statistics".into(),
+            ));
+        }
+        self.session.restore_stats(stats);
+        Ok(())
+    }
+}
+
 /// The experiment harness: a generator configuration plus the derived world.
 #[derive(Debug)]
 pub struct Experiment {
@@ -95,6 +254,7 @@ pub struct Experiment {
     materialize: bool,
     policy: FaultPolicy,
     chaos: Option<ChaosPlan>,
+    inject: Option<Arc<InjectedFaults>>,
 }
 
 impl Experiment {
@@ -111,6 +271,7 @@ impl Experiment {
             materialize: false,
             policy: FaultPolicy::Fail,
             chaos: None,
+            inject: None,
         }
     }
 
@@ -345,6 +506,204 @@ impl Experiment {
             monitored: self.dark.len() as u64,
             registry: self.registry,
         })
+    }
+
+    /// Arm deterministic one-shot faults in the supervised shard workers —
+    /// the test hook for the panic-containment and retry-from-checkpoint
+    /// paths.
+    #[doc(hidden)]
+    pub fn with_injected_faults(mut self, faults: Arc<InjectedFaults>) -> Self {
+        self.inject = Some(faults);
+        self
+    }
+
+    /// Run one year under the supervised, checkpointed driver.
+    ///
+    /// With [`CheckpointSpec::resume`] set, the year restarts from its
+    /// latest on-disk checkpoint (from scratch if none exists) and produces
+    /// output bit-identical to an uninterrupted run. A shard-worker failure
+    /// is retried once from the last persisted checkpoint before surfacing;
+    /// a spent retry is counted in the returned supervision report.
+    pub fn try_run_year_checkpointed(
+        &self,
+        year_cfg: &YearConfig,
+        mode: PipelineMode,
+        ckpt: &CheckpointSpec,
+        stop: Option<&AtomicBool>,
+    ) -> Result<YearStatus, RunError> {
+        let resume = if ckpt.resume {
+            Checkpoint::load_latest(&ckpt.dir, year_cfg.year)?
+        } else {
+            None
+        };
+        match self.supervised_attempt(year_cfg, mode, ckpt, resume, stop) {
+            Err(RunError::Pipeline(PipelineError::WorkerFailed { .. })) => {
+                // The failed attempt drained its healthy shards but wrote no
+                // further cut, so the latest file on disk is a consistent
+                // earlier cut (or absent — then the retry starts fresh).
+                let resume = Checkpoint::load_latest(&ckpt.dir, year_cfg.year)?;
+                let mut status = self.supervised_attempt(year_cfg, mode, ckpt, resume, stop)?;
+                if let YearStatus::Completed { report, .. } = &mut status {
+                    report.retried += 1;
+                }
+                Ok(status)
+            }
+            other => other,
+        }
+    }
+
+    /// One supervised pass over a year: build the plan and stream exactly as
+    /// [`Experiment::try_run_year_cfg_mode`] does, but drive them through
+    /// [`run_year_supervised`] with this experiment's checkpoint directory,
+    /// stop flag, and injected faults.
+    fn supervised_attempt(
+        &self,
+        year_cfg: &YearConfig,
+        mode: PipelineMode,
+        ckpt: &CheckpointSpec,
+        resume: Option<Checkpoint>,
+        stop: Option<&AtomicBool>,
+    ) -> Result<YearStatus, RunError> {
+        let plan = plan_year(year_cfg, &self.gen, &self.registry, &self.dark);
+        let mut admit = SessionAdmit {
+            session: CaptureSession::new(&self.dark, year_cfg.year),
+        };
+        let period_days = (self.gen.days / 5.0).clamp(1.0, 7.0);
+        let hints = SizeHints::new(
+            (plan.truth.scans as usize).saturating_mul(2),
+            plan.truth
+                .vertical_scans
+                .keys()
+                .max()
+                .map_or(0, |&ports| ports as usize)
+                + 64,
+        );
+        let chaos = self
+            .chaos
+            .as_ref()
+            .map(|plan| plan.reseeded(u64::from(year_cfg.year)));
+        let spec = RunSpec {
+            year: year_cfg.year,
+            config: self.campaign_config(),
+            period_days,
+            mode,
+            hints,
+            policy: self.policy,
+        };
+        let opts = SupervisorOptions {
+            supervision: SupervisionConfig::default(),
+            checkpoint: Some(CheckpointOptions {
+                dir: ckpt.dir.clone(),
+                every: ckpt.every,
+                seed: self.gen.seed,
+                interrupt_after: ckpt.interrupt_after,
+            }),
+            resume,
+            stop,
+            inject: self.inject.clone(),
+        };
+        let status = match (self.materialize, chaos) {
+            (true, None) => {
+                let records = plan.materialize(&self.dark);
+                let mut stream = SliceStream::new(&records);
+                let mut stream = InfallibleStream(&mut stream);
+                run_year_supervised(&spec, opts, &mut stream, &mut admit)?
+            }
+            (true, Some(chaos_plan)) => {
+                let records = plan.materialize(&self.dark);
+                let stream = SliceStream::new(&records);
+                let mut stream = ChaosStream::new(stream, chaos_plan);
+                run_year_supervised(&spec, opts, &mut stream, &mut admit)?
+            }
+            (false, None) => {
+                let mut stream = plan.stream(&self.dark);
+                let mut stream = InfallibleStream(&mut stream);
+                run_year_supervised(&spec, opts, &mut stream, &mut admit)?
+            }
+            (false, Some(chaos_plan)) => {
+                let stream = plan.stream(&self.dark);
+                let mut stream = ChaosStream::new(stream, chaos_plan);
+                run_year_supervised(&spec, opts, &mut stream, &mut admit)?
+            }
+        };
+        Ok(match status {
+            RunStatus::Completed {
+                outcome,
+                report,
+                checkpoints,
+            } => YearStatus::Completed {
+                run: YearRun {
+                    analysis: outcome.analysis,
+                    truth: plan.truth,
+                    capture: admit.session.stats(),
+                    faults: outcome.faults,
+                },
+                report,
+                checkpoints,
+            },
+            RunStatus::Interrupted {
+                checkpoints,
+                cursor,
+            } => YearStatus::Interrupted {
+                checkpoints,
+                cursor,
+            },
+        })
+    }
+
+    /// Run the whole decade under the supervised driver, years in parallel,
+    /// each year checkpointing to (and resuming from) its own per-year file
+    /// in [`CheckpointSpec::dir`].
+    ///
+    /// When a stop flag interrupts some years mid-run, the completed years'
+    /// results are discarded (their checkpoints remain final and complete on
+    /// disk) and the interrupted years are reported; re-running with
+    /// `resume` fast-forwards completed years from their final checkpoints
+    /// and finishes the rest.
+    pub fn try_run_decade_checkpointed(
+        self,
+        ckpt: &CheckpointSpec,
+        stop: Option<&AtomicBool>,
+    ) -> Result<DecadeStatus, RunError> {
+        let configs = YearConfig::decade();
+        let concurrent = configs.len().min(rayon::current_num_threads()).max(1);
+        let year_mode = self.mode.with_budget(concurrent);
+        let statuses: Vec<(u16, YearStatus)> = configs
+            .par_iter()
+            .map(|cfg| {
+                self.try_run_year_checkpointed(cfg, year_mode, ckpt, stop)
+                    .map(|status| (cfg.year, status))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut years = Vec::new();
+        let mut interrupted = Vec::new();
+        let mut supervision = SupervisionReport::default();
+        for (year, status) in statuses {
+            match status {
+                YearStatus::Completed { run, report, .. } => {
+                    supervision.absorb(report);
+                    years.push(run);
+                }
+                YearStatus::Interrupted { .. } => interrupted.push(year),
+            }
+        }
+        if interrupted.is_empty() {
+            years.sort_by_key(|y| y.analysis.year);
+            Ok(DecadeStatus::Completed {
+                run: DecadeRun {
+                    years,
+                    monitored: self.dark.len() as u64,
+                    registry: self.registry,
+                },
+                supervision,
+            })
+        } else {
+            interrupted.sort_unstable();
+            Ok(DecadeStatus::Interrupted {
+                completed: years.len(),
+                interrupted,
+            })
+        }
     }
 }
 

@@ -39,5 +39,8 @@ pub use synscan_synthesis as synthesis;
 pub use synscan_telescope as telescope;
 pub use synscan_wire as wire;
 
-pub use synscan_core::{Campaign, CampaignConfig, FingerprintEngine, PipelineMode, ToolKind};
+pub use experiment::{CheckpointSpec, DecadeStatus, Experiment, YearStatus};
+pub use synscan_core::{
+    Campaign, CampaignConfig, FingerprintEngine, PipelineMode, RunError, ToolKind,
+};
 pub use synscan_synthesis::{GeneratorConfig, YearConfig};

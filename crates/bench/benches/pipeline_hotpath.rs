@@ -84,6 +84,7 @@ fn write_baseline(records: usize, elapsed_secs: f64, analysis: &YearAnalysis) {
     let baseline = serde_json::json!({
         "bench": "pipeline_hotpath",
         "year": YEAR,
+        "harness": "cargo-bench",
         "records": records,
         "elapsed_secs": elapsed_secs,
         "records_per_sec": records_per_sec,

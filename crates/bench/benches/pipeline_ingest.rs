@@ -1,0 +1,198 @@
+//! Ingest-layer throughput: Read-based streaming vs zero-copy mapped vs
+//! multi-queue mapped parsing of a synthetic telescope capture.
+//!
+//! The capture is built once in memory (records → frames → classic pcap
+//! bytes), so the measurement isolates parse + decode cost: no disk, no
+//! page-cache noise. Three front ends run over the identical bytes:
+//!
+//! * `read` — [`synscan_telescope::PcapStream`]: one allocation and copy
+//!   per record (the pre-ingest-layer baseline);
+//! * `mmap` — [`synscan_wire::ingest::MappedPcapStream`]: borrowed frames
+//!   off the contiguous buffer, batched fixed-offset decode;
+//! * `mmap:N` — [`synscan_wire::ingest::IngestQueues`]: the mapping
+//!   partitioned on record boundaries, decoded on N threads, merged back in
+//!   capture order.
+//!
+//! Besides the Criterion group, the harness always performs hand-timed
+//! passes first and rewrites `BENCH_ingest.json` at the repository root
+//! with a machine-readable baseline (records/sec per mode plus checksum
+//! fields). The pass runs even under `cargo bench -- --test`, so the CI
+//! bench-smoke step refreshes the artifact without a full sampling run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use synscan_telescope::PcapStream;
+use synscan_wire::ingest::{IngestQueues, MappedCapture, MappedPcapStream};
+use synscan_wire::pcap::LINKTYPE_ETHERNET;
+use synscan_wire::stream::{FaultPolicy, TryRecordStream};
+use synscan_wire::{PcapWriter, ProbeRecord, SynFrameBuilder};
+
+const YEAR: u16 = 2020;
+/// Records in the synthetic capture: large enough that steady-state decode
+/// dominates setup, small enough for CI smoke runs.
+const CAPTURE_RECORDS: u64 = 2_000_000;
+/// Queue count for the multi-queue pass.
+const QUEUES: usize = 4;
+
+/// Deterministic synthetic probe stream (no RNG: the mix is fixed by index
+/// arithmetic so every run and every harness sees identical bytes).
+fn capture_bytes() -> Vec<u8> {
+    let mut writer = PcapWriter::new(
+        Vec::with_capacity(CAPTURE_RECORDS as usize * 70 + 24),
+        LINKTYPE_ETHERNET,
+    )
+    .expect("in-memory pcap header");
+    let builder = SynFrameBuilder::default();
+    let mut frame = vec![0u8; ProbeRecord::frame_len()];
+    for i in 0..CAPTURE_RECORDS {
+        let record = bench_record(i);
+        builder.build_into(&record, &mut frame);
+        writer
+            .write_record(record.ts_micros, &frame)
+            .expect("in-memory pcap record");
+    }
+    writer.into_inner().expect("in-memory pcap flush")
+}
+
+fn bench_record(i: u64) -> ProbeRecord {
+    use synscan_wire::{Ipv4Address, TcpFlags};
+    ProbeRecord {
+        ts_micros: 1_577_836_800_000_000 + i * 37,
+        src_ip: Ipv4Address(0xc633_0000 | ((i.wrapping_mul(2_654_435_761)) as u32 & 0xffff)),
+        dst_ip: Ipv4Address(0xc000_0200 | ((i % 4096) as u32)),
+        src_port: 32_768 + (i % 28_000) as u16,
+        dst_port: [80u16, 443, 22, 23, 3389, 8080][(i % 6) as usize],
+        seq: (i as u32).wrapping_mul(0x9e37_79b9),
+        ip_id: 54_321,
+        ttl: 48 + (i % 16) as u8,
+        flags: TcpFlags::SYN,
+        window: 1024,
+    }
+}
+
+/// Drain a stream, returning (records, sum of ts) — the sum is the cheap
+/// integrity check that every mode parsed the same sequence.
+fn drain(stream: &mut impl TryRecordStream) -> (u64, u64) {
+    let (mut n, mut ts_sum) = (0u64, 0u64);
+    while let Some(batch) = stream.try_next_batch().expect("clean capture") {
+        n += batch.len() as u64;
+        for r in batch {
+            ts_sum = ts_sum.wrapping_add(r.ts_micros);
+        }
+    }
+    (n, ts_sum)
+}
+
+fn timed_read(bytes: &[u8]) -> (f64, u64, u64) {
+    let started = Instant::now();
+    let mut stream = PcapStream::with_policy(bytes, FaultPolicy::Fail).expect("pcap header");
+    let (n, sum) = drain(&mut stream);
+    (started.elapsed().as_secs_f64(), n, sum)
+}
+
+fn timed_mmap(bytes: &[u8]) -> (f64, u64, u64) {
+    let started = Instant::now();
+    let mut stream = MappedPcapStream::new(bytes).expect("pcap header");
+    let (n, sum) = drain(&mut stream);
+    (started.elapsed().as_secs_f64(), n, sum)
+}
+
+fn timed_queues(capture: &Arc<MappedCapture>, queues: usize) -> (f64, u64, u64) {
+    let started = Instant::now();
+    let mut stream = IngestQueues::new(Arc::clone(capture), queues, FaultPolicy::Fail)
+        .expect("pcap header")
+        .spawn();
+    let (n, sum) = drain(&mut stream);
+    (started.elapsed().as_secs_f64(), n, sum)
+}
+
+fn mode_json(elapsed: f64, n: u64) -> serde_json::Value {
+    serde_json::json!({
+        "records": n,
+        "elapsed_secs": elapsed,
+        "records_per_sec": if elapsed > 0.0 { n as f64 / elapsed } else { 0.0 },
+    })
+}
+
+fn write_baseline(bytes: &[u8], capture: &Arc<MappedCapture>) {
+    let (read_s, read_n, read_sum) = timed_read(bytes);
+    let (mmap_s, mmap_n, mmap_sum) = timed_mmap(bytes);
+    let (q_s, q_n, q_sum) = timed_queues(capture, QUEUES);
+    assert_eq!(
+        (read_n, read_sum),
+        (mmap_n, mmap_sum),
+        "mmap parse diverged"
+    );
+    assert_eq!((read_n, read_sum), (q_n, q_sum), "queue parse diverged");
+    let records_per_sec = if mmap_s > 0.0 {
+        mmap_n as f64 / mmap_s
+    } else {
+        0.0
+    };
+    let baseline = serde_json::json!({
+        "bench": "pipeline_ingest",
+        "year": YEAR,
+        "harness": "cargo-bench",
+        // Top-level figure the perf gate tracks: the single-queue mapped
+        // decode — the tentpole's claim.
+        "records": mmap_n,
+        "elapsed_secs": mmap_s,
+        "records_per_sec": records_per_sec,
+        "modes": {
+            "read": mode_json(read_s, read_n),
+            "mmap": mode_json(mmap_s, mmap_n),
+            "mmap_queues": mode_json(q_s, q_n),
+        },
+        "queues": QUEUES,
+        "checks": {
+            "records": read_n,
+            "ts_sum": read_sum,
+            "capture_bytes": bytes.len(),
+        },
+        "note": "in-memory synthetic capture, identical bytes per mode; refresh \
+                 with `cargo bench -p synscan-bench --bench pipeline_ingest`",
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    let body = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    if let Err(err) = std::fs::write(path, body + "\n") {
+        eprintln!("pipeline_ingest: could not write {path}: {err}");
+    } else {
+        println!(
+            "pipeline_ingest: read {:.0}/s, mmap {:.0}/s, mmap:{QUEUES} {:.0}/s -> {path}",
+            read_n as f64 / read_s,
+            records_per_sec,
+            q_n as f64 / q_s,
+        );
+    }
+}
+
+fn pipeline_ingest(c: &mut Criterion) {
+    let bytes = capture_bytes();
+    let capture = Arc::new(MappedCapture::from_bytes(bytes.clone()));
+    println!(
+        "pipeline_ingest: {CAPTURE_RECORDS} records, {} capture bytes",
+        bytes.len()
+    );
+
+    write_baseline(&bytes, &capture);
+
+    let mut group = c.benchmark_group("pipeline_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(CAPTURE_RECORDS));
+    group.bench_function("read_stream", |b| {
+        b.iter(|| timed_read(black_box(&bytes)).2)
+    });
+    group.bench_function("mmap_stream", |b| {
+        b.iter(|| timed_mmap(black_box(&bytes)).2)
+    });
+    group.bench_function("mmap_queues", |b| {
+        b.iter(|| timed_queues(black_box(&capture), QUEUES).2)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_ingest);
+criterion_main!(benches);

@@ -63,8 +63,8 @@ pub use pipeline::supervised::{
     SupervisorOptions,
 };
 pub use pipeline::{
-    collect_year_sharded, collect_year_stream, try_collect_year_stream, PipelineError,
-    PipelineMode, PipelineOutcome, SizeHints,
+    collect_year_sharded, collect_year_stream, try_collect_year_mapped, try_collect_year_stream,
+    MappedIngestReport, PipelineError, PipelineMode, PipelineOutcome, SizeHints,
 };
 pub use supervise::{
     InjectedFaults, StallEvent, SupervisionConfig, SupervisionReport, WorkerFailure,

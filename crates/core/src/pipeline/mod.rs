@@ -28,11 +28,13 @@
 //! [`collect_year_sharded`] remains as the slice-input convenience wrapper
 //! (a [`SliceStream`] adapter over the same engine).
 
+use std::sync::Arc;
 use std::thread;
 
 use crossbeam::channel;
 
 use synscan_scanners::traits::mix64;
+use synscan_wire::ingest::{IngestQueues, MappedCapture, MappedPcapStream};
 use synscan_wire::stream::{
     BatchPool, FaultCounters, FaultPolicy, InfallibleStream, RecordStream, SliceStream,
     StreamError, TryRecordStream,
@@ -624,6 +626,85 @@ where
         &mut stream,
         admit,
     )
+}
+
+/// What the zero-copy ingest front end observed while feeding a mapped run:
+/// the source-side counters that [`PipelineOutcome::faults`] deliberately
+/// excludes, plus the parse census.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MappedIngestReport {
+    /// Faults the ingest-side [`FaultPolicy`] skipped or truncated on.
+    pub faults: FaultCounters,
+    /// Frames that were not parseable IPv4/TCP.
+    pub non_tcp_frames: u64,
+    /// Consecutive-record timestamp inversions (including multi-queue
+    /// boundary comparisons).
+    pub order_violations: u64,
+}
+
+/// Run one year's collection straight off a mapped capture through the
+/// zero-copy ingest layer: `queues = 1` decodes on the calling thread via
+/// [`MappedPcapStream`]; more queues partition the mapping on record
+/// boundaries and decode in parallel ([`IngestQueues`]), merging back in
+/// capture order before the driver's fault gate. Either way the driver is
+/// [`try_collect_year_stream`] — chaos and checkpoint semantics downstream
+/// are untouched, and the result is bit-identical to feeding the same
+/// capture through the `Read`-based stream.
+#[allow(clippy::too_many_arguments)]
+pub fn try_collect_year_mapped<F>(
+    year: u16,
+    config: CampaignConfig,
+    period_days: f64,
+    mode: PipelineMode,
+    hints: SizeHints,
+    policy: FaultPolicy,
+    capture: &Arc<MappedCapture>,
+    queues: usize,
+    admit: F,
+) -> Result<(PipelineOutcome, MappedIngestReport), PipelineError>
+where
+    F: FnMut(&ProbeRecord) -> bool,
+{
+    if queues <= 1 {
+        let mut stream = MappedPcapStream::with_policy(capture.as_slice(), policy)
+            .map_err(|e| PipelineError::Stream(StreamError::Pcap(e)))?;
+        let outcome = try_collect_year_stream(
+            year,
+            config,
+            period_days,
+            mode,
+            hints,
+            policy,
+            &mut stream,
+            admit,
+        )?;
+        let report = MappedIngestReport {
+            faults: stream.faults(),
+            non_tcp_frames: stream.non_tcp_frames(),
+            order_violations: stream.order_violations(),
+        };
+        Ok((outcome, report))
+    } else {
+        let mut stream = IngestQueues::new(Arc::clone(capture), queues, policy)
+            .map_err(|e| PipelineError::Stream(StreamError::Pcap(e)))?
+            .spawn();
+        let outcome = try_collect_year_stream(
+            year,
+            config,
+            period_days,
+            mode,
+            hints,
+            policy,
+            &mut stream,
+            admit,
+        )?;
+        let report = MappedIngestReport {
+            faults: stream.faults(),
+            non_tcp_frames: stream.non_tcp_frames(),
+            order_violations: stream.order_violations(),
+        };
+        Ok((outcome, report))
+    }
 }
 
 /// One shard: own a full collector (fingerprint + campaigns + aggregates)

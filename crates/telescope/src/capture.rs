@@ -8,6 +8,7 @@
 
 use std::io::{Read, Write};
 
+use synscan_wire::ingest::{IngestQueues, MappedCapture, MappedPcapStream};
 use synscan_wire::stream::{
     FaultCounters, FaultPolicy, RecordStream, StreamError, TryRecordStream, BATCH_RECORDS,
 };
@@ -352,6 +353,38 @@ pub fn import_pcap_with_policy<R: Read>(
         records.extend_from_slice(batch);
     }
     Ok((records, stream.faults()))
+}
+
+/// As [`import_pcap_with_policy`] over an in-memory mapping via the
+/// zero-copy ingest layer ([`synscan_wire::ingest`]): `queues = 1` decodes
+/// on the calling thread with [`MappedPcapStream`]; more queues partition
+/// the mapping and decode in parallel, merging back in capture order.
+///
+/// Byte-for-byte equivalent to the `Read`-based import on every input —
+/// same records, same counters, same terminal error — which the
+/// `ingest_equivalence` suite holds across the corrupt-capture corpus.
+pub fn import_pcap_mapped(
+    capture: &std::sync::Arc<MappedCapture>,
+    policy: FaultPolicy,
+    queues: usize,
+) -> Result<(Vec<ProbeRecord>, FaultCounters), StreamError> {
+    let mut records = Vec::new();
+    if queues <= 1 {
+        let mut stream =
+            MappedPcapStream::with_policy(capture.as_slice(), policy).map_err(StreamError::Pcap)?;
+        while let Some(batch) = stream.try_next_batch()? {
+            records.extend_from_slice(batch);
+        }
+        Ok((records, stream.faults()))
+    } else {
+        let mut stream = IngestQueues::new(std::sync::Arc::clone(capture), queues, policy)
+            .map_err(StreamError::Pcap)?
+            .spawn();
+        while let Some(batch) = stream.try_next_batch()? {
+            records.extend_from_slice(batch);
+        }
+        Ok((records, stream.faults()))
+    }
 }
 
 #[cfg(test)]

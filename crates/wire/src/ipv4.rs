@@ -16,9 +16,8 @@ pub const HEADER_LEN: usize = 20;
 /// A thin newtype over the host-order `u32` so the analysis pipeline can do
 /// arithmetic (netblock bucketing, XOR fingerprints) without conversions,
 /// while still formatting in dotted-quad notation.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(not(synscan_standalone), derive(serde::Serialize, serde::Deserialize))]
 pub struct Address(pub u32);
 
 impl Address {

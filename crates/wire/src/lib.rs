@@ -54,6 +54,7 @@
 pub mod chaos;
 pub mod checksum;
 pub mod ethernet;
+pub mod ingest;
 pub mod ipv4;
 pub mod pcap;
 pub mod probe;
@@ -64,6 +65,10 @@ pub mod udp;
 
 pub use chaos::{ChaosPlan, ChaosReader, ChaosStream, Fault, InjectionLog};
 pub use ethernet::{EtherType, EthernetFrame, EthernetRepr};
+pub use ingest::{
+    decode_frame, ChecksumPolicy, FrameBatch, GatherOutcome, IngestMode, IngestQueues,
+    MappedCapture, MappedPcapStream, ParallelIngest, PcapSlice, RawFrame,
+};
 pub use ipv4::{Address as Ipv4Address, Ipv4Packet, Ipv4Repr, Protocol};
 pub use pcap::{PcapError, PcapReader, PcapRecord, PcapWriter};
 pub use probe::{ProbeRecord, SynFrameBuilder};

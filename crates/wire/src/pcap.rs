@@ -26,6 +26,10 @@ pub const LINKTYPE_RAW: u32 = 101;
 /// Largest per-record capture length the reader will trust. Real snap
 /// lengths never exceed 256 KiB; a larger value is a corrupt length field.
 pub const MAX_SNAPLEN: u32 = 1 << 18;
+/// Size of the classic pcap global header in bytes.
+pub const GLOBAL_HEADER_LEN: usize = 24;
+/// Size of a per-record header in bytes.
+pub const RECORD_HEADER_LEN: usize = 16;
 
 /// Everything that can be wrong with a classic pcap stream, precisely.
 ///
@@ -40,8 +44,14 @@ pub enum PcapError {
     TruncatedGlobalHeader,
     /// The magic number matches neither byte order of either resolution.
     BadMagic(u32),
-    /// A record header started but ended before its 16th byte.
-    TruncatedRecordHeader,
+    /// A record header started but ended before its 16th byte. Zero bytes is
+    /// a clean EOF (`Ok(None)`), never this error — the count distinguishes a
+    /// genuinely torn header (1–15 bytes) so fault counters do not misreport
+    /// clean ends of concatenated captures as corruption.
+    TruncatedRecordHeader {
+        /// Header bytes actually present (1–15).
+        got: u32,
+    },
     /// A record body ended early (mid-file EOF / torn tail).
     TruncatedRecordBody {
         /// Bytes the record header promised.
@@ -72,6 +82,7 @@ impl PcapError {
     /// Capture bytes rendered unusable by this error (for fault counters).
     pub fn bytes_lost(&self) -> u64 {
         match self {
+            PcapError::TruncatedRecordHeader { got } => u64::from(*got),
             PcapError::TruncatedRecordBody { got, .. } => u64::from(*got),
             PcapError::ZeroLengthRecord { incl } => u64::from(*incl),
             _ => 0,
@@ -84,7 +95,12 @@ impl core::fmt::Display for PcapError {
         match self {
             PcapError::TruncatedGlobalHeader => write!(f, "truncated pcap global header"),
             PcapError::BadMagic(magic) => write!(f, "bad pcap magic {magic:#010x}"),
-            PcapError::TruncatedRecordHeader => write!(f, "truncated pcap record header"),
+            PcapError::TruncatedRecordHeader { got } => {
+                write!(
+                    f,
+                    "truncated pcap record header ({got} of {RECORD_HEADER_LEN} bytes)"
+                )
+            }
             PcapError::TruncatedRecordBody { expected, got } => {
                 write!(f, "truncated pcap record body ({got} of {expected} bytes)")
             }
@@ -107,7 +123,7 @@ impl From<PcapError> for WireError {
     fn from(e: PcapError) -> Self {
         match e {
             PcapError::TruncatedGlobalHeader
-            | PcapError::TruncatedRecordHeader
+            | PcapError::TruncatedRecordHeader { .. }
             | PcapError::TruncatedRecordBody { .. } => WireError::Truncated,
             PcapError::BadMagic(_)
             | PcapError::SnapLenOverflow(_)
@@ -210,6 +226,46 @@ fn u32_at(buf: &[u8], offset: usize, swapped: bool) -> u32 {
     }
 }
 
+/// The decoded global header of a classic pcap stream: byte order, timestamp
+/// resolution, and link type. Shared by the `Read`-based [`PcapReader`] and
+/// the slice-based [`crate::ingest::PcapSlice`] so both accept exactly the
+/// same set of captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalHeader {
+    /// Whether every multi-byte field is byte-swapped relative to the host.
+    pub swapped: bool,
+    /// Whether timestamps carry nanosecond (rather than microsecond) fractions.
+    pub nanos: bool,
+    /// The declared link type (e.g. [`LINKTYPE_ETHERNET`]).
+    pub linktype: u32,
+}
+
+impl GlobalHeader {
+    /// Decode and validate a 24-byte global header.
+    pub fn parse(header: &[u8; GLOBAL_HEADER_LEN]) -> Result<Self, PcapError> {
+        let magic = u32_at(header, 0, false);
+        let (swapped, nanos) = match magic {
+            MAGIC_MICROS => (false, false),
+            MAGIC_NANOS => (false, true),
+            m if m.swap_bytes() == MAGIC_MICROS => (true, false),
+            m if m.swap_bytes() == MAGIC_NANOS => (true, true),
+            m => return Err(PcapError::BadMagic(m)),
+        };
+        Ok(Self {
+            swapped,
+            nanos,
+            linktype: u32_at(header, 20, swapped),
+        })
+    }
+}
+
+/// Little-endian `u32` at a fixed offset, swapped when the capture is
+/// opposite-endian. Crate-internal: the batched ingest layer decodes record
+/// headers with the same primitive the streaming reader uses.
+pub(crate) fn header_u32(buf: &[u8], offset: usize, swapped: bool) -> u32 {
+    u32_at(buf, offset, swapped)
+}
+
 /// Streaming pcap reader handling both byte orders and both time resolutions.
 #[derive(Debug)]
 pub struct PcapReader<R: Read> {
@@ -222,24 +278,16 @@ pub struct PcapReader<R: Read> {
 impl<R: Read> PcapReader<R> {
     /// Open a pcap stream, parsing and validating the global header.
     pub fn new(mut inner: R) -> Result<Self, PcapError> {
-        let mut header = [0u8; 24];
+        let mut header = [0u8; GLOBAL_HEADER_LEN];
         if read_fully(&mut inner, &mut header) < header.len() {
             return Err(PcapError::TruncatedGlobalHeader);
         }
-        let magic = u32_at(&header, 0, false);
-        let (swapped, nanos) = match magic {
-            MAGIC_MICROS => (false, false),
-            MAGIC_NANOS => (false, true),
-            m if m.swap_bytes() == MAGIC_MICROS => (true, false),
-            m if m.swap_bytes() == MAGIC_NANOS => (true, true),
-            m => return Err(PcapError::BadMagic(m)),
-        };
-        let linktype = u32_at(&header, 20, swapped);
+        let meta = GlobalHeader::parse(&header)?;
         Ok(Self {
             inner,
-            swapped,
-            nanos,
-            linktype,
+            swapped: meta.swapped,
+            nanos: meta.nanos,
+            linktype: meta.linktype,
         })
     }
 
@@ -254,10 +302,12 @@ impl<R: Read> PcapReader<R> {
     /// on the next record boundary and may be called again; after any other
     /// error the framing is lost and further reads yield garbage.
     pub fn next_record(&mut self) -> Result<Option<PcapRecord>, PcapError> {
-        let mut rec_header = [0u8; 16];
+        let mut rec_header = [0u8; RECORD_HEADER_LEN];
         match read_fully(&mut self.inner, &mut rec_header) {
             0 => return Ok(None),
-            n if n < rec_header.len() => return Err(PcapError::TruncatedRecordHeader),
+            n if n < rec_header.len() => {
+                return Err(PcapError::TruncatedRecordHeader { got: n as u32 })
+            }
             _ => {}
         }
         let ts_sec = u64::from(u32_at(&rec_header, 0, self.swapped));
@@ -408,10 +458,10 @@ mod tests {
         let mut bytes = write_capture(&[]);
         bytes.extend_from_slice(&[0u8; 7]); // 7 of 16 header bytes
         let mut reader = PcapReader::new(Cursor::new(bytes)).unwrap();
-        assert_eq!(
-            reader.next_record().unwrap_err(),
-            PcapError::TruncatedRecordHeader
-        );
+        let err = reader.next_record().unwrap_err();
+        assert_eq!(err, PcapError::TruncatedRecordHeader { got: 7 });
+        assert_eq!(err.bytes_lost(), 7, "the torn bytes are accounted");
+        assert!(err.to_string().contains("7 of 16"));
     }
 
     #[test]
@@ -499,7 +549,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(synscan_standalone)))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -554,7 +604,7 @@ mod proptests {
                     Err(e) => {
                         prop_assert!(matches!(
                             e,
-                            PcapError::TruncatedRecordHeader
+                            PcapError::TruncatedRecordHeader { got: 1..=15 }
                                 | PcapError::TruncatedRecordBody { .. }
                         ));
                         prop_assert!(!e.recoverable());

@@ -11,7 +11,8 @@ use crate::{Result, WireError};
 
 /// One observed TCP frame, reduced to the fields §3 of the paper uses:
 /// timing, endpoints, and the header fields carrying tool fingerprints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(not(synscan_standalone), derive(serde::Serialize, serde::Deserialize))]
 pub struct ProbeRecord {
     /// Capture timestamp in microseconds since the epoch.
     pub ts_micros: u64,
@@ -240,7 +241,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(synscan_standalone)))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

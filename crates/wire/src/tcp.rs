@@ -12,9 +12,8 @@ use crate::{Result, WireError};
 pub const HEADER_LEN: usize = 20;
 
 /// TCP control flags, stored as the low 6 bits of the flags byte.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(not(synscan_standalone), derive(serde::Serialize, serde::Deserialize))]
 pub struct TcpFlags(pub u8);
 
 impl TcpFlags {

@@ -49,9 +49,10 @@ use synscan_core::{
     SupervisionReport, SupervisorOptions,
 };
 use synscan_telescope::capture::{
-    classify_technique, import_pcap_with_policy, PcapStream, ScanTechnique,
+    classify_technique, import_pcap_mapped, import_pcap_with_policy, PcapStream, ScanTechnique,
 };
 use synscan_wire::chaos::{ChaosPlan, ChaosReader};
+use synscan_wire::ingest::{IngestMode, MappedCapture, MappedPcapStream};
 use synscan_wire::stream::{
     FaultCounters, FaultPolicy, InfallibleStream, SliceStream, StreamError, TryRecordStream,
 };
@@ -81,6 +82,11 @@ pub struct AnalyzeOptions {
     /// drills): `Some(seed)` wraps the input in a
     /// [`synscan_wire::chaos::ChaosReader`] with [`ChaosPlan::byte_noise`].
     pub chaos_seed: Option<u64>,
+    /// How the capture bytes reach the parser: the streaming `Read` reader,
+    /// or the zero-copy mapped reader (optionally multi-queue). Only
+    /// [`analyze_pcap_mapped`] honors the mapped modes; [`analyze_pcap`]
+    /// always streams.
+    pub ingest: IngestMode,
 }
 
 impl Default for AnalyzeOptions {
@@ -93,6 +99,7 @@ impl Default for AnalyzeOptions {
             materialize: false,
             policy: FaultPolicy::Fail,
             chaos_seed: None,
+            ingest: IngestMode::default(),
         }
     }
 }
@@ -277,6 +284,92 @@ fn analyze_pcap_inner<R: Read>(
         analysis,
         faults,
     })
+}
+
+/// Run the pipeline over an in-memory capture image through the zero-copy
+/// ingest layer — the `--ingest mmap[:N]` path of the `analyze` binary.
+///
+/// Mirrors [`analyze_pcap`] exactly: same streaming-versus-materialized
+/// split, same chaos injection (the byte noise decays the mapping before
+/// parsing, so the parser sees the same decayed bytes the `Read` path
+/// would), same results on every input. [`IngestMode::Read`] simply streams
+/// from the buffered bytes.
+pub fn analyze_pcap_mapped(
+    capture: Vec<u8>,
+    options: &AnalyzeOptions,
+) -> Result<AnalyzeResult, AnalyzeError> {
+    let queues = match options.ingest {
+        IngestMode::Read => return analyze_pcap(capture.as_slice(), options),
+        IngestMode::Mapped { queues } => queues.max(1),
+    };
+    let capture = match options.chaos_seed {
+        Some(seed) => {
+            let mut decayed = Vec::with_capacity(capture.len());
+            ChaosReader::new(capture.as_slice(), ChaosPlan::byte_noise(seed))
+                .read_to_end(&mut decayed)
+                .expect("in-memory chaos decay cannot fail");
+            decayed
+        }
+        None => capture,
+    };
+    let capture = std::sync::Arc::new(MappedCapture::from_bytes(capture));
+
+    let (Some(monitored), false) = (options.monitored, options.materialize) else {
+        let (records, import_faults) = import_pcap_mapped(&capture, options.policy, queues)?;
+        let mut result = analyze_records(records, options);
+        result.faults.absorb(&import_faults);
+        return Ok(result);
+    };
+
+    let config = CampaignConfig::scaled(monitored.max(1));
+    let mut techniques: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let admit = |record: &ProbeRecord| {
+        let technique = classify_technique(record.flags);
+        *techniques.entry(technique_label(technique)).or_default() += 1;
+        technique == ScanTechnique::Syn
+    };
+    let (outcome, report) = synscan_core::try_collect_year_mapped(
+        options.year,
+        config,
+        7.0,
+        options.pipeline,
+        SizeHints::none(),
+        options.policy,
+        &capture,
+        queues,
+        admit,
+    )?;
+    let mut faults = report.faults;
+    faults.absorb(&outcome.faults);
+    let analysis = outcome.analysis;
+    let summary = yearly::summarize(&analysis, options.top_ports);
+    Ok(AnalyzeResult {
+        summary,
+        techniques,
+        non_tcp_frames: report.non_tcp_frames,
+        monitored,
+        analysis,
+        faults,
+    })
+}
+
+/// Count the distinct probed destinations of a mapped capture — the
+/// monitored-address inference of the two-pass mode, off the mapping
+/// instead of a reader. The mapping makes the second pass free: no re-read,
+/// no re-buffer.
+pub fn infer_monitored_mapped(
+    capture: &[u8],
+    policy: FaultPolicy,
+) -> Result<(u64, FaultCounters), AnalyzeError> {
+    let mut stream = MappedPcapStream::with_policy(capture, policy)
+        .map_err(|e| AnalyzeError::from(StreamError::Pcap(e)))?;
+    let mut dsts = std::collections::HashSet::new();
+    while let Some(batch) = stream.try_next_batch()? {
+        for record in batch {
+            dsts.insert(record.dst_ip.0);
+        }
+    }
+    Ok((dsts.len() as u64, stream.faults()))
 }
 
 /// Why a checkpointed capture analysis failed.

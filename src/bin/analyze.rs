@@ -3,6 +3,7 @@
 //! ```text
 //! analyze <capture.pcap | -> [--monitored N] [--year Y] [--top N]
 //!         [--pipeline sequential|auto|sharded:N] [--materialize]
+//!         [--ingest read|mmap|mmap:N]
 //!         [--fault-policy fail|skip|stop] [--chaos-seed N]
 //!         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //!         [--die-after-checkpoints K]
@@ -21,6 +22,13 @@
 //! falls back to loading the capture). `--materialize` forces the
 //! load-and-sort path, which also accepts captures that are not
 //! time-ordered.
+//!
+//! `--ingest mmap` switches the parser to the zero-copy mapped reader: the
+//! capture is held as one contiguous buffer and frames are decoded as
+//! borrowed slices, with `mmap:N` decoding on N parallel queues merged back
+//! in capture order. Results are byte-identical to `--ingest read` (the
+//! default) on every input, including corrupt ones; stdin and pipes are
+//! buffered whole before parsing under mmap modes.
 //!
 //! Real captures get torn and corrupted; by default (`--fault-policy
 //! fail`) the first malformed record aborts with a typed error.
@@ -50,13 +58,15 @@ use std::io::BufReader;
 use std::path::PathBuf;
 
 use synscan::analyze::{
-    analyze_pcap, analyze_pcap_checkpointed, infer_monitored_with_policy, render_report,
-    AnalyzeOptions, AnalyzeStatus,
+    analyze_pcap, analyze_pcap_checkpointed, analyze_pcap_mapped, infer_monitored_mapped,
+    infer_monitored_with_policy, render_report, AnalyzeOptions, AnalyzeStatus,
 };
 use synscan::experiment::CheckpointSpec;
+use synscan_wire::ingest::{IngestMode, MappedCapture};
 
 const USAGE: &str = "usage: analyze <capture.pcap | -> [--monitored N] [--year Y] [--top N] \
                      [--pipeline sequential|auto|sharded:N] [--materialize] \
+                     [--ingest read|mmap|mmap:N] \
                      [--fault-policy fail|skip|stop] [--chaos-seed N] \
                      [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
                      [--die-after-checkpoints K]\n\
@@ -68,6 +78,8 @@ const USAGE: &str = "usage: analyze <capture.pcap | -> [--monitored N] [--year Y
                      \n  --pipeline MODE     sequential | auto | sharded:N (default sequential)\
                      \n  --materialize       load and sort the whole capture instead of \
                      streaming it (required for unordered captures)\
+                     \n  --ingest MODE       read (streaming, default) | mmap (zero-copy \
+                     mapped) | mmap:N (mapped, N decode queues); mmap buffers stdin/pipes whole\
                      \n  --fault-policy P    fail | skip | stop: how malformed records are \
                      handled (default fail)\
                      \n  --chaos-seed N      XOR seeded byte noise into the capture before \
@@ -131,6 +143,7 @@ fn run() -> Result<(), String> {
                 options.pipeline = flag_value(&mut args, "--pipeline", "sequential|auto|sharded:N")?
             }
             "--materialize" => options.materialize = true,
+            "--ingest" => options.ingest = flag_value(&mut args, "--ingest", "read|mmap|mmap:N")?,
             "--fault-policy" => {
                 options.policy = flag_value(&mut args, "--fault-policy", "fail|skip|stop")?
             }
@@ -154,6 +167,37 @@ fn run() -> Result<(), String> {
 
     if checkpoint_dir.is_none() && (resume || die_after.is_some()) {
         return Err("--resume / --die-after-checkpoints need --checkpoint-dir".into());
+    }
+    if let IngestMode::Mapped { .. } = options.ingest {
+        if checkpoint_dir.is_some() {
+            // The checkpointed driver fast-forwards a Read-based parser on
+            // resume; the mapped front end has no cursor protocol yet.
+            return Err("--checkpoint-dir uses the streaming reader; drop --ingest mmap".into());
+        }
+        // Mapped ingest: one contiguous buffer, parsed zero-copy. Files load
+        // whole; stdin/pipes are buffered whole (the documented fallback).
+        let bytes = if path == "-" {
+            let stdin = std::io::stdin();
+            MappedCapture::from_reader(stdin.lock())
+                .map_err(|e| format!("cannot buffer stdin: {e}"))?
+                .into_bytes()
+        } else {
+            std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?
+        };
+        // The inference pass re-reads the mapping for free — no second file
+        // read, unlike the two-pass streaming default.
+        if options.monitored.is_none() && !options.materialize {
+            let (monitored, faults) = infer_monitored_mapped(&bytes, options.policy)
+                .map_err(|e| format!("cannot read {path} for dark-set inference: {e}"))?;
+            if faults.any() {
+                eprintln!("[analyze] dark-set inference pass: {faults}");
+            }
+            options.monitored = Some(monitored);
+        }
+        let result = analyze_pcap_mapped(bytes, &options)
+            .map_err(|e| format!("cannot analyze {path}: {e}"))?;
+        print!("{}", render_report(&result));
+        return Ok(());
     }
     if path == "-" {
         if checkpoint_dir.is_some() {

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--scale tiny|small|default] [--out DIR]
 //!       [--pipeline sequential|auto|sharded:N] [--materialize]
+//!       [--ingest read|mmap|mmap:N]
 //!       [--chaos-seed N] [--fault-policy fail|skip|stop]
 //!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //!       [--die-after-checkpoints K] [TARGET...]
@@ -23,6 +24,11 @@
 //! with `--fault-policy skip` the run completes, reports what was dropped,
 //! and reproduces the clean run's numbers exactly. Under the default
 //! `fail` policy the first injected fault aborts the run with an error.
+//!
+//! `--ingest` selects how the `pcap` target's read-back verification pass
+//! parses the exported capture: the streaming reader (`read`, default), the
+//! zero-copy mapped reader (`mmap`), or the multi-queue mapped front end
+//! (`mmap:N`). All modes re-import the identical record sequence.
 //!
 //! `--checkpoint-dir DIR` makes the run crash-safe: each year periodically
 //! persists an atomic checkpoint of its full pipeline state, SIGINT/SIGTERM
@@ -46,11 +52,13 @@ use synscan::core::analysis::{
 use synscan::core::report::render_series;
 use synscan::experiment::{CheckpointSpec, DecadeRun, DecadeStatus, Experiment};
 use synscan::netmodel::ScannerClass;
+use synscan::wire::ingest::{IngestMode, MappedCapture};
 use synscan::wire::{ChaosPlan, FaultPolicy};
 use synscan::{GeneratorConfig, PipelineMode, ToolKind, YearConfig};
 
 const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out DIR] \
                      [--pipeline sequential|auto|sharded:N] [--materialize] \
+                     [--ingest read|mmap|mmap:N] \
                      [--chaos-seed N] [--fault-policy fail|skip|stop] \
                      [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
                      [--die-after-checkpoints K] [TARGET...]\n\
@@ -60,6 +68,8 @@ const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out
                      \n  --pipeline MODE     sequential | auto | sharded:N (default auto)\
                      \n  --materialize       build each year's full record vector before \
                      analysis instead of streaming it (same bytes, O(year) memory)\
+                     \n  --ingest MODE       read | mmap | mmap:N: how the pcap target's \
+                     read-back verification parses the export (default read)\
                      \n  --chaos-seed N      decay every year's stream with the seeded benign \
                      fault plan (robustness drill)\
                      \n  --fault-policy P    fail | skip | stop: how the pipeline reacts to \
@@ -100,6 +110,7 @@ fn run() -> Result<(), String> {
     let mut seed_override: Option<u64> = None;
     let mut pipeline = PipelineMode::auto();
     let mut materialize = false;
+    let mut ingest = IngestMode::default();
     let mut chaos_seed: Option<u64> = None;
     let mut fault_policy = FaultPolicy::Fail;
     let mut checkpoint_dir: Option<PathBuf> = None;
@@ -136,6 +147,7 @@ fn run() -> Result<(), String> {
                 pipeline = flag_value(&mut args, "--pipeline", "sequential|auto|sharded:N")?
             }
             "--materialize" => materialize = true,
+            "--ingest" => ingest = flag_value(&mut args, "--ingest", "read|mmap|mmap:N")?,
             "--chaos-seed" => {
                 chaos_seed = Some(flag_value(&mut args, "--chaos-seed", "a u64 seed")?)
             }
@@ -310,7 +322,7 @@ fn run() -> Result<(), String> {
         etl(&run, &out_dir)?;
     }
     if want("pcap") {
-        pcap_export(&gen, &out_dir)?;
+        pcap_export(&gen, &out_dir, ingest)?;
     }
     Ok(())
 }
@@ -355,7 +367,9 @@ mod sig {
 
 /// Export one generated year's raw telescope arrivals as a classic pcap —
 /// interoperable with tcpdump/wireshark, and re-importable by the pipeline.
-fn pcap_export(gen: &GeneratorConfig, out: &Path) -> Result<(), String> {
+/// The export is verified by re-importing it through the selected ingest
+/// mode and checking the record sequence round-trips exactly.
+fn pcap_export(gen: &GeneratorConfig, out: &Path, ingest: IngestMode) -> Result<(), String> {
     use synscan::telescope::capture::export_pcap;
     println!("=== pcap export: raw 2020 telescope arrivals ===");
     let experiment = Experiment::new(GeneratorConfig {
@@ -384,6 +398,36 @@ fn pcap_export(gen: &GeneratorConfig, out: &Path) -> Result<(), String> {
         output.records.len(),
         output.truth.packets,
         output.truth.backscatter_packets
+    );
+    // Read-back verification through the selected ingest mode: every mode
+    // must re-import the identical record sequence.
+    let reimported = match ingest {
+        IngestMode::Read => {
+            let file = fs::File::open(&path)
+                .map_err(|e| format!("cannot re-open {}: {e}", path.display()))?;
+            synscan::telescope::capture::import_pcap(std::io::BufReader::new(file))
+                .map_err(|e| format!("re-import of {} failed: {e}", path.display()))?
+        }
+        IngestMode::Mapped { queues } => {
+            let capture = std::sync::Arc::new(
+                MappedCapture::load(&path)
+                    .map_err(|e| format!("cannot map {}: {e}", path.display()))?,
+            );
+            synscan::telescope::capture::import_pcap_mapped(&capture, FaultPolicy::Fail, queues)
+                .map(|(records, _)| records)
+                .map_err(|e| format!("mapped re-import of {} failed: {e}", path.display()))?
+        }
+    };
+    if reimported != output.records {
+        return Err(format!(
+            "re-import mismatch via --ingest {ingest}: wrote {} records, read back {}",
+            output.records.len(),
+            reimported.len()
+        ));
+    }
+    println!(
+        "verified: {} records round-trip via --ingest {ingest}",
+        reimported.len()
     );
     Ok(())
 }

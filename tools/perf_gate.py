@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Perf regression gate over the committed bench baseline JSONs.
+
+Usage: perf_gate.py <committed.json> <fresh.json> [--max-regression 0.20]
+
+Compares `records_per_sec` in a freshly measured baseline against the
+committed one and exits non-zero when throughput dropped by more than the
+threshold (default 20%). Comparisons only happen like-for-like: if the two
+files were produced by different harnesses (`cargo-bench` vs
+`standalone-rustc`), or the committed file is still a null placeholder, the
+gate passes with a note — a number measured by one harness says nothing
+about the other.
+
+Set PERF_GATE_SKIP=1 to bypass the gate on noisy or shared runners.
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    committed_path, fresh_path = argv[1], argv[2]
+    max_regression = 0.20
+    if "--max-regression" in argv:
+        max_regression = float(argv[argv.index("--max-regression") + 1])
+
+    if os.environ.get("PERF_GATE_SKIP"):
+        print(f"perf_gate: PERF_GATE_SKIP set, skipping {fresh_path}")
+        return 0
+
+    committed, fresh = load(committed_path), load(fresh_path)
+    name = fresh.get("bench", fresh_path)
+
+    old = committed.get("records_per_sec")
+    new = fresh.get("records_per_sec")
+    if old is None:
+        print(f"perf_gate: {name}: committed baseline is a placeholder, nothing to gate")
+        return 0
+    if new is None:
+        print(f"perf_gate: {name}: fresh run produced no records_per_sec", file=sys.stderr)
+        return 1
+    if committed.get("harness") != fresh.get("harness"):
+        print(
+            f"perf_gate: {name}: harness mismatch "
+            f"({committed.get('harness')} vs {fresh.get('harness')}), not comparable"
+        )
+        return 0
+
+    regression = (old - new) / old if old > 0 else 0.0
+    verdict = (
+        f"perf_gate: {name}: committed {old:,.0f} rec/s, fresh {new:,.0f} rec/s "
+        f"({-regression:+.1%})"
+    )
+    if regression > max_regression:
+        print(f"{verdict} — exceeds the {max_regression:.0%} regression budget", file=sys.stderr)
+        print(
+            "perf_gate: rerun on a quiet machine or set PERF_GATE_SKIP=1 "
+            "if the runner is known-noisy",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{verdict} — within the {max_regression:.0%} budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

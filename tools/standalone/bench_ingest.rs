@@ -1,0 +1,158 @@
+//! Standalone ingest baseline: read-stream vs mapped vs multi-queue decode
+//! of a synthetic capture, written to `BENCH_ingest.json`.
+//!
+//! Built with bare `rustc` by `tools/standalone/run.sh` for machines where
+//! the crates registry is unreachable and `cargo bench` cannot run. The
+//! measured code is the real `synscan_wire` crate compiled from this
+//! checkout under `--cfg synscan_standalone`; only the "read" baseline
+//! differs from the cargo bench: it drains `PcapReader` + per-record
+//! `ProbeRecord::from_ethernet` directly (the telescope `PcapStream`
+//! wrapper adds fault bookkeeping on the same loop, so the per-record
+//! allocate-copy-parse cost it measures is the same).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use synscan_wire::ingest::{IngestQueues, MappedCapture, MappedPcapStream};
+use synscan_wire::pcap::LINKTYPE_ETHERNET;
+use synscan_wire::stream::{FaultPolicy, TryRecordStream};
+use synscan_wire::{Ipv4Address, PcapReader, PcapWriter, ProbeRecord, SynFrameBuilder, TcpFlags};
+
+const YEAR: u16 = 2020;
+/// Smaller than the cargo bench (this harness targets single-core boxes).
+const CAPTURE_RECORDS: u64 = 1_000_000;
+const QUEUES: usize = 4;
+
+/// Same deterministic mix as `crates/bench/benches/pipeline_ingest.rs`.
+fn bench_record(i: u64) -> ProbeRecord {
+    ProbeRecord {
+        ts_micros: 1_577_836_800_000_000 + i * 37,
+        src_ip: Ipv4Address(0xc633_0000 | ((i.wrapping_mul(2_654_435_761)) as u32 & 0xffff)),
+        dst_ip: Ipv4Address(0xc000_0200 | ((i % 4096) as u32)),
+        src_port: 32_768 + (i % 28_000) as u16,
+        dst_port: [80u16, 443, 22, 23, 3389, 8080][(i % 6) as usize],
+        seq: (i as u32).wrapping_mul(0x9e37_79b9),
+        ip_id: 54_321,
+        ttl: 48 + (i % 16) as u8,
+        flags: TcpFlags::SYN,
+        window: 1024,
+    }
+}
+
+fn capture_bytes() -> Vec<u8> {
+    let mut writer = PcapWriter::new(
+        Vec::with_capacity(CAPTURE_RECORDS as usize * 70 + 24),
+        LINKTYPE_ETHERNET,
+    )
+    .expect("in-memory pcap header");
+    let builder = SynFrameBuilder::default();
+    let mut frame = vec![0u8; ProbeRecord::frame_len()];
+    for i in 0..CAPTURE_RECORDS {
+        let record = bench_record(i);
+        builder.build_into(&record, &mut frame);
+        writer
+            .write_record(record.ts_micros, &frame)
+            .expect("in-memory pcap record");
+    }
+    writer.into_inner().expect("in-memory pcap flush")
+}
+
+fn drain(stream: &mut impl TryRecordStream) -> (u64, u64) {
+    let (mut n, mut ts_sum) = (0u64, 0u64);
+    while let Some(batch) = stream.try_next_batch().expect("clean capture") {
+        n += batch.len() as u64;
+        for r in batch {
+            ts_sum = ts_sum.wrapping_add(r.ts_micros);
+        }
+    }
+    (n, ts_sum)
+}
+
+/// Per-record allocate + copy + checked-parse loop: the pre-ingest baseline.
+fn timed_read(bytes: &[u8]) -> (f64, u64, u64) {
+    let started = Instant::now();
+    let mut reader = PcapReader::new(bytes).expect("pcap header");
+    let (mut n, mut ts_sum) = (0u64, 0u64);
+    while let Some(rec) = reader.next_record().expect("clean capture") {
+        let probe = ProbeRecord::from_ethernet(rec.ts_micros, &rec.data).expect("tcp frame");
+        n += 1;
+        ts_sum = ts_sum.wrapping_add(probe.ts_micros);
+    }
+    (started.elapsed().as_secs_f64(), n, ts_sum)
+}
+
+fn timed_mmap(bytes: &[u8]) -> (f64, u64, u64) {
+    let started = Instant::now();
+    let mut stream = MappedPcapStream::new(bytes).expect("pcap header");
+    let (n, sum) = drain(&mut stream);
+    (started.elapsed().as_secs_f64(), n, sum)
+}
+
+fn timed_queues(capture: &Arc<MappedCapture>, queues: usize) -> (f64, u64, u64) {
+    let started = Instant::now();
+    let mut stream = IngestQueues::new(Arc::clone(capture), queues, FaultPolicy::Fail)
+        .expect("pcap header")
+        .spawn();
+    let (n, sum) = drain(&mut stream);
+    (started.elapsed().as_secs_f64(), n, sum)
+}
+
+/// Best of `passes` timed runs (first pass also warms the buffer).
+fn best_of(passes: usize, mut run: impl FnMut() -> (f64, u64, u64)) -> (f64, u64, u64) {
+    let mut best = run();
+    for _ in 1..passes {
+        let next = run();
+        assert_eq!((best.1, best.2), (next.1, next.2), "pass diverged");
+        if next.0 < best.0 {
+            best = next;
+        }
+    }
+    best
+}
+
+fn mode_json(elapsed: f64, n: u64) -> String {
+    let rps = if elapsed > 0.0 { n as f64 / elapsed } else { 0.0 };
+    format!(
+        "{{ \"records\": {n}, \"elapsed_secs\": {elapsed:.6}, \"records_per_sec\": {rps:.1} }}"
+    )
+}
+
+fn main() {
+    let out = std::env::args().nth(1).expect("usage: bench_ingest <out.json>");
+    let bytes = capture_bytes();
+    let capture = Arc::new(MappedCapture::from_bytes(bytes.clone()));
+    eprintln!(
+        "bench_ingest: {CAPTURE_RECORDS} records, {} capture bytes",
+        bytes.len()
+    );
+
+    let (read_s, read_n, read_sum) = best_of(3, || timed_read(&bytes));
+    let (mmap_s, mmap_n, mmap_sum) = best_of(3, || timed_mmap(&bytes));
+    let (q_s, q_n, q_sum) = best_of(3, || timed_queues(&capture, QUEUES));
+    assert_eq!((read_n, read_sum), (mmap_n, mmap_sum), "mmap parse diverged");
+    assert_eq!((read_n, read_sum), (q_n, q_sum), "queue parse diverged");
+
+    let rps = if mmap_s > 0.0 { mmap_n as f64 / mmap_s } else { 0.0 };
+    let body = format!(
+        "{{\n  \"bench\": \"pipeline_ingest\",\n  \"year\": {YEAR},\n  \
+         \"harness\": \"standalone-rustc\",\n  \"records\": {mmap_n},\n  \
+         \"elapsed_secs\": {mmap_s:.6},\n  \"records_per_sec\": {rps:.1},\n  \
+         \"modes\": {{\n    \"read\": {read},\n    \"mmap\": {mmap},\n    \
+         \"mmap_queues\": {queues}\n  }},\n  \"queues\": {QUEUES},\n  \
+         \"checks\": {{ \"records\": {read_n}, \"ts_sum\": {read_sum}, \
+         \"capture_bytes\": {cap_bytes} }},\n  \
+         \"note\": \"best of 3 passes per mode, identical in-memory bytes; \
+         read mode drains PcapReader + ProbeRecord::from_ethernet per record; \
+         built by tools/standalone/run.sh with bare rustc\"\n}}\n",
+        read = mode_json(read_s, read_n),
+        mmap = mode_json(mmap_s, mmap_n),
+        queues = mode_json(q_s, q_n),
+        cap_bytes = bytes.len(),
+    );
+    std::fs::write(&out, body).expect("write baseline json");
+    eprintln!(
+        "bench_ingest: read {:.0}/s, mmap {rps:.0}/s, mmap:{QUEUES} {:.0}/s -> {out}",
+        read_n as f64 / read_s,
+        q_n as f64 / q_s,
+    );
+}

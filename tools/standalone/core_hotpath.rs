@@ -1,0 +1,135 @@
+//! Standalone mount of the real core hot-path modules.
+//!
+//! This crate root exists only for `tools/standalone/run.sh`: it compiles
+//! `crates/core/src/{fasthash,intern,compact}.rs` — the exact files the
+//! workspace builds — with bare `rustc`, so the bench harness can measure
+//! the real interning and accumulation code on a machine without a crates
+//! registry. The only substitution is the minimal [`checkpoint`] codec shim
+//! below (the real `checkpoint.rs` pulls in the whole pipeline); its wire
+//! format matches `crates/core/src/checkpoint.rs` byte-for-byte for the
+//! subset `intern`/`compact` use.
+//!
+//! Nothing here ships: the workspace never compiles this file.
+
+/// Minimal stand-in for `crates/core/src/checkpoint.rs`: just the snapshot
+/// codec types `intern.rs` and `compact.rs` depend on.
+pub mod checkpoint {
+    /// Subset of the real `CheckpointError` reachable from the codec.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum CheckpointError {
+        /// The buffer ended before the announced data.
+        Truncated,
+        /// Structurally invalid snapshot contents.
+        Corrupt(String),
+    }
+
+    /// Append-only little-endian snapshot encoder (API-identical subset of
+    /// the real `SnapWriter`).
+    #[derive(Debug, Default)]
+    pub struct SnapWriter {
+        buf: Vec<u8>,
+    }
+
+    impl SnapWriter {
+        /// A fresh, empty writer.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// The encoded bytes.
+        pub fn into_bytes(self) -> Vec<u8> {
+            self.buf
+        }
+
+        /// Append one byte.
+        pub fn put_u8(&mut self, v: u8) {
+            self.buf.push(v);
+        }
+
+        /// Append a `u16`, little-endian.
+        pub fn put_u16(&mut self, v: u16) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// Append a `u32`, little-endian.
+        pub fn put_u32(&mut self, v: u32) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// Append a `u64`, little-endian.
+        pub fn put_u64(&mut self, v: u64) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Cursor-based snapshot decoder (API-identical subset of the real
+    /// `SnapReader`).
+    #[derive(Debug)]
+    pub struct SnapReader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> SnapReader<'a> {
+        /// Read from the start of `buf`.
+        pub fn new(buf: &'a [u8]) -> Self {
+            Self { buf, pos: 0 }
+        }
+
+        /// Bytes not yet consumed.
+        pub fn remaining(&self) -> usize {
+            self.buf.len() - self.pos
+        }
+
+        fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+            if self.remaining() < n {
+                return Err(CheckpointError::Truncated);
+            }
+            let out = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(out)
+        }
+
+        /// Read one byte.
+        pub fn take_u8(&mut self) -> Result<u8, CheckpointError> {
+            Ok(self.take(1)?[0])
+        }
+
+        /// Read a little-endian `u16`.
+        pub fn take_u16(&mut self) -> Result<u16, CheckpointError> {
+            Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        }
+
+        /// Read a little-endian `u32`.
+        pub fn take_u32(&mut self) -> Result<u32, CheckpointError> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        }
+
+        /// Read a little-endian `u64`.
+        pub fn take_u64(&mut self) -> Result<u64, CheckpointError> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        }
+
+        /// Read a length prefix, bounding it by what could possibly fit in
+        /// the remaining bytes at `min_element_bytes` each.
+        pub fn take_len(&mut self, min_element_bytes: usize) -> Result<usize, CheckpointError> {
+            let len = self.take_u64()?;
+            let cap = (self.remaining() / min_element_bytes.max(1)) as u64;
+            if len > cap {
+                return Err(CheckpointError::Corrupt(format!(
+                    "length {len} exceeds remaining capacity {cap}"
+                )));
+            }
+            Ok(len as usize)
+        }
+    }
+}
+
+#[path = "../../crates/core/src/fasthash.rs"]
+pub mod fasthash;
+
+#[path = "../../crates/core/src/intern.rs"]
+pub mod intern;
+
+#[path = "../../crates/core/src/compact.rs"]
+pub mod compact;

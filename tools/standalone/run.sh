@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Registry-free baseline harness: compile the real wire crate and the core
+# hot-path modules with bare rustc, run the two bench mains, and rewrite
+# BENCH_ingest.json / BENCH_hotpath.json at the repository root with
+# measured numbers (harness: "standalone-rustc").
+#
+# Use this when `cargo bench` is impossible (no crates registry). On a
+# normal machine prefer the cargo benches, which regenerate the same files
+# with harness "cargo-bench":
+#   cargo bench -p synscan-bench --bench pipeline_ingest -- --test
+#   cargo bench -p synscan-bench --bench pipeline_hotpath -- --test
+set -eu
+
+here=$(cd "$(dirname "$0")" && pwd)
+root=$(cd "$here/../.." && pwd)
+out="${STANDALONE_OUT:-$root/target/standalone}"
+mkdir -p "$out"
+
+echo "standalone: compiling synscan_wire (--cfg synscan_standalone)" >&2
+rustc --edition 2021 -O --cfg synscan_standalone \
+    --crate-type rlib --crate-name synscan_wire \
+    "$root/crates/wire/src/lib.rs" -o "$out/libsynscan_wire.rlib"
+
+echo "standalone: compiling core hot-path modules" >&2
+rustc --edition 2021 -O --cfg synscan_standalone \
+    --crate-type rlib --crate-name synscan_core_hotpath \
+    "$here/core_hotpath.rs" -o "$out/libsynscan_core_hotpath.rlib"
+
+echo "standalone: compiling bench mains" >&2
+rustc --edition 2021 -O --cfg synscan_standalone \
+    --extern "synscan_wire=$out/libsynscan_wire.rlib" \
+    "$here/bench_ingest.rs" -o "$out/bench_ingest"
+rustc --edition 2021 -O --cfg synscan_standalone \
+    --extern "synscan_wire=$out/libsynscan_wire.rlib" \
+    --extern "synscan_core_hotpath=$out/libsynscan_core_hotpath.rlib" \
+    "$here/bench_hotpath.rs" -o "$out/bench_hotpath"
+
+"$out/bench_ingest" "$root/BENCH_ingest.json"
+"$out/bench_hotpath" "$root/BENCH_hotpath.json"
+
+echo "standalone: baselines written to $root/BENCH_ingest.json and $root/BENCH_hotpath.json" >&2

@@ -1,0 +1,188 @@
+//! Serve-path query throughput: the daemon's steady-state read path —
+//! cached [`ImageReader`] + protocol parse + render — over a two-year
+//! analysis store.
+//!
+//! The store is built deterministically (no RNG: the probe mix is fixed by
+//! index arithmetic), written to a temp directory through the real
+//! `AnalysisStore` write path, and loaded back into an [`ImageCell`]
+//! exactly as `synscan-serve` does at startup. The measured loop answers a
+//! mixed query set (table1, summary, source history, port trend, campaign
+//! lookup, years) through `answer_line`, going through the reader's atomic
+//! generation check per query — the daemon's hot path minus the socket.
+//!
+//! Besides the Criterion group, the harness always performs a hand-timed
+//! pass first and rewrites `BENCH_serve.json` at the repository root with a
+//! machine-readable baseline (`queries_per_sec`). The pass runs even under
+//! `cargo bench -- --test`, so the CI bench-smoke step refreshes the
+//! artifact without a full sampling run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+use synscan_core::analysis::YearCollector;
+use synscan_core::store::query::answer_line;
+use synscan_core::store::{AnalysisStore, ImageCell, StoreImage};
+use synscan_core::CampaignConfig;
+use synscan_wire::{Ipv4Address, ProbeRecord, TcpFlags};
+
+/// Synthetic sources per year — enough that source/port lookups walk real
+/// maps, small enough for CI smoke runs.
+const SOURCES: u32 = 400;
+/// Probes per source.
+const PROBES: u32 = 60;
+/// Hand-timed rounds over the query set.
+const ROUNDS: u64 = 2_000;
+
+fn record(src: u32, dst: u32, port: u16, ts: u64) -> ProbeRecord {
+    ProbeRecord {
+        ts_micros: ts,
+        src_ip: Ipv4Address(src),
+        dst_ip: Ipv4Address(dst),
+        src_port: 40_000,
+        dst_port: port,
+        seq: 7,
+        ip_id: 54_321,
+        ttl: 55,
+        flags: TcpFlags::SYN,
+        window: 1024,
+    }
+}
+
+/// One deterministic year: SOURCES scanners, each probing PROBES dark
+/// addresses across a small port mix.
+fn build_year(year: u16) -> synscan_core::analysis::YearAnalysis {
+    let cfg = CampaignConfig {
+        min_distinct_dests: 5,
+        min_rate_pps: 1.0,
+        expiry_secs: 3600.0,
+        monitored_addresses: 1 << 16,
+    };
+    let ports = [443u16, 22, 80, 23, 8080];
+    let mut collector = YearCollector::new(year, cfg);
+    for s in 0..SOURCES {
+        let src = 0x0a00_0000 + s;
+        let port = ports[(s as usize) % ports.len()];
+        for i in 0..PROBES {
+            let ts = u64::from(s) * 1_000 + u64::from(i) * 250_000;
+            collector.offer(&record(src, 0xc000_0000 + s * PROBES + i, port, ts));
+        }
+    }
+    collector.finish()
+}
+
+fn queries() -> Vec<String> {
+    let probe_ip = Ipv4Address(0x0a00_0000);
+    vec![
+        "{\"op\":\"years\"}".to_string(),
+        "{\"op\":\"table1\"}".to_string(),
+        "{\"op\":\"summary\",\"year\":2020}".to_string(),
+        format!("{{\"op\":\"source\",\"ip\":\"{probe_ip}\"}}"),
+        "{\"op\":\"port\",\"port\":443}".to_string(),
+        format!("{{\"op\":\"campaigns\",\"ip\":\"{probe_ip}\"}}"),
+    ]
+}
+
+/// Answer the query set `rounds` times through a cached reader; returns
+/// (elapsed secs, answers, byte checksum) — the checksum defeats dead-code
+/// elimination and doubles as a determinism check across passes.
+fn timed_queries(
+    cell: &std::sync::Arc<ImageCell>,
+    queries: &[String],
+    rounds: u64,
+) -> (f64, u64, u64) {
+    let mut reader = cell.reader();
+    let mut answered = 0u64;
+    let mut check = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for query in queries {
+            let line = answer_line(reader.image(), query);
+            check = check.wrapping_add(line.len() as u64);
+            answered += 1;
+        }
+    }
+    (start.elapsed().as_secs_f64(), answered, check)
+}
+
+fn write_baseline(cell: &std::sync::Arc<ImageCell>, queries: &[String]) {
+    // Best of 3 hand-timed passes; every pass must agree byte-wise.
+    let mut best = f64::INFINITY;
+    let mut answered = 0u64;
+    let mut check = None;
+    for _ in 0..3 {
+        let (secs, n, sum) = timed_queries(cell, queries, ROUNDS);
+        assert!(
+            check.is_none() || check == Some(sum),
+            "query answers must be deterministic across passes"
+        );
+        check = Some(sum);
+        answered = n;
+        if secs < best {
+            best = secs;
+        }
+    }
+    let queries_per_sec = if best > 0.0 {
+        answered as f64 / best
+    } else {
+        0.0
+    };
+    let baseline = serde_json::json!({
+        "bench": "pipeline_serve",
+        "harness": "cargo-bench",
+        "queries": answered,
+        "elapsed_secs": best,
+        "queries_per_sec": queries_per_sec,
+        "query_mix": queries.len(),
+        "sources_per_year": SOURCES,
+        "checks": { "answer_bytes": check },
+        "note": "in-memory image over a two-year store, cached ImageReader per \
+                 pass; refresh with `cargo bench -p synscan-bench --bench pipeline_serve`",
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let body = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    if let Err(err) = std::fs::write(path, body + "\n") {
+        eprintln!("pipeline_serve: could not write {path}: {err}");
+    } else {
+        println!("pipeline_serve: {queries_per_sec:.0} queries/s -> {path}");
+    }
+}
+
+fn pipeline_serve(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("synscan-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = AnalysisStore::open(&dir).expect("open store");
+    for year in [2019u16, 2020] {
+        store.write_year(&build_year(year)).expect("write slice");
+    }
+    let image = StoreImage::load(&store).expect("load image");
+    println!(
+        "pipeline_serve: {} slice file(s), years {:?}",
+        image.slice_files,
+        image.year_list()
+    );
+    let cell = ImageCell::new(image);
+    let set = queries();
+
+    write_baseline(&cell, &set);
+
+    let mut group = c.benchmark_group("pipeline_serve");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(set.len() as u64));
+    group.bench_function("query_mix", |b| {
+        let mut reader = cell.reader();
+        b.iter(|| {
+            let mut check = 0u64;
+            for query in &set {
+                check =
+                    check.wrapping_add(answer_line(reader.image(), black_box(query)).len() as u64);
+            }
+            check
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, pipeline_serve);
+criterion_main!(benches);

@@ -35,6 +35,11 @@
 //! heartbeats, panic containment, stall watchdog), and
 //! [`pipeline::supervised`] (the checkpointed, resumable driver tying both
 //! together).
+//!
+//! Terminal run state persists through [`store`]: a versioned on-disk
+//! analysis store of per-year slices that [`report`] renders as a pure
+//! reader and the resident `synscan-serve` daemon holds in memory behind an
+//! atomic image swap.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +54,7 @@ pub mod fingerprint;
 pub mod intern;
 pub mod pipeline;
 pub mod report;
+pub mod store;
 pub mod supervise;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignDetector, RejectReason};
@@ -66,6 +72,7 @@ pub use pipeline::{
     collect_year_sharded, collect_year_stream, try_collect_year_mapped, try_collect_year_stream,
     MappedIngestReport, PipelineError, PipelineMode, PipelineOutcome, SizeHints,
 };
+pub use store::{AnalysisStore, ImageCell, ImageReader, SliceMeta, StoreError, StoreImage};
 pub use supervise::{
     InjectedFaults, StallEvent, SupervisionConfig, SupervisionReport, WorkerFailure,
 };

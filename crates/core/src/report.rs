@@ -1,9 +1,18 @@
 //! Report assembly and rendering: turns analysis results into the tables the
 //! paper prints and into JSON artifacts for EXPERIMENTS.md.
+//!
+//! Every renderer here is a **pure reader of store slices**: the inputs are
+//! [`YearAnalysis`] values exactly as `core::store` persists and reloads
+//! them, so batch runs (`repro`/`analyze`) and the resident `synscan-serve`
+//! daemon produce byte-identical artifacts by construction — both call
+//! these functions on the same decoded slices.
 
 use std::fmt::Write as _;
 
-use crate::analysis::yearly::YearSummary;
+use synscan_wire::Ipv4Address;
+
+use crate::analysis::collect::YearAnalysis;
+use crate::analysis::yearly::{summarize, YearSummary};
 use crate::campaign::NoiseStats;
 
 /// A multi-year (Table 1 style) report.
@@ -14,6 +23,14 @@ pub struct DecadeReport {
 }
 
 impl DecadeReport {
+    /// Assemble the Table 1 report from per-year store slices (ascending),
+    /// ranking `top_n` ports per dimension (the paper prints 5).
+    pub fn from_years(years: &[YearAnalysis], top_n: usize) -> Self {
+        Self {
+            years: years.iter().map(|y| summarize(y, top_n)).collect(),
+        }
+    }
+
     /// Growth factor of packets/day between the first and last year —
     /// the paper's headline "30-fold over ten years".
     pub fn packets_per_day_growth(&self) -> Option<f64> {
@@ -115,6 +132,183 @@ pub fn render_series<L: std::fmt::Display, V: std::fmt::Display>(
     out
 }
 
+/// One year of a single source's activity, for [`source_history`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SourceYear {
+    /// Calendar year.
+    pub year: u16,
+    /// Packets this source sent at the telescope that year.
+    pub packets: u64,
+    /// Distinct destination ports it probed.
+    pub ports: u32,
+    /// Campaigns attributed to it.
+    pub campaigns: u64,
+    /// Its share of the year's admitted packets.
+    pub packet_share: f64,
+}
+
+/// A source's decade history — the per-source view the paper's
+/// Greynoise-shaped consumer asks for.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SourceHistory {
+    /// Dotted-quad source address.
+    pub source: String,
+    /// Number of years the source was observed in.
+    pub years_seen: usize,
+    /// One row per year the source appeared, ascending.
+    pub years: Vec<SourceYear>,
+}
+
+impl SourceHistory {
+    /// Pretty JSON, the serve/batch artifact form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("source history serializes")
+    }
+}
+
+/// Per-source history across store slices: one row for every year the
+/// source sent at least one admitted packet.
+pub fn source_history(years: &[YearAnalysis], source: Ipv4Address) -> SourceHistory {
+    let mut rows = Vec::new();
+    for analysis in years {
+        let Some(&packets) = analysis.source_packets.get(&source.0) else {
+            continue;
+        };
+        rows.push(SourceYear {
+            year: analysis.year,
+            packets,
+            ports: analysis
+                .source_port_counts
+                .get(&source.0)
+                .copied()
+                .unwrap_or(0),
+            campaigns: analysis
+                .campaigns
+                .iter()
+                .filter(|c| c.src_ip == source)
+                .count() as u64,
+            packet_share: packets as f64 / analysis.total_packets.max(1) as f64,
+        });
+    }
+    SourceHistory {
+        source: source.to_string(),
+        years_seen: rows.len(),
+        years: rows,
+    }
+}
+
+/// One year of a single port's targeting, for [`port_trend`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct PortYear {
+    /// Calendar year.
+    pub year: u16,
+    /// Packets aimed at the port that year.
+    pub packets: u64,
+    /// Distinct sources that probed it.
+    pub sources: u64,
+    /// Its share of the year's admitted packets.
+    pub packet_share: f64,
+    /// Its share of the year's distinct sources.
+    pub source_share: f64,
+}
+
+/// A port's yearly targeting trend across the decade.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct PortTrend {
+    /// The destination port.
+    pub port: u16,
+    /// One row per store year (zero rows included, so trends keep their
+    /// time axis), ascending.
+    pub years: Vec<PortYear>,
+}
+
+impl PortTrend {
+    /// Pretty JSON, the serve/batch artifact form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("port trend serializes")
+    }
+}
+
+/// Per-port yearly trend across store slices.
+pub fn port_trend(years: &[YearAnalysis], port: u16) -> PortTrend {
+    let rows = years
+        .iter()
+        .map(|analysis| {
+            let packets = analysis.port_packets.get(&port).copied().unwrap_or(0);
+            let sources = analysis.port_sources.get(&port).copied().unwrap_or(0);
+            PortYear {
+                year: analysis.year,
+                packets,
+                sources,
+                packet_share: packets as f64 / analysis.total_packets.max(1) as f64,
+                source_share: sources as f64 / analysis.distinct_sources.max(1) as f64,
+            }
+        })
+        .collect();
+    PortTrend { port, years: rows }
+}
+
+/// One campaign attributed to a looked-up source, for [`campaign_lookup`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct CampaignHit {
+    /// Calendar year the campaign ran in.
+    pub year: u16,
+    /// First probe timestamp (µs).
+    pub first_ts_micros: u64,
+    /// Last probe timestamp (µs).
+    pub last_ts_micros: u64,
+    /// Probes received at the telescope.
+    pub packets: u64,
+    /// Distinct telescope destinations hit.
+    pub distinct_dests: u64,
+    /// Distinct destination ports.
+    pub ports: usize,
+    /// Majority-vote tool attribution, if any tracked tool matched.
+    pub tool: Option<String>,
+}
+
+/// Every campaign a source ran across the decade.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct CampaignLookup {
+    /// Dotted-quad source address.
+    pub source: String,
+    /// Total campaigns across all years.
+    pub total: usize,
+    /// Campaign rows in (year, start time) order.
+    pub campaigns: Vec<CampaignHit>,
+}
+
+impl CampaignLookup {
+    /// Pretty JSON, the serve/batch artifact form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("campaign lookup serializes")
+    }
+}
+
+/// Campaign lookup across store slices: all campaigns attributed to
+/// `source`, in (year, start time) order.
+pub fn campaign_lookup(years: &[YearAnalysis], source: Ipv4Address) -> CampaignLookup {
+    let mut hits = Vec::new();
+    for analysis in years {
+        for campaign in analysis.campaigns.iter().filter(|c| c.src_ip == source) {
+            hits.push(CampaignHit {
+                year: analysis.year,
+                first_ts_micros: campaign.first_ts_micros,
+                last_ts_micros: campaign.last_ts_micros,
+                packets: campaign.packets,
+                distinct_dests: campaign.distinct_dests,
+                ports: campaign.distinct_ports(),
+                tool: campaign.tool().map(|t| t.name().to_string()),
+            });
+        }
+    }
+    CampaignLookup {
+        source: source.to_string(),
+        total: hits.len(),
+        campaigns: hits,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +393,77 @@ mod tests {
         let text = render_series("cdf", vec![(1, 0.5), (2, 1.0)]);
         assert!(text.starts_with("# cdf"));
         assert!(text.contains("1  0.5"));
+    }
+
+    fn collected_year(year: u16, src: u32, port: u16, packets: u32) -> YearAnalysis {
+        use crate::analysis::collect::YearCollector;
+        use crate::campaign::CampaignConfig;
+        use synscan_wire::{ProbeRecord, TcpFlags};
+        let cfg = CampaignConfig {
+            min_distinct_dests: 5,
+            min_rate_pps: 1.0,
+            expiry_secs: 3600.0,
+            monitored_addresses: 1 << 16,
+        };
+        let mut collector = YearCollector::new(year, cfg);
+        for i in 0..packets {
+            collector.offer(&ProbeRecord {
+                ts_micros: u64::from(i) * 250_000,
+                src_ip: Ipv4Address(src),
+                dst_ip: Ipv4Address(0x0b00_0000 + i),
+                src_port: 999,
+                dst_port: port,
+                seq: 1,
+                ip_id: 3,
+                ttl: 61,
+                flags: TcpFlags::SYN,
+                window: 512,
+            });
+        }
+        collector.finish()
+    }
+
+    #[test]
+    fn source_history_rows_only_for_seen_years() {
+        let years = vec![
+            collected_year(2015, 9, 443, 20),
+            collected_year(2016, 8, 22, 10),
+        ];
+        let history = source_history(&years, Ipv4Address(9));
+        assert_eq!(history.years_seen, 1);
+        assert_eq!(history.years[0].year, 2015);
+        assert_eq!(history.years[0].packets, 20);
+        assert_eq!(history.years[0].campaigns, 1);
+        assert!((history.years[0].packet_share - 1.0).abs() < 1e-12);
+        assert_eq!(history.source, "0.0.0.9");
+        assert_eq!(source_history(&years, Ipv4Address(77)).years_seen, 0);
+    }
+
+    #[test]
+    fn port_trend_keeps_the_time_axis() {
+        let years = vec![
+            collected_year(2015, 9, 443, 20),
+            collected_year(2016, 8, 22, 10),
+        ];
+        let trend = port_trend(&years, 443);
+        assert_eq!(trend.years.len(), 2);
+        assert_eq!(trend.years[0].packets, 20);
+        assert_eq!(trend.years[1].packets, 0);
+        assert!((trend.years[0].source_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn campaign_lookup_spans_years() {
+        let years = vec![
+            collected_year(2015, 9, 443, 20),
+            collected_year(2016, 9, 22, 10),
+        ];
+        let lookup = campaign_lookup(&years, Ipv4Address(9));
+        assert_eq!(lookup.total, 2);
+        assert_eq!(lookup.campaigns[0].year, 2015);
+        assert_eq!(lookup.campaigns[1].year, 2016);
+        assert_eq!(lookup.campaigns[0].ports, 1);
+        let json = lookup.to_json();
+        assert!(json.contains("\"source\": \"0.0.0.9\""));
     }
 }

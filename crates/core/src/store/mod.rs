@@ -1,0 +1,925 @@
+//! Versioned on-disk **analysis store** — the persistence layer between the
+//! batch pipeline and the resident query daemon.
+//!
+//! A store is a directory of `*.store` files, one (or, for incrementally
+//! ingested runs, several partial) slice(s) per year. Each file carries the
+//! same envelope as the PR 5 checkpoints — `magic | version | payload len |
+//! FxHash-64 checksum | payload` — with its own magic (`SYNSTORE`) and its
+//! own version counter, and is written atomically (temp → fsync → rename) so
+//! a crash mid-write can never destroy a previous slice.
+//!
+//! The payload is two sections:
+//!
+//! 1. an **index** (year, window, totals, sorted port list, sorted source
+//!    list, campaign count) that can be read without decoding the body, and
+//! 2. the full [`YearAnalysis`] **body**, every map serialized in sorted key
+//!    order so encoding is deterministic: encode → decode → encode is
+//!    byte-identical, which is what the equivalence suites lean on.
+//!
+//! On the read side, [`StoreImage`] is the compact in-memory image the
+//! `synscan-serve` daemon holds resident: all slices loaded, same-year
+//! partials recombined through [`YearAnalysis::merge_partials`], years
+//! ascending. [`ImageCell`] publishes an image to N reader threads with an
+//! `Arc`-swap-style protocol: readers pay one atomic load per query in the
+//! steady state and only touch a lock when the installed generation has
+//! actually changed; a single writer installs reloaded images.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::hash::Hasher;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use synscan_scanners::traits::ToolKind;
+
+use crate::analysis::collect::{WeekCell, YearAnalysis};
+use crate::campaign::{Campaign, NoiseStats};
+use crate::checkpoint::{CheckpointError, SnapReader, SnapWriter};
+use crate::fasthash::FxHasher;
+
+pub mod query;
+
+/// Magic prefix of every analysis-store slice file.
+pub const STORE_MAGIC: [u8; 8] = *b"SYNSTORE";
+
+/// Current store format version. Bump on any layout change; readers reject
+/// other versions with a typed error instead of misparsing.
+pub const STORE_VERSION: u32 = 1;
+
+/// Fixed envelope prefix: magic (8) + version (4) + payload len (8) +
+/// checksum (8).
+const ENVELOPE_LEN: usize = 28;
+
+/// Everything that can go wrong writing, reading, or decoding a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Filesystem-level failure (path context + OS error in the message).
+    Io(String),
+    /// The file does not start with [`STORE_MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`STORE_VERSION`].
+    UnsupportedVersion(u32),
+    /// The payload hash does not match the stored checksum.
+    ChecksumMismatch,
+    /// The file ended before the announced payload length.
+    Truncated,
+    /// Structurally invalid slice contents.
+    Corrupt(String),
+    /// A year was requested that no slice in the store covers.
+    MissingYear(u16),
+    /// The store directory holds no slices at all.
+    Empty,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "store I/O error: {msg}"),
+            StoreError::BadMagic => write!(f, "not an analysis store file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported store version {v} (expected {STORE_VERSION})"
+                )
+            }
+            StoreError::ChecksumMismatch => write!(f, "store checksum mismatch"),
+            StoreError::Truncated => write!(f, "store file truncated"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store slice: {msg}"),
+            StoreError::MissingYear(y) => write!(f, "no store slice covers year {y}"),
+            StoreError::Empty => write!(f, "store directory holds no slices"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CheckpointError> for StoreError {
+    fn from(err: CheckpointError) -> Self {
+        match err {
+            CheckpointError::Truncated => StoreError::Truncated,
+            other => StoreError::Corrupt(other.to_string()),
+        }
+    }
+}
+
+/// FxHash of a payload — the same seedless, process-independent integrity
+/// checksum the checkpoint envelope uses.
+fn payload_checksum(payload: &[u8]) -> u64 {
+    let mut hasher = FxHasher::default();
+    hasher.write(payload);
+    hasher.finish()
+}
+
+/// Wrap a payload in the `SYNSTORE` envelope.
+fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENVELOPE_LEN + payload.len());
+    out.extend_from_slice(&STORE_MAGIC);
+    out.extend_from_slice(&STORE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload_checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verify the envelope and return the payload, or a typed error. Never
+/// panics on hostile bytes.
+fn unseal(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    if bytes.len() < ENVELOPE_LEN {
+        return Err(StoreError::Truncated);
+    }
+    if bytes[..8] != STORE_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    if version != STORE_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice"));
+    let checksum = u64::from_le_bytes(bytes[20..28].try_into().expect("8-byte slice"));
+    let payload = &bytes[ENVELOPE_LEN..];
+    if payload.len() as u64 != len {
+        return Err(StoreError::Truncated);
+    }
+    if payload_checksum(payload) != checksum {
+        return Err(StoreError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+/// The decoded index section of one slice file — enough to route queries
+/// and group partials without decoding the (much larger) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceMeta {
+    /// Calendar year the slice covers.
+    pub year: u16,
+    /// Telescope size the campaign thresholds were computed against.
+    pub monitored: u64,
+    /// First admitted timestamp (µs).
+    pub start_micros: u64,
+    /// Last admitted timestamp (µs).
+    pub end_micros: u64,
+    /// Admitted packets in the slice.
+    pub total_packets: u64,
+    /// Distinct scanning sources in the slice.
+    pub distinct_sources: u64,
+    /// Campaigns identified in the slice.
+    pub campaigns: u64,
+    /// Every targeted port, ascending.
+    pub ports: Vec<u16>,
+    /// Every scanning source (host-order IPv4), ascending.
+    pub sources: Vec<u32>,
+}
+
+fn encode_meta(w: &mut SnapWriter, analysis: &YearAnalysis) {
+    w.put_u16(analysis.year);
+    w.put_u64(analysis.monitored);
+    w.put_u64(analysis.start_micros);
+    w.put_u64(analysis.end_micros);
+    w.put_u64(analysis.total_packets);
+    w.put_u64(analysis.distinct_sources);
+    w.put_u64(analysis.campaigns.len() as u64);
+    // port_packets is a BTreeMap: keys come out ascending.
+    w.put_u64(analysis.port_packets.len() as u64);
+    for port in analysis.port_packets.keys() {
+        w.put_u16(*port);
+    }
+    let mut sources: Vec<u32> = analysis.source_packets.keys().copied().collect();
+    sources.sort_unstable();
+    w.put_u64(sources.len() as u64);
+    for src in sources {
+        w.put_u32(src);
+    }
+}
+
+fn decode_meta(r: &mut SnapReader<'_>) -> Result<SliceMeta, StoreError> {
+    let year = r.take_u16()?;
+    let monitored = r.take_u64()?;
+    let start_micros = r.take_u64()?;
+    let end_micros = r.take_u64()?;
+    let total_packets = r.take_u64()?;
+    let distinct_sources = r.take_u64()?;
+    let campaigns = r.take_u64()?;
+    let port_count = r.take_len(2)?;
+    let mut ports = Vec::with_capacity(port_count);
+    for _ in 0..port_count {
+        ports.push(r.take_u16()?);
+    }
+    let source_count = r.take_len(4)?;
+    let mut sources = Vec::with_capacity(source_count);
+    for _ in 0..source_count {
+        sources.push(r.take_u32()?);
+    }
+    Ok(SliceMeta {
+        year,
+        monitored,
+        start_micros,
+        end_micros,
+        total_packets,
+        distinct_sources,
+        campaigns,
+        ports,
+        sources,
+    })
+}
+
+/// Serialize a [`YearAnalysis`] to complete slice-file bytes (envelope
+/// included). Every map is emitted in sorted key order, so the encoding is
+/// a pure function of the analysis value: equal analyses produce
+/// byte-identical files regardless of hash-map iteration order or which
+/// pipeline mode produced them.
+pub fn encode_year(analysis: &YearAnalysis) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    encode_meta(&mut w, analysis);
+
+    w.put_u64(analysis.port_packets.len() as u64);
+    for (&port, &packets) in &analysis.port_packets {
+        w.put_u16(port);
+        w.put_u64(packets);
+    }
+    w.put_u64(analysis.port_sources.len() as u64);
+    for (&port, &sources) in &analysis.port_sources {
+        w.put_u16(port);
+        w.put_u64(sources);
+    }
+
+    let mut source_ports: Vec<(u32, u32)> = analysis
+        .source_port_counts
+        .iter()
+        .map(|(&s, &n)| (s, n))
+        .collect();
+    source_ports.sort_unstable();
+    w.put_u64(source_ports.len() as u64);
+    for (src, ports) in source_ports {
+        w.put_u32(src);
+        w.put_u32(ports);
+    }
+
+    let mut source_packets: Vec<(u32, u64)> = analysis
+        .source_packets
+        .iter()
+        .map(|(&s, &n)| (s, n))
+        .collect();
+    source_packets.sort_unstable();
+    w.put_u64(source_packets.len() as u64);
+    for (src, packets) in source_packets {
+        w.put_u32(src);
+        w.put_u64(packets);
+    }
+
+    let mut port_sets: Vec<(u16, Vec<u32>)> = analysis
+        .port_source_sets
+        .iter()
+        .map(|(&port, set)| {
+            let mut members: Vec<u32> = set.iter().copied().collect();
+            members.sort_unstable();
+            (port, members)
+        })
+        .collect();
+    port_sets.sort_unstable_by_key(|(port, _)| *port);
+    w.put_u64(port_sets.len() as u64);
+    for (port, members) in port_sets {
+        w.put_u16(port);
+        w.put_u64(members.len() as u64);
+        for src in members {
+            w.put_u32(src);
+        }
+    }
+
+    let mut day_ports: Vec<(u32, u16, u64)> = analysis
+        .day_port_packets
+        .iter()
+        .map(|(&(day, port), &n)| (day, port, n))
+        .collect();
+    day_ports.sort_unstable();
+    w.put_u64(day_ports.len() as u64);
+    for (day, port, packets) in day_ports {
+        w.put_u32(day);
+        w.put_u16(port);
+        w.put_u64(packets);
+    }
+
+    let mut tool_ports: Vec<(Option<ToolKind>, u16, u64)> = analysis
+        .tool_port_packets
+        .iter()
+        .map(|(&(tool, port), &n)| (tool, port, n))
+        .collect();
+    tool_ports.sort_unstable();
+    w.put_u64(tool_ports.len() as u64);
+    for (tool, port, packets) in tool_ports {
+        match tool {
+            Some(t) => {
+                w.put_u8(1);
+                w.put_tool(t);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u16(port);
+        w.put_u64(packets);
+    }
+
+    let mut weeks: Vec<(u32, u16, WeekCell)> = analysis
+        .week_blocks
+        .iter()
+        .map(|(&(week, block), cell)| (week, block, cell.clone()))
+        .collect();
+    weeks.sort_unstable_by_key(|(week, block, _)| (*week, *block));
+    w.put_u64(weeks.len() as u64);
+    for (week, block, cell) in weeks {
+        w.put_u32(week);
+        w.put_u16(block);
+        w.put_u64(cell.sources);
+        w.put_u64(cell.packets);
+        w.put_u64(cell.campaigns);
+    }
+
+    w.put_u64(analysis.campaigns.len() as u64);
+    for campaign in &analysis.campaigns {
+        campaign.snapshot_to(&mut w);
+    }
+    analysis.noise.snapshot_to(&mut w);
+
+    seal(&w.into_bytes())
+}
+
+/// Read just the index section of slice-file bytes.
+pub fn read_meta(bytes: &[u8]) -> Result<SliceMeta, StoreError> {
+    let payload = unseal(bytes)?;
+    let mut r = SnapReader::new(payload);
+    decode_meta(&mut r)
+}
+
+/// Decode complete slice-file bytes back into a [`YearAnalysis`].
+///
+/// Corrupted, truncated, or wrong-version input yields a typed
+/// [`StoreError`]; this function never panics on hostile bytes.
+pub fn decode_year(bytes: &[u8]) -> Result<YearAnalysis, StoreError> {
+    let payload = unseal(bytes)?;
+    let mut r = SnapReader::new(payload);
+    let meta = decode_meta(&mut r)?;
+
+    let port_packet_count = r.take_len(10)?;
+    let mut port_packets = BTreeMap::new();
+    for _ in 0..port_packet_count {
+        let port = r.take_u16()?;
+        let packets = r.take_u64()?;
+        port_packets.insert(port, packets);
+    }
+    let port_source_count = r.take_len(10)?;
+    let mut port_sources = BTreeMap::new();
+    for _ in 0..port_source_count {
+        let port = r.take_u16()?;
+        let sources = r.take_u64()?;
+        port_sources.insert(port, sources);
+    }
+
+    let source_port_len = r.take_len(8)?;
+    let mut source_port_counts = HashMap::with_capacity(source_port_len);
+    for _ in 0..source_port_len {
+        let src = r.take_u32()?;
+        let ports = r.take_u32()?;
+        source_port_counts.insert(src, ports);
+    }
+    let source_packet_len = r.take_len(12)?;
+    let mut source_packets = HashMap::with_capacity(source_packet_len);
+    for _ in 0..source_packet_len {
+        let src = r.take_u32()?;
+        let packets = r.take_u64()?;
+        source_packets.insert(src, packets);
+    }
+
+    let set_count = r.take_len(10)?;
+    let mut port_source_sets: HashMap<u16, HashSet<u32>> = HashMap::with_capacity(set_count);
+    for _ in 0..set_count {
+        let port = r.take_u16()?;
+        let members = r.take_len(4)?;
+        let mut set = HashSet::with_capacity(members);
+        for _ in 0..members {
+            set.insert(r.take_u32()?);
+        }
+        port_source_sets.insert(port, set);
+    }
+
+    let day_count = r.take_len(14)?;
+    let mut day_port_packets = HashMap::with_capacity(day_count);
+    for _ in 0..day_count {
+        let day = r.take_u32()?;
+        let port = r.take_u16()?;
+        let packets = r.take_u64()?;
+        day_port_packets.insert((day, port), packets);
+    }
+
+    let tool_count = r.take_len(11)?;
+    let mut tool_port_packets = HashMap::with_capacity(tool_count);
+    for _ in 0..tool_count {
+        let tool = match r.take_u8()? {
+            0 => None,
+            1 => Some(r.take_tool()?),
+            t => return Err(StoreError::Corrupt(format!("tool tag {t}"))),
+        };
+        let port = r.take_u16()?;
+        let packets = r.take_u64()?;
+        tool_port_packets.insert((tool, port), packets);
+    }
+
+    let week_count = r.take_len(30)?;
+    let mut week_blocks = HashMap::with_capacity(week_count);
+    for _ in 0..week_count {
+        let week = r.take_u32()?;
+        let block = r.take_u16()?;
+        let cell = WeekCell {
+            sources: r.take_u64()?,
+            packets: r.take_u64()?,
+            campaigns: r.take_u64()?,
+        };
+        week_blocks.insert((week, block), cell);
+    }
+
+    let campaign_count = r.take_len(37)?;
+    if campaign_count as u64 != meta.campaigns {
+        return Err(StoreError::Corrupt(format!(
+            "body carries {campaign_count} campaigns, index announced {}",
+            meta.campaigns
+        )));
+    }
+    let mut campaigns = Vec::with_capacity(campaign_count);
+    for _ in 0..campaign_count {
+        campaigns.push(Campaign::restore_from(&mut r)?);
+    }
+    let noise = NoiseStats::restore_from(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after slice body",
+            r.remaining()
+        )));
+    }
+
+    Ok(YearAnalysis {
+        year: meta.year,
+        start_micros: meta.start_micros,
+        end_micros: meta.end_micros,
+        total_packets: meta.total_packets,
+        distinct_sources: meta.distinct_sources,
+        port_packets,
+        port_sources,
+        source_port_counts,
+        source_packets,
+        port_source_sets,
+        day_port_packets,
+        tool_port_packets,
+        week_blocks,
+        campaigns,
+        noise,
+        monitored: meta.monitored,
+    })
+}
+
+/// A handle on a store directory. Creating the handle creates the directory
+/// (it is valid for a store to start empty and be populated run by run).
+#[derive(Debug, Clone)]
+pub struct AnalysisStore {
+    dir: PathBuf,
+}
+
+impl AnalysisStore {
+    /// Open (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::Io(format!("create dir {}: {e}", dir.display())))?;
+        Ok(Self { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the full (promoted) slice for `year`.
+    pub fn slice_path(&self, year: u16) -> PathBuf {
+        self.dir.join(format!("year-{year}.store"))
+    }
+
+    /// Path of a partial slice for `year` tagged `label` (e.g. a shard or
+    /// worker id) — the incremental-ingest unit merged at load time.
+    pub fn partial_path(&self, year: u16, label: &str) -> PathBuf {
+        self.dir.join(format!("year-{year}.part-{label}.store"))
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+        let io_err = |what: &str, p: &Path, e: std::io::Error| {
+            StoreError::Io(format!("{what} {}: {e}", p.display()))
+        };
+        let tmp = path.with_extension("store.tmp");
+        {
+            let mut file = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+            file.write_all(bytes)
+                .map_err(|e| io_err("write", &tmp, e))?;
+            file.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+        }
+        fs::rename(&tmp, path).map_err(|e| io_err("rename", &tmp, e))?;
+        Ok(())
+    }
+
+    /// Atomically write the full slice for `analysis.year`, then retire any
+    /// partial slices for the same year (the full slice supersedes them —
+    /// keeping both would double-count at load time).
+    pub fn write_year(&self, analysis: &YearAnalysis) -> Result<PathBuf, StoreError> {
+        let path = self.slice_path(analysis.year);
+        self.write_atomic(&path, &encode_year(analysis))?;
+        let partial_prefix = format!("year-{}.part-", analysis.year);
+        for file in self.slice_files()? {
+            let name = file.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with(&partial_prefix) {
+                fs::remove_file(&file)
+                    .map_err(|e| StoreError::Io(format!("remove {}: {e}", file.display())))?;
+            }
+        }
+        Ok(path)
+    }
+
+    /// Atomically write a partial slice (one shard / worker / ingest batch
+    /// of a year). Same-year partials are recombined bit-identically at
+    /// load time via [`YearAnalysis::merge_partials`].
+    pub fn write_partial(
+        &self,
+        analysis: &YearAnalysis,
+        label: &str,
+    ) -> Result<PathBuf, StoreError> {
+        if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+            return Err(StoreError::Corrupt(format!(
+                "partial label {label:?} must be non-empty alphanumeric/dash"
+            )));
+        }
+        let path = self.partial_path(analysis.year, label);
+        self.write_atomic(&path, &encode_year(analysis))?;
+        Ok(path)
+    }
+
+    /// Every slice file currently in the store, sorted by file name.
+    pub fn slice_files(&self) -> Result<Vec<PathBuf>, StoreError> {
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| StoreError::Io(format!("read dir {}: {e}", self.dir.display())))?;
+        let mut files = Vec::new();
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| StoreError::Io(format!("scan {}: {e}", self.dir.display())))?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("store") {
+                files.push(path);
+            }
+        }
+        files.sort();
+        Ok(files)
+    }
+
+    /// Index every slice without decoding bodies: `(path, meta)` pairs in
+    /// file-name order.
+    pub fn index(&self) -> Result<Vec<(PathBuf, SliceMeta)>, StoreError> {
+        let mut out = Vec::new();
+        for path in self.slice_files()? {
+            let bytes = fs::read(&path)
+                .map_err(|e| StoreError::Io(format!("read {}: {e}", path.display())))?;
+            let meta = read_meta(&bytes).map_err(|e| annotate_slice_error(e, &path))?;
+            out.push((path, meta));
+        }
+        Ok(out)
+    }
+
+    /// Distinct years covered by the store, ascending.
+    pub fn years(&self) -> Result<Vec<u16>, StoreError> {
+        let mut years: Vec<u16> = self.index()?.into_iter().map(|(_, m)| m.year).collect();
+        years.sort_unstable();
+        years.dedup();
+        Ok(years)
+    }
+
+    /// Load one year, merging same-year partial slices bit-identically.
+    pub fn load_year(&self, year: u16) -> Result<YearAnalysis, StoreError> {
+        let mut partials = Vec::new();
+        for (path, meta) in self.index()? {
+            if meta.year == year {
+                let bytes = fs::read(&path)
+                    .map_err(|e| StoreError::Io(format!("read {}: {e}", path.display())))?;
+                partials.push(decode_year(&bytes).map_err(|e| annotate_slice_error(e, &path))?);
+            }
+        }
+        match partials.len() {
+            0 => Err(StoreError::MissingYear(year)),
+            1 => Ok(partials.pop().expect("one partial")),
+            _ => Ok(YearAnalysis::merge_partials(partials)),
+        }
+    }
+
+    /// Load every year in the store, ascending, partials merged.
+    pub fn load_all(&self) -> Result<Vec<YearAnalysis>, StoreError> {
+        let mut by_year: BTreeMap<u16, Vec<YearAnalysis>> = BTreeMap::new();
+        for (path, _) in self.index()? {
+            let bytes = fs::read(&path)
+                .map_err(|e| StoreError::Io(format!("read {}: {e}", path.display())))?;
+            let analysis = decode_year(&bytes).map_err(|e| annotate_slice_error(e, &path))?;
+            by_year.entry(analysis.year).or_default().push(analysis);
+        }
+        Ok(by_year
+            .into_values()
+            .map(|mut partials| {
+                if partials.len() == 1 {
+                    partials.pop().expect("one partial")
+                } else {
+                    YearAnalysis::merge_partials(partials)
+                }
+            })
+            .collect())
+    }
+}
+
+/// Attach the offending file path to a decode error's message.
+fn annotate_slice_error(err: StoreError, path: &Path) -> StoreError {
+    match err {
+        StoreError::Corrupt(msg) => StoreError::Corrupt(format!("{}: {msg}", path.display())),
+        other => other,
+    }
+}
+
+/// The read-mostly in-memory image the daemon serves from: every year in
+/// the store, decoded and merged, ascending.
+#[derive(Debug, Clone, Default)]
+pub struct StoreImage {
+    /// Monotonic install counter, assigned by [`ImageCell`] (0 = never
+    /// installed).
+    pub generation: u64,
+    /// Number of slice files the image was built from.
+    pub slice_files: usize,
+    /// Per-year analyses, ascending by year.
+    pub years: Vec<YearAnalysis>,
+}
+
+impl StoreImage {
+    /// An image with no years (a daemon may start over an empty store and
+    /// be fed by later `reload`s).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build an image from everything currently in `store`.
+    pub fn load(store: &AnalysisStore) -> Result<Self, StoreError> {
+        let slice_files = store.slice_files()?.len();
+        let years = store.load_all()?;
+        Ok(Self {
+            generation: 0,
+            slice_files,
+            years,
+        })
+    }
+
+    /// The analysis for `year`, if present.
+    pub fn year(&self, year: u16) -> Option<&YearAnalysis> {
+        self.years.iter().find(|a| a.year == year)
+    }
+
+    /// The years covered, ascending.
+    pub fn year_list(&self) -> Vec<u16> {
+        self.years.iter().map(|a| a.year).collect()
+    }
+}
+
+/// Publication point between the daemon's single writer and its N reader
+/// threads.
+///
+/// The protocol is `Arc`-swap in safe Rust: the current image lives in a
+/// mutex-guarded `Arc` slot next to an atomic generation counter. Readers
+/// hold an [`ImageReader`] that caches `(generation, Arc)`; per query they
+/// do one `Acquire` load of the counter and touch the mutex only when the
+/// counter moved — i.e. only on the (rare) reload, so the steady-state read
+/// path takes zero locks. The writer clones nothing: it swaps the slot and
+/// then bumps the counter with `Release`, so a reader that observes the new
+/// generation is guaranteed to find the new image in the slot.
+#[derive(Debug)]
+pub struct ImageCell {
+    generation: AtomicU64,
+    slot: Mutex<Arc<StoreImage>>,
+}
+
+impl ImageCell {
+    /// Create a cell publishing `image` as generation 1.
+    pub fn new(mut image: StoreImage) -> Arc<Self> {
+        image.generation = 1;
+        Arc::new(Self {
+            generation: AtomicU64::new(1),
+            slot: Mutex::new(Arc::new(image)),
+        })
+    }
+
+    /// Install a freshly loaded image, returning the generation it was
+    /// published as. Writer-side only.
+    pub fn install(&self, mut image: StoreImage) -> u64 {
+        let mut slot = self.slot.lock().expect("image slot poisoned");
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        image.generation = generation;
+        *slot = Arc::new(image);
+        // Bump after the slot swap: a reader seeing the new generation must
+        // find the new image.
+        self.generation.store(generation, Ordering::Release);
+        generation
+    }
+
+    /// The currently installed image (locks the slot; reader threads should
+    /// go through [`ImageReader`] instead).
+    pub fn current(&self) -> Arc<StoreImage> {
+        self.slot.lock().expect("image slot poisoned").clone()
+    }
+
+    /// The current generation counter.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// A per-thread cached reader handle.
+    pub fn reader(self: &Arc<Self>) -> ImageReader {
+        ImageReader {
+            cached: self.current(),
+            seen: self.generation(),
+            cell: Arc::clone(self),
+        }
+    }
+}
+
+/// One reader thread's cached view of an [`ImageCell`] — see the cell docs
+/// for the locking protocol.
+#[derive(Debug)]
+pub struct ImageReader {
+    cell: Arc<ImageCell>,
+    seen: u64,
+    cached: Arc<StoreImage>,
+}
+
+impl ImageReader {
+    /// The current image: one atomic load in the steady state, a slot
+    /// refresh only when the writer installed a new generation.
+    pub fn image(&mut self) -> &StoreImage {
+        let current = self.cell.generation.load(Ordering::Acquire);
+        if current != self.seen {
+            self.cached = self.cell.current();
+            self.seen = self.cached.generation;
+        }
+        &self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::collect::YearCollector;
+    use crate::campaign::CampaignConfig;
+    use synscan_wire::{Ipv4Address, ProbeRecord, TcpFlags};
+
+    fn record(src: u32, dst: u32, port: u16, ts: u64) -> ProbeRecord {
+        ProbeRecord {
+            ts_micros: ts,
+            src_ip: Ipv4Address(src),
+            dst_ip: Ipv4Address(dst),
+            src_port: 40_000,
+            dst_port: port,
+            seq: 7,
+            ip_id: 54_321,
+            ttl: 55,
+            flags: TcpFlags::SYN,
+            window: 1024,
+        }
+    }
+
+    fn analysis(year: u16) -> YearAnalysis {
+        let cfg = CampaignConfig {
+            min_distinct_dests: 5,
+            min_rate_pps: 1.0,
+            expiry_secs: 3600.0,
+            monitored_addresses: 1 << 16,
+        };
+        let mut collector = YearCollector::new(year, cfg);
+        for i in 0..40u32 {
+            collector.offer(&record(10, 100 + i, 443, u64::from(i) * 250_000));
+        }
+        for i in 0..12u32 {
+            collector.offer(&record(11, 200 + i, 22, u64::from(i) * 900_000 + 3));
+        }
+        collector.offer(&record(12, 300, 80, 5));
+        collector.finish()
+    }
+
+    #[test]
+    fn roundtrip_is_identity_and_deterministic() {
+        let original = analysis(2019);
+        let bytes = encode_year(&original);
+        let decoded = decode_year(&bytes).expect("decodes");
+        assert_eq!(decoded, original);
+        // Deterministic: re-encoding the decoded value is byte-identical.
+        assert_eq!(encode_year(&decoded), bytes);
+    }
+
+    #[test]
+    fn meta_matches_body() {
+        let original = analysis(2021);
+        let bytes = encode_year(&original);
+        let meta = read_meta(&bytes).expect("meta reads");
+        assert_eq!(meta.year, 2021);
+        assert_eq!(meta.total_packets, original.total_packets);
+        assert_eq!(meta.distinct_sources, original.distinct_sources);
+        assert_eq!(meta.campaigns, original.campaigns.len() as u64);
+        assert_eq!(
+            meta.ports,
+            original.port_packets.keys().copied().collect::<Vec<_>>()
+        );
+        assert_eq!(meta.sources.len() as u64, original.distinct_sources);
+    }
+
+    #[test]
+    fn corruption_yields_typed_errors_never_panics() {
+        let bytes = encode_year(&analysis(2017));
+        // Truncated at every prefix length: typed error, no panic.
+        for cut in [0, 7, 8, 12, 20, 27, 28, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_year(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(decode_year(&bad), Err(StoreError::BadMagic));
+        // Unsupported version.
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        assert_eq!(decode_year(&bad), Err(StoreError::UnsupportedVersion(99)));
+        // Flipped payload byte → checksum mismatch.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert_eq!(decode_year(&bad), Err(StoreError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn store_write_load_year() {
+        let dir = std::env::temp_dir().join(format!("synstore-t1-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = AnalysisStore::open(&dir).expect("open");
+        let original = analysis(2020);
+        store.write_year(&original).expect("write");
+        assert_eq!(store.years().expect("years"), vec![2020]);
+        assert_eq!(store.load_year(2020).expect("load"), original);
+        assert_eq!(store.load_year(2021), Err(StoreError::MissingYear(2021)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partials_merge_and_full_slice_supersedes() {
+        let dir = std::env::temp_dir().join(format!("synstore-t2-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = AnalysisStore::open(&dir).expect("open");
+
+        // Two disjoint-source partials of the same year.
+        let cfg = CampaignConfig {
+            min_distinct_dests: 5,
+            min_rate_pps: 1.0,
+            expiry_secs: 3600.0,
+            monitored_addresses: 1 << 16,
+        };
+        let mut c1 = YearCollector::new(2018, cfg.clone());
+        let mut c2 = YearCollector::new(2018, cfg);
+        for i in 0..20u32 {
+            c1.offer(&record(21, 400 + i, 443, u64::from(i) * 100_000));
+            c2.offer(&record(22, 500 + i, 23, u64::from(i) * 100_000 + 1));
+        }
+        let p1 = c1.finish();
+        let p2 = c2.finish();
+        let merged = YearAnalysis::merge_partials(vec![p1.clone(), p2.clone()]);
+
+        store.write_partial(&p1, "shard0").expect("p1");
+        store.write_partial(&p2, "shard1").expect("p2");
+        assert_eq!(store.slice_files().expect("files").len(), 2);
+        assert_eq!(store.load_year(2018).expect("merged"), merged);
+
+        // Promoting the full slice retires the partials.
+        store.write_year(&merged).expect("promote");
+        assert_eq!(store.slice_files().expect("files").len(), 1);
+        assert_eq!(store.load_year(2018).expect("full"), merged);
+
+        assert!(store.write_partial(&merged, "bad label").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn image_cell_swap_protocol() {
+        let mut image = StoreImage::empty();
+        image.years = vec![analysis(2015)];
+        let cell = ImageCell::new(image);
+        let mut reader = cell.reader();
+        assert_eq!(reader.image().generation, 1);
+        assert_eq!(reader.image().year_list(), vec![2015]);
+
+        let mut next = StoreImage::empty();
+        next.years = vec![analysis(2015), analysis(2016)];
+        let generation = cell.install(next);
+        assert_eq!(generation, 2);
+        assert_eq!(reader.image().generation, 2);
+        assert_eq!(reader.image().year_list(), vec![2015, 2016]);
+    }
+}

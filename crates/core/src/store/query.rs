@@ -1,0 +1,284 @@
+//! The serve query protocol: line-delimited JSON requests answered from a
+//! [`StoreImage`].
+//!
+//! One request per line, one response per line. Requests are JSON objects
+//! with an `"op"` field; responses are `{"ok":true,"body":"…"}` with the
+//! rendered artifact embedded as a JSON string, or
+//! `{"ok":false,"error":"…"}`. Embedding the artifact as a *string* (not a
+//! nested object) is deliberate: the body bytes are produced by the same
+//! `report` renderers the batch binaries use, so extracting `body` from a
+//! daemon response and `diff`ing it against the batch file is an exact
+//! byte comparison — no JSON re-serialization in between to perturb float
+//! formatting or key order.
+//!
+//! Data ops (answered by any reader thread, lock-free):
+//!
+//! | request | body |
+//! |---|---|
+//! | `{"op":"ping"}` | `pong` |
+//! | `{"op":"years"}` | compact JSON year array |
+//! | `{"op":"stats"}` | image stats (generation, slices, totals) |
+//! | `{"op":"table1"}` | `DecadeReport` pretty JSON (= `out/table1.json`) |
+//! | `{"op":"summary","year":Y}` | that year's `YearSummary` pretty JSON |
+//! | `{"op":"source","ip":"A.B.C.D"}` | `SourceHistory` pretty JSON |
+//! | `{"op":"port","port":N}` | `PortTrend` pretty JSON |
+//! | `{"op":"campaigns","ip":"A.B.C.D"}` | `CampaignLookup` pretty JSON |
+//!
+//! Admin ops (`{"op":"reload"}`, `{"op":"shutdown"}`) parse here too but
+//! are intercepted by the daemon's connection loop — the single writer
+//! thread applies reloads; [`answer`] treats them as no-ops so the offline
+//! (`--store-dir --query`) client stays a drop-in stand-in for a daemon.
+
+use serde::Serialize;
+
+use synscan_wire::Ipv4Address;
+
+use super::StoreImage;
+use crate::analysis::yearly::summarize;
+use crate::report::{campaign_lookup, port_trend, source_history, DecadeReport};
+
+/// Ranking depth for table/summary bodies — the paper prints 5, and the
+/// batch `repro` artifacts use the same depth, which the byte-equivalence
+/// guarantee depends on.
+pub const TOP_N: usize = 5;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// List the years the image covers.
+    Years,
+    /// Image statistics (generation, slice count, totals).
+    Stats,
+    /// The full Table 1 report as pretty JSON.
+    Table1,
+    /// One year's summary.
+    Summary {
+        /// The requested calendar year.
+        year: u16,
+    },
+    /// Per-source decade history.
+    Source {
+        /// The source address.
+        ip: Ipv4Address,
+    },
+    /// Per-port yearly trend.
+    Port {
+        /// The destination port.
+        port: u16,
+    },
+    /// Campaign lookup for a source.
+    Campaigns {
+        /// The source address.
+        ip: Ipv4Address,
+    },
+    /// Ask the writer thread to reload the store from disk.
+    Reload,
+    /// Ask the daemon to exit.
+    Shutdown,
+}
+
+#[derive(Serialize)]
+struct OkResponse<'a> {
+    ok: bool,
+    body: &'a str,
+}
+
+#[derive(Serialize)]
+struct ErrResponse<'a> {
+    ok: bool,
+    error: &'a str,
+}
+
+/// A single-line success response with `body` embedded as a JSON string.
+pub fn ok_line(body: &str) -> String {
+    serde_json::to_string(&OkResponse { ok: true, body }).expect("response serializes")
+}
+
+/// A single-line error response.
+pub fn err_line(error: &str) -> String {
+    serde_json::to_string(&ErrResponse { ok: false, error }).expect("response serializes")
+}
+
+/// Extract the `body` string from a response line produced by [`ok_line`].
+/// Returns `None` for error responses or non-protocol lines — used by the
+/// client's `--bodies` mode and the CI diff scripts.
+pub fn body_of(line: &str) -> Option<String> {
+    let value: serde_json::Value = serde_json::from_str(line).ok()?;
+    if value.get("ok")?.as_bool()? {
+        Some(value.get("body")?.as_str()?.to_string())
+    } else {
+        None
+    }
+}
+
+/// Parse one request line. Errors are human-readable strings ready for
+/// [`err_line`] — a malformed request must never take the daemon down.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value: serde_json::Value =
+        serde_json::from_str(line).map_err(|e| format!("bad request JSON: {e}"))?;
+    let op = value
+        .get("op")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| "request has no \"op\" field".to_string())?;
+    let ip_field = |value: &serde_json::Value| -> Result<Ipv4Address, String> {
+        let text = value
+            .get("ip")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("op {op:?} needs an \"ip\" field"))?;
+        text.parse::<Ipv4Address>()
+            .map_err(|_| format!("bad IPv4 address {text:?}"))
+    };
+    match op {
+        "ping" => Ok(Request::Ping),
+        "years" => Ok(Request::Years),
+        "stats" => Ok(Request::Stats),
+        "table1" => Ok(Request::Table1),
+        "summary" => {
+            let year = value
+                .get("year")
+                .and_then(|v| v.as_u64())
+                .filter(|y| *y <= u64::from(u16::MAX))
+                .ok_or_else(|| "op \"summary\" needs a \"year\" field".to_string())?;
+            Ok(Request::Summary { year: year as u16 })
+        }
+        "source" => Ok(Request::Source {
+            ip: ip_field(&value)?,
+        }),
+        "port" => {
+            let port = value
+                .get("port")
+                .and_then(|v| v.as_u64())
+                .filter(|p| *p <= u64::from(u16::MAX))
+                .ok_or_else(|| "op \"port\" needs a \"port\" field (0-65535)".to_string())?;
+            Ok(Request::Port { port: port as u16 })
+        }
+        "campaigns" => Ok(Request::Campaigns {
+            ip: ip_field(&value)?,
+        }),
+        "reload" => Ok(Request::Reload),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Image statistics for the `stats` op.
+#[derive(Debug, Serialize)]
+struct ImageStats {
+    generation: u64,
+    slice_files: usize,
+    years: Vec<u16>,
+    total_packets: u64,
+    distinct_sources: u64,
+    campaigns: u64,
+}
+
+/// Answer a data request from an image, returning the full response line.
+///
+/// Admin requests ([`Request::Reload`], [`Request::Shutdown`]) get a no-op
+/// acknowledgement here; the daemon intercepts them before calling this.
+pub fn answer(image: &StoreImage, request: &Request) -> String {
+    match request {
+        Request::Ping => ok_line("pong"),
+        Request::Years => {
+            let body = serde_json::to_string(&image.year_list()).expect("years serialize");
+            ok_line(&body)
+        }
+        Request::Stats => {
+            let stats = ImageStats {
+                generation: image.generation,
+                slice_files: image.slice_files,
+                years: image.year_list(),
+                total_packets: image.years.iter().map(|y| y.total_packets).sum(),
+                distinct_sources: image.years.iter().map(|y| y.distinct_sources).sum(),
+                campaigns: image.years.iter().map(|y| y.campaigns.len() as u64).sum(),
+            };
+            let body = serde_json::to_string_pretty(&stats).expect("stats serialize");
+            ok_line(&body)
+        }
+        Request::Table1 => ok_line(&DecadeReport::from_years(&image.years, TOP_N).to_json()),
+        Request::Summary { year } => match image.year(*year) {
+            Some(analysis) => {
+                let body = serde_json::to_string_pretty(&summarize(analysis, TOP_N))
+                    .expect("summary serializes");
+                ok_line(&body)
+            }
+            None => err_line(&format!("no store slice covers year {year}")),
+        },
+        Request::Source { ip } => ok_line(&source_history(&image.years, *ip).to_json()),
+        Request::Port { port } => ok_line(&port_trend(&image.years, *port).to_json()),
+        Request::Campaigns { ip } => ok_line(&campaign_lookup(&image.years, *ip).to_json()),
+        Request::Reload => ok_line("reload: no-op (no daemon writer on this path)"),
+        Request::Shutdown => ok_line("shutdown: no-op (no daemon on this path)"),
+    }
+}
+
+/// Parse + answer one raw line: the whole per-line protocol for contexts
+/// without a daemon (the offline client, tests, benches).
+pub fn answer_line(image: &StoreImage, line: &str) -> String {
+    match parse_request(line) {
+        Ok(request) => answer(image, &request),
+        Err(error) => err_line(&error),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request("{\"op\":\"nope\"}").is_err());
+        assert!(parse_request("{\"op\":\"port\"}").is_err());
+        assert!(parse_request("{\"op\":\"port\",\"port\":70000}").is_err());
+        assert!(parse_request("{\"op\":\"source\",\"ip\":\"1.2.3\"}").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_every_op() {
+        assert_eq!(parse_request("{\"op\":\"ping\"}"), Ok(Request::Ping));
+        assert_eq!(
+            parse_request("{\"op\":\"summary\",\"year\":2020}"),
+            Ok(Request::Summary { year: 2020 })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"source\",\"ip\":\"10.0.0.1\"}"),
+            Ok(Request::Source {
+                ip: Ipv4Address::new(10, 0, 0, 1)
+            })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"port\",\"port\":443}"),
+            Ok(Request::Port { port: 443 })
+        );
+        assert_eq!(parse_request("{\"op\":\"reload\"}"), Ok(Request::Reload));
+    }
+
+    #[test]
+    fn responses_are_single_lines_and_bodies_extract() {
+        let image = StoreImage::empty();
+        let line = answer_line(&image, "{\"op\":\"ping\"}");
+        assert!(!line.contains('\n'));
+        assert_eq!(body_of(&line).as_deref(), Some("pong"));
+        let err = answer_line(&image, "junk");
+        assert!(err.starts_with("{\"ok\":false"));
+        assert_eq!(body_of(&err), None);
+        // A pretty-JSON body round-trips through the envelope byte-exactly.
+        let table = answer_line(&image, "{\"op\":\"table1\"}");
+        assert!(!table.contains('\n'));
+        assert_eq!(
+            body_of(&table).as_deref(),
+            Some(DecadeReport::from_years(&[], TOP_N).to_json().as_str())
+        );
+    }
+
+    #[test]
+    fn missing_year_is_an_error_response() {
+        let image = StoreImage::empty();
+        let line = answer_line(&image, "{\"op\":\"summary\",\"year\":2020}");
+        assert!(line.starts_with("{\"ok\":false"));
+    }
+}

@@ -202,6 +202,19 @@ pub struct AnalyzeResult {
     pub faults: FaultCounters,
 }
 
+impl AnalyzeResult {
+    /// Persist the analysis as a full store slice for its label year — the
+    /// same atomic write path (`--store-dir`) every run variant funnels
+    /// terminal state through, making the capture queryable by
+    /// `synscan-serve` without re-running the analysis.
+    pub fn persist(
+        &self,
+        store: &synscan_core::store::AnalysisStore,
+    ) -> Result<std::path::PathBuf, synscan_core::store::StoreError> {
+        store.write_year(&self.analysis)
+    }
+}
+
 /// Count the distinct probed destinations of a capture in one streaming
 /// pass — the monitored-address inference without holding any records. The
 /// `analyze` binary uses this as pass one of its two-pass streaming mode.

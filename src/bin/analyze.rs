@@ -6,7 +6,7 @@
 //!         [--ingest read|mmap|mmap:N]
 //!         [--fault-policy fail|skip|stop] [--chaos-seed N]
 //!         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
-//!         [--die-after-checkpoints K]
+//!         [--die-after-checkpoints K] [--store-dir DIR]
 //! ```
 //!
 //! The capture is SYN-filtered, fingerprinted, grouped into campaigns and
@@ -45,6 +45,12 @@
 //! `--monitored`, file input); `--die-after-checkpoints K` is the
 //! kill-and-resume drill hook.
 //!
+//! `--store-dir DIR` persists the finished analysis as a versioned store
+//! slice (`year-YYYY.store`) — the same terminal-state path `repro` uses —
+//! so a capture analyzed here is immediately queryable by `synscan-serve`.
+//! Every run variant (streaming, mapped, materialized, checkpointed)
+//! funnels through the one store write.
+//!
 //! Try it on the repository's own artifact:
 //!
 //! ```text
@@ -55,12 +61,13 @@
 
 use std::fs::File;
 use std::io::BufReader;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use synscan::analyze::{
     analyze_pcap, analyze_pcap_checkpointed, analyze_pcap_mapped, infer_monitored_mapped,
-    infer_monitored_with_policy, render_report, AnalyzeOptions, AnalyzeStatus,
+    infer_monitored_with_policy, render_report, AnalyzeOptions, AnalyzeResult, AnalyzeStatus,
 };
+use synscan::core::store::AnalysisStore;
 use synscan::experiment::CheckpointSpec;
 use synscan_wire::ingest::{IngestMode, MappedCapture};
 
@@ -69,7 +76,7 @@ const USAGE: &str = "usage: analyze <capture.pcap | -> [--monitored N] [--year Y
                      [--ingest read|mmap|mmap:N] \
                      [--fault-policy fail|skip|stop] [--chaos-seed N] \
                      [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
-                     [--die-after-checkpoints K]\n\
+                     [--die-after-checkpoints K] [--store-dir DIR]\n\
                      \n  <capture.pcap | ->  classic pcap file, or `-` for stdin\
                      \n  --monitored N       dark (monitored) address count; default: inferred \
                      from the capture\
@@ -91,7 +98,9 @@ const USAGE: &str = "usage: analyze <capture.pcap | -> [--monitored N] [--year Y
                      \n  --resume            restart from the latest checkpoint in \
                      --checkpoint-dir\
                      \n  --die-after-checkpoints K  abort the process after K checkpoints \
-                     (kill-and-resume drill)";
+                     (kill-and-resume drill)\
+                     \n  --store-dir DIR     persist the finished analysis as a versioned \
+                     store slice in DIR (queryable by synscan-serve)";
 
 fn flag_value<T: std::str::FromStr>(
     args: &mut impl Iterator<Item = String>,
@@ -106,10 +115,26 @@ fn flag_value<T: std::str::FromStr>(
         .map_err(|_| format!("{flag}: invalid value `{value}` ({what})"))
 }
 
+/// Persist a finished analysis into `--store-dir`, if one was given — the
+/// single exit point every run variant below funnels through.
+fn persist_result(result: &AnalyzeResult, store_dir: Option<&Path>) -> Result<(), String> {
+    let Some(dir) = store_dir else {
+        return Ok(());
+    };
+    let store = AnalysisStore::open(dir)
+        .map_err(|e| format!("cannot open analysis store {}: {e}", dir.display()))?;
+    let path = result
+        .persist(&store)
+        .map_err(|e| format!("cannot persist analysis into {}: {e}", dir.display()))?;
+    eprintln!("[analyze] store slice written: {}", path.display());
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     let mut path: Option<String> = None;
     let mut options = AnalyzeOptions::default();
+    let mut store_dir: Option<PathBuf> = None;
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut checkpoint_every: u64 = 500_000;
     let mut resume = false;
@@ -120,6 +145,13 @@ fn run() -> Result<(), String> {
                 checkpoint_dir = Some(PathBuf::from(flag_value::<String>(
                     &mut args,
                     "--checkpoint-dir",
+                    "a directory",
+                )?))
+            }
+            "--store-dir" => {
+                store_dir = Some(PathBuf::from(flag_value::<String>(
+                    &mut args,
+                    "--store-dir",
                     "a directory",
                 )?))
             }
@@ -196,6 +228,7 @@ fn run() -> Result<(), String> {
         }
         let result = analyze_pcap_mapped(bytes, &options)
             .map_err(|e| format!("cannot analyze {path}: {e}"))?;
+        persist_result(&result, store_dir.as_deref())?;
         print!("{}", render_report(&result));
         return Ok(());
     }
@@ -210,6 +243,7 @@ fn run() -> Result<(), String> {
         let stdin = std::io::stdin();
         let result = analyze_pcap(stdin.lock(), &options)
             .map_err(|e| format!("cannot analyze stdin: {e}"))?;
+        persist_result(&result, store_dir.as_deref())?;
         print!("{}", render_report(&result));
         return Ok(());
     }
@@ -235,6 +269,7 @@ fn run() -> Result<(), String> {
     let Some(dir) = checkpoint_dir else {
         let result = analyze_pcap(open(&path)?, &options)
             .map_err(|e| format!("cannot analyze {path}: {e}"))?;
+        persist_result(&result, store_dir.as_deref())?;
         print!("{}", render_report(&result));
         return Ok(());
     };
@@ -266,6 +301,7 @@ fn run() -> Result<(), String> {
                 "[analyze] {checkpoints} checkpoints written to {}",
                 dir.display()
             );
+            persist_result(&result, store_dir.as_deref())?;
             print!("{}", render_report(&result));
             Ok(())
         }

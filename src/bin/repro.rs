@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale tiny|small|default] [--out DIR]
+//! repro [--scale tiny|small|default] [--out DIR] [--store-dir DIR]
 //!       [--pipeline sequential|auto|sharded:N] [--materialize]
 //!       [--ingest read|mmap|mmap:N]
 //!       [--chaos-seed N] [--fault-policy fail|skip|stop]
@@ -37,6 +37,13 @@
 //! `--die-after-checkpoints K` is the kill-and-resume drill: abort the
 //! process (as a crash would) right after K checkpoints per year.
 //!
+//! Every run's terminal state is written through the versioned analysis
+//! store (`--store-dir`, default `OUT/store`): one `year-YYYY.store` slice
+//! per year, written atomically. The tables and figures are then rendered
+//! from the *reloaded* store image — not from the in-memory run — so the
+//! artifacts double as a store round-trip proof, and `synscan-serve` can
+//! answer queries over the same slices the batch run produced.
+//!
 //! Each target prints its reproduction to stdout and writes a JSON artifact
 //! into the output directory. EXPERIMENTS.md records how the output compares
 //! with the paper's numbers.
@@ -45,18 +52,21 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use synscan::core::analysis::YearAnalysis;
 use synscan::core::analysis::{
     blocklist, events, geo, institutions, portspread, recurrence, speedcov, toolports, types,
     vertical, volatility,
 };
 use synscan::core::report::render_series;
+use synscan::core::store::{AnalysisStore, StoreImage};
 use synscan::experiment::{CheckpointSpec, DecadeRun, DecadeStatus, Experiment};
-use synscan::netmodel::ScannerClass;
+use synscan::netmodel::{InternetRegistry, ScannerClass};
 use synscan::wire::ingest::{IngestMode, MappedCapture};
 use synscan::wire::{ChaosPlan, FaultPolicy};
 use synscan::{GeneratorConfig, PipelineMode, ToolKind, YearConfig};
 
 const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out DIR] \
+                     [--store-dir DIR] \
                      [--pipeline sequential|auto|sharded:N] [--materialize] \
                      [--ingest read|mmap|mmap:N] \
                      [--chaos-seed N] [--fault-policy fail|skip|stop] \
@@ -65,6 +75,9 @@ const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out
                      \n  --scale NAME        generator scale: tiny | small | default\
                      \n  --seed N            override the generator seed (u64)\
                      \n  --out DIR           artifact output directory (default ./out)\
+                     \n  --store-dir DIR     analysis store directory holding the per-year \
+                     slices every run persists and all rendering reads back \
+                     (default OUT/store)\
                      \n  --pipeline MODE     sequential | auto | sharded:N (default auto)\
                      \n  --materialize       build each year's full record vector before \
                      analysis instead of streaming it (same bytes, O(year) memory)\
@@ -107,6 +120,7 @@ fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     let mut scale = "default".to_string();
     let mut out_dir = PathBuf::from("out");
+    let mut store_dir: Option<PathBuf> = None;
     let mut seed_override: Option<u64> = None;
     let mut pipeline = PipelineMode::auto();
     let mut materialize = false;
@@ -141,6 +155,13 @@ fn run() -> Result<(), String> {
             "--scale" => scale = flag_value(&mut args, "--scale", "tiny|small|default")?,
             "--out" => {
                 out_dir = PathBuf::from(flag_value::<String>(&mut args, "--out", "a directory")?)
+            }
+            "--store-dir" => {
+                store_dir = Some(PathBuf::from(flag_value::<String>(
+                    &mut args,
+                    "--store-dir",
+                    "a directory",
+                )?))
             }
             "--seed" => seed_override = Some(flag_value(&mut args, "--seed", "a u64 seed")?),
             "--pipeline" => {
@@ -192,6 +213,9 @@ fn run() -> Result<(), String> {
     }
     fs::create_dir_all(&out_dir)
         .map_err(|e| format!("cannot create output dir {}: {e}", out_dir.display()))?;
+    let store_dir = store_dir.unwrap_or_else(|| out_dir.join("store"));
+    let store = AnalysisStore::open(&store_dir)
+        .map_err(|e| format!("cannot open analysis store {}: {e}", store_dir.display()))?;
 
     eprintln!(
         "[repro] scale={scale}: telescope 1/{}, population 1/{}, {} days/year, pipeline {pipeline}{}{}",
@@ -219,7 +243,7 @@ fn run() -> Result<(), String> {
                 return Err("--resume / --die-after-checkpoints need --checkpoint-dir".into());
             }
             experiment
-                .try_run_decade()
+                .run_decade_into(&store)
                 .map_err(|e| format!("decade run failed: {e} (try --fault-policy skip)"))?
         }
         Some(dir) => {
@@ -246,6 +270,12 @@ fn run() -> Result<(), String> {
                             supervision.retried
                         );
                     }
+                    // The checkpointed driver does not stream per-year
+                    // persistence; funnel its terminal state through the
+                    // same store write path here.
+                    run.persist(&store).map_err(|e| {
+                        format!("cannot persist run into {}: {e}", store_dir.display())
+                    })?;
                     run
                 }
                 DecadeStatus::Interrupted {
@@ -284,47 +314,87 @@ fn run() -> Result<(), String> {
         eprintln!("[repro] capture faults across the decade: {faults}");
     }
 
+    // Render from the *reloaded* store image, not the in-memory run: every
+    // artifact below is proof the slices on disk round-trip the analyses
+    // bit-exactly, and `synscan-serve` answers from the very same files.
+    let image = StoreImage::load(&store)
+        .map_err(|e| format!("cannot load analysis store {}: {e}", store_dir.display()))?;
+    eprintln!(
+        "[repro] analysis store: {} slice file(s) covering years {:?} in {}",
+        image.slice_files,
+        image.year_list(),
+        store_dir.display()
+    );
+    let DecadeRun {
+        registry,
+        monitored,
+        ..
+    } = run;
+    let view = StoreView {
+        years: image.years,
+        registry,
+        monitored,
+    };
+
     let want = |t: &str| targets.iter().any(|x| x == t || x == "all");
     if want("table1") {
-        table1(&run, &out_dir)?;
+        table1(&view, &out_dir)?;
     }
     if want("table2") {
-        table2(&run, &out_dir)?;
+        table2(&view, &out_dir)?;
     }
     if want("fig1") {
-        fig1(&run, &out_dir)?;
+        fig1(&view, &out_dir)?;
     }
     if want("fig2") {
-        fig2(&run, &out_dir)?;
+        fig2(&view, &out_dir)?;
     }
     if want("fig3") {
-        fig3(&run, &out_dir)?;
+        fig3(&view, &out_dir)?;
     }
     if want("fig4") {
-        fig4(&run, &out_dir)?;
+        fig4(&view, &out_dir)?;
     }
     if want("fig5") {
-        fig5(&run, &out_dir)?;
+        fig5(&view, &out_dir)?;
     }
     if want("fig6") {
-        fig6(&run, &out_dir)?;
+        fig6(&view, &out_dir)?;
     }
     if want("fig7") {
-        fig7(&run, &out_dir)?;
+        fig7(&view, &out_dir)?;
     }
     if want("fig8") || want("fig9") || want("fig10") {
-        fig8_9_10(&run, &out_dir)?;
+        fig8_9_10(&view, &out_dir)?;
     }
     if want("prose") {
-        prose(&run, &out_dir)?;
+        prose(&view, &out_dir)?;
     }
     if want("etl") {
-        etl(&run, &out_dir)?;
+        etl(&view, &out_dir)?;
     }
     if want("pcap") {
         pcap_export(&gen, &out_dir, ingest)?;
     }
     Ok(())
+}
+
+/// What rendering needs from a finished run: the per-year analyses as read
+/// back from the on-disk store, plus the world context the store does not
+/// persist (the synthetic registry and the telescope size).
+struct StoreView {
+    /// Per-year analyses, ascending by year, reloaded from store slices.
+    years: Vec<YearAnalysis>,
+    /// The synthetic Internet the enrichment lookups resolve against.
+    registry: InternetRegistry,
+    /// Monitored telescope addresses.
+    monitored: u64,
+}
+
+impl StoreView {
+    fn year(&self, year: u16) -> Option<&YearAnalysis> {
+        self.years.iter().find(|a| a.year == year)
+    }
 }
 
 fn main() {
@@ -434,13 +504,13 @@ fn pcap_export(gen: &GeneratorConfig, out: &Path, ingest: IngestMode) -> Result<
 
 /// Appendix A: the two-phase known-scanner identification ETL, run against
 /// synthesized Greynoise/rDNS-style feeds.
-fn etl(run: &DecadeRun, out: &Path) -> Result<(), String> {
+fn etl(view: &StoreView, out: &Path) -> Result<(), String> {
     use synscan::netmodel::etl as etl_mod;
     println!("=== Appendix A: known-scanner identification ETL ===");
     // Feeds label only 40% of org sources directly; keyword matching must
     // recover the rest (the paper's Phase 2).
-    let feed = etl_mod::synthesize_feeds(&run.registry, 6, 0.4);
-    let result = etl_mod::run_etl(&run.registry, &feed);
+    let feed = etl_mod::synthesize_feeds(&view.registry, 6, 0.4);
+    let result = etl_mod::run_etl(&view.registry, &feed);
     println!(
         "feed: {} records | phase 1 (IP match): {} | phase 2 (keyword): {} | orgs identified: {}",
         feed.len(),
@@ -455,13 +525,13 @@ fn etl(run: &DecadeRun, out: &Path) -> Result<(), String> {
     );
     // How much 2024 traffic the attributions cover (the appendix: 40 orgs =
     // 0.62% of sources, 50.86% of traffic).
-    if let Some(yr) = run.years.iter().find(|y| y.analysis.year == 2024) {
+    if let Some(yr) = view.year(2024) {
         use synscan::core::analysis::institutions;
         let (src_share, pkt_share) = institutions::known_org_shares(
-            &yr.analysis.campaigns,
-            &run.registry,
-            yr.analysis.distinct_sources,
-            yr.analysis.total_packets,
+            &yr.campaigns,
+            &view.registry,
+            yr.distinct_sources,
+            yr.total_packets,
         );
         println!(
             "2024: identified orgs hold {:.2}% of sources and {:.1}% of traffic (paper: 0.62% / 50.86%)",
@@ -491,8 +561,8 @@ fn write_json(out_dir: &Path, name: &str, value: &impl serde::Serialize) -> Resu
     Ok(())
 }
 
-fn table1(run: &DecadeRun, out: &Path) -> Result<(), String> {
-    let report = run.report();
+fn table1(view: &StoreView, out: &Path) -> Result<(), String> {
+    let report = synscan::core::report::DecadeReport::from_years(&view.years, 5);
     println!("=== Table 1: scan volume, top ports, tools by scans, 2015-2024 ===");
     println!("{}", report.render_table1());
     println!(
@@ -506,15 +576,15 @@ fn table1(run: &DecadeRun, out: &Path) -> Result<(), String> {
     write_json(out, "table1.json", &report)
 }
 
-fn table2(run: &DecadeRun, out: &Path) -> Result<(), String> {
+fn table2(view: &StoreView, out: &Path) -> Result<(), String> {
     // Table 2 is decade-wide: aggregate sources/scans/packets over all years.
     let mut agg: BTreeMap<ScannerClass, [f64; 3]> = BTreeMap::new();
     let mut totals = [0.0f64; 3];
-    for year in &run.years {
-        let shares = types::class_shares(&year.analysis, &run.registry);
-        let sources = year.analysis.distinct_sources as f64;
-        let scans = year.analysis.campaigns.len() as f64;
-        let packets = year.analysis.total_packets as f64;
+    for analysis in &view.years {
+        let shares = types::class_shares(&analysis, &view.registry);
+        let sources = analysis.distinct_sources as f64;
+        let scans = analysis.campaigns.len() as f64;
+        let packets = analysis.total_packets as f64;
         totals[0] += sources;
         totals[1] += scans;
         totals[2] += packets;
@@ -549,37 +619,37 @@ fn table2(run: &DecadeRun, out: &Path) -> Result<(), String> {
     write_json(out, "table2.json", &artifact)
 }
 
-fn fig1(run: &DecadeRun, out: &Path) -> Result<(), String> {
+fn fig1(view: &StoreView, out: &Path) -> Result<(), String> {
     println!("=== Figure 1: post-disclosure surge and decay ===");
     let mut artifact = Vec::new();
-    for year in &run.years {
-        for event in &YearConfig::for_year(year.analysis.year).events {
+    for analysis in &view.years {
+        for event in &YearConfig::for_year(analysis.year).events {
             let spec = events::EventSpec {
                 port: event.port,
                 disclosure_day: event.day,
             };
-            let curve = events::event_curve(&year.analysis, spec, 6);
-            let ks = events::ks_return_to_normal(&year.analysis, spec, 2, 4);
+            let curve = events::event_curve(&analysis, spec, 6);
+            let ks = events::ks_return_to_normal(&analysis, spec, 2, 4);
             println!(
                 "{} port {:>5}: peak {:>5.1}x baseline, back under 2x after {:?} days, KS(after) D={}",
-                year.analysis.year,
+                analysis.year,
                 event.port,
                 curve.peak(),
                 curve.days_to_return(2.0),
                 ks.map(|k| format!("{:.3}", k.statistic))
                     .unwrap_or_else(|| "n/a".to_string())
             );
-            artifact.push((year.analysis.year, event.port, curve.relative.clone()));
+            artifact.push((analysis.year, event.port, curve.relative.clone()));
         }
     }
     write_json(out, "fig1.json", &artifact)
 }
 
-fn fig2(run: &DecadeRun, out: &Path) -> Result<(), String> {
+fn fig2(view: &StoreView, out: &Path) -> Result<(), String> {
     println!("=== Figure 2: weekly change per /16 (latest year) ===");
     let mut artifact = BTreeMap::new();
-    for year in &run.years {
-        let v = volatility::weekly_change(&year.analysis);
+    for analysis in &view.years {
+        let v = volatility::weekly_change(&analysis);
         if v.packets.is_empty() {
             continue;
         }
@@ -587,7 +657,7 @@ fn fig2(run: &DecadeRun, out: &Path) -> Result<(), String> {
         let (s3, _, _) = v.fraction_changing_by(3.0);
         println!(
             "{}: >=2x change: sources {:.0}%, campaigns {:.0}%, packets {:.0}% | >=3x sources {:.0}%",
-            year.analysis.year,
+            analysis.year,
             s2 * 100.0,
             c2 * 100.0,
             p2 * 100.0,
@@ -596,7 +666,7 @@ fn fig2(run: &DecadeRun, out: &Path) -> Result<(), String> {
         // Full CDF series on a factor grid, for plotting.
         let grid: Vec<f64> = (0..40).map(|i| 1.0 + f64::from(i) * 0.25).collect();
         artifact.insert(
-            year.analysis.year,
+            analysis.year,
             serde_json::json!({
                 "ge2x": (s2, c2, p2),
                 "ge3x_sources": s3,
@@ -608,24 +678,24 @@ fn fig2(run: &DecadeRun, out: &Path) -> Result<(), String> {
     write_json(out, "fig2.json", &artifact)
 }
 
-fn fig3(run: &DecadeRun, out: &Path) -> Result<(), String> {
+fn fig3(view: &StoreView, out: &Path) -> Result<(), String> {
     println!("=== Figure 3: distinct ports per source (CDF head) ===");
     let mut artifact = BTreeMap::new();
-    for year in &run.years {
-        let single = portspread::single_port_fraction(&year.analysis);
-        let five_plus = portspread::at_least_n_ports_fraction(&year.analysis, 5);
-        let ten_plus = portspread::at_least_n_ports_fraction(&year.analysis, 10);
+    for analysis in &view.years {
+        let single = portspread::single_port_fraction(&analysis);
+        let five_plus = portspread::at_least_n_ports_fraction(&analysis, 5);
+        let ten_plus = portspread::at_least_n_ports_fraction(&analysis, 10);
         println!(
             "{}: exactly-1-port {:.0}%, >=5 ports {:.1}%, >=10 ports {:.1}%",
-            year.analysis.year,
+            analysis.year,
             single * 100.0,
             five_plus * 100.0,
             ten_plus * 100.0
         );
-        let cdf = portspread::ports_per_source_cdf(&year.analysis);
+        let cdf = portspread::ports_per_source_cdf(&analysis);
         let grid: Vec<f64> = [1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0].to_vec();
         artifact.insert(
-            year.analysis.year,
+            analysis.year,
             serde_json::json!({
                 "single": single,
                 "ge5": five_plus,
@@ -637,15 +707,15 @@ fn fig3(run: &DecadeRun, out: &Path) -> Result<(), String> {
     write_json(out, "fig3.json", &artifact)
 }
 
-fn fig4(run: &DecadeRun, out: &Path) -> Result<(), String> {
+fn fig4(view: &StoreView, out: &Path) -> Result<(), String> {
     println!("=== Figure 4: top-10 ports x tool mix ===");
     let mut artifact = BTreeMap::new();
-    for year in &run.years {
-        let rows = toolports::tool_mix_by_port(&year.analysis, 10);
-        let tracked = toolports::tracked_tool_traffic_share(&year.analysis);
+    for analysis in &view.years {
+        let rows = toolports::tool_mix_by_port(&analysis, 10);
+        let tracked = toolports::tracked_tool_traffic_share(&analysis);
         println!(
             "{} (tracked tools carry {:.0}% of traffic):",
-            year.analysis.year,
+            analysis.year,
             tracked * 100.0
         );
         for row in rows.iter().take(5) {
@@ -663,17 +733,17 @@ fn fig4(run: &DecadeRun, out: &Path) -> Result<(), String> {
                 mix
             );
         }
-        artifact.insert(year.analysis.year, (tracked, rows));
+        artifact.insert(analysis.year, (tracked, rows));
     }
     write_json(out, "fig4.json", &artifact)
 }
 
-fn fig5(run: &DecadeRun, out: &Path) -> Result<(), String> {
+fn fig5(view: &StoreView, out: &Path) -> Result<(), String> {
     println!("=== Figure 5: scanner types over the top-15 ports (latest year) ===");
-    let Some(last) = run.years.last() else {
+    let Some(last) = view.years.last() else {
         return Err("decade run produced no years".to_string());
     };
-    let rows = types::class_mix_by_port(&last.analysis, &run.registry, 15);
+    let rows = types::class_mix_by_port(last, &view.registry, 15);
     for row in &rows {
         let mix = row
             .mix
@@ -686,14 +756,14 @@ fn fig5(run: &DecadeRun, out: &Path) -> Result<(), String> {
     write_json(out, "fig5.json", &rows)
 }
 
-fn fig6(run: &DecadeRun, out: &Path) -> Result<(), String> {
+fn fig6(view: &StoreView, out: &Path) -> Result<(), String> {
     println!("=== Figure 6: scanner recurrence and downtime ===");
-    let campaigns: Vec<synscan::Campaign> = run
+    let campaigns: Vec<synscan::Campaign> = view
         .years
         .iter()
-        .flat_map(|y| y.analysis.campaigns.iter().cloned())
+        .flat_map(|y| y.campaigns.iter().cloned())
         .collect();
-    let rec = recurrence::recurrence(&campaigns, &run.registry);
+    let rec = recurrence::recurrence(&campaigns, &view.registry);
     let mut artifact = BTreeMap::new();
     for class in ScannerClass::ALL {
         let many = rec.fraction_with_more_than(class, 5.0);
@@ -709,17 +779,17 @@ fn fig6(run: &DecadeRun, out: &Path) -> Result<(), String> {
     write_json(out, "fig6.json", &artifact)
 }
 
-fn fig7(run: &DecadeRun, out: &Path) -> Result<(), String> {
+fn fig7(view: &StoreView, out: &Path) -> Result<(), String> {
     println!("=== Figure 7: speed & coverage per scanner type (decade) ===");
-    let campaigns: Vec<synscan::Campaign> = run
+    let campaigns: Vec<synscan::Campaign> = view
         .years
         .iter()
-        .flat_map(|y| y.analysis.campaigns.iter().cloned())
+        .flat_map(|y| y.campaigns.iter().cloned())
         .collect();
-    let sc = speedcov::by_class(&campaigns, &run.registry, run.monitored);
+    let sc = speedcov::by_class(&campaigns, &view.registry, view.monitored);
     let mut artifact = BTreeMap::new();
     let overall_mean: f64 = {
-        let model = synscan::stats::TelescopeModel::new(run.monitored);
+        let model = synscan::stats::TelescopeModel::new(view.monitored);
         let speeds: Vec<f64> = campaigns
             .iter()
             .map(|c| c.estimates(&model).rate_pps)
@@ -741,12 +811,12 @@ fn fig7(run: &DecadeRun, out: &Path) -> Result<(), String> {
     write_json(out, "fig7.json", &artifact)
 }
 
-fn fig8_9_10(run: &DecadeRun, out: &Path) -> Result<(), String> {
+fn fig8_9_10(view: &StoreView, out: &Path) -> Result<(), String> {
     for (fig, year) in [("fig9", 2023u16), ("fig10", 2024), ("fig8", 2024)] {
-        let Some(yr) = run.years.iter().find(|y| y.analysis.year == year) else {
+        let Some(yr) = view.year(year) else {
             continue;
         };
-        let rows = institutions::org_port_coverage(&yr.analysis.campaigns, &run.registry);
+        let rows = institutions::org_port_coverage(&yr.campaigns, &view.registry);
         if fig == "fig8" {
             println!("=== Figure 8: port coverage of known scanners in 2024 ===");
             for row in &rows {
@@ -766,16 +836,16 @@ fn fig8_9_10(run: &DecadeRun, out: &Path) -> Result<(), String> {
     Ok(())
 }
 
-fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
+fn prose(view: &StoreView, out: &Path) -> Result<(), String> {
     println!("=== Prose claims (P1-P5) ===");
     let mut artifact: BTreeMap<String, serde_json::Value> = BTreeMap::new();
 
     // P2: port-space coverage and co-scanning.
-    for year in &run.years {
-        let y = year.analysis.year;
+    for analysis in &view.years {
+        let y = analysis.year;
         if y == 2015 || y == 2020 || y == 2022 || y == 2024 {
-            let cov = portspread::privileged_port_coverage(&year.analysis, 0.01);
-            let co = portspread::campaign_co_scan_fraction(&year.analysis, 80, 8080).unwrap_or(0.0);
+            let cov = portspread::privileged_port_coverage(&analysis, 0.01);
+            let co = portspread::campaign_co_scan_fraction(&analysis, 80, 8080).unwrap_or(0.0);
             println!(
                 "{y}: privileged-port coverage {:.0}% | 80->8080 co-scan (campaigns) {:.0}%",
                 cov * 100.0,
@@ -789,12 +859,12 @@ fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
     }
 
     // P3: vertical scans.
-    for year in &run.years {
-        let stats = vertical::vertical_stats(&year.analysis.campaigns, run.monitored);
+    for analysis in &view.years {
+        let stats = vertical::vertical_stats(&analysis.campaigns, view.monitored);
         if stats.over_100_ports > 0 {
             println!(
                 "{}: >100-port scans {} ({:.2}%), >1k {} , >10k {} | >1k mean {:.2} Gbps vs overall {:.1} Mbps",
-                year.analysis.year,
+                analysis.year,
                 stats.over_100_ports,
                 stats.over_100_fraction * 100.0,
                 stats.over_1000_ports,
@@ -804,18 +874,18 @@ fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
             );
         }
         artifact.insert(
-            format!("P3-{}", year.analysis.year),
+            format!("P3-{}", analysis.year),
             serde_json::to_value(stats).map_err(|e| format!("cannot serialize P3 stats: {e}"))?,
         );
     }
 
     // P4: speed <-> ports correlation, geography.
-    let campaigns: Vec<synscan::Campaign> = run
+    let campaigns: Vec<synscan::Campaign> = view
         .years
         .iter()
-        .flat_map(|y| y.analysis.campaigns.iter().cloned())
+        .flat_map(|y| y.campaigns.iter().cloned())
         .collect();
-    if let Some(r) = speedcov::speed_ports_correlation(&campaigns, run.monitored) {
+    if let Some(r) = speedcov::speed_ports_correlation(&campaigns, view.monitored) {
         println!(
             "speed<->ports correlation: R={:.2} p={:.3} (paper: R=0.88, p<0.05)",
             r.r, r.p_value
@@ -826,8 +896,8 @@ fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
         );
     }
     for year in [2015u16, 2024] {
-        if let Some(yr) = run.years.iter().find(|y| y.analysis.year == year) {
-            let shares = geo::country_packet_shares(&yr.analysis.campaigns, &run.registry);
+        if let Some(yr) = view.year(year) {
+            let shares = geo::country_packet_shares(&yr.campaigns, &view.registry);
             let hhi = geo::country_concentration(&shares);
             let mut top: Vec<(String, f64)> = shares
                 .iter()
@@ -852,16 +922,15 @@ fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
     // §5.4: ports dominated >80% by one country (China 14,444, US 666 in
     // 2022). Per §6.8, institutional scanners are filtered out first —
     // otherwise the US-homed research fleets dominate every port they touch.
-    if let Some(yr) = run.years.iter().find(|y| y.analysis.year == 2022) {
+    if let Some(yr) = view.year(2022) {
         use synscan::netmodel::{Country, ScannerClass};
         let non_inst: Vec<synscan::Campaign> = yr
-            .analysis
             .campaigns
             .iter()
-            .filter(|c| run.registry.class(c.src_ip) != ScannerClass::Institutional)
+            .filter(|c| view.registry.class(c.src_ip) != ScannerClass::Institutional)
             .cloned()
             .collect();
-        let dom = geo::port_country_dominance_min(&non_inst, &run.registry, 20);
+        let dom = geo::port_country_dominance_min(&non_inst, &view.registry, 20);
         for country in [Country::China, Country::UnitedStates, Country::Brazil] {
             let count = geo::dominated_port_count(&dom, country, 0.8);
             println!(
@@ -878,24 +947,18 @@ fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
     // §5.1: ports above the daily probe floor ("all ports >1,000/day by 2022",
     // scaled by the volume divisor here).
     for y in [2015u16, 2022, 2024] {
-        if let Some(yr) = run.years.iter().find(|r| r.analysis.year == y) {
-            let n = portspread::ports_above_daily_floor(&yr.analysis, 2.0);
+        if let Some(yr) = view.year(y) {
+            let n = portspread::ports_above_daily_floor(yr, 2.0);
             println!("{y}: {n} distinct ports receive >=2 probes/day (scaled floor)");
             artifact.insert(format!("P2-floor-{y}"), serde_json::json!(n));
         }
     }
 
     // P5: tool speeds and top-speed trend.
-    let years_slices: Vec<(u16, &[synscan::Campaign], u64)> = run
+    let years_slices: Vec<(u16, &[synscan::Campaign], u64)> = view
         .years
         .iter()
-        .map(|y| {
-            (
-                y.analysis.year,
-                y.analysis.campaigns.as_slice(),
-                run.monitored,
-            )
-        })
+        .map(|y| (y.year, y.campaigns.as_slice(), view.monitored))
         .collect();
     if let Some(trend) = speedcov::top_speed_trend(&years_slices, 100) {
         println!(
@@ -907,7 +970,7 @@ fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
             serde_json::json!({"r": trend.r, "p": trend.p_value}),
         );
     }
-    let sc = speedcov::by_tool(&campaigns, run.monitored);
+    let sc = speedcov::by_tool(&campaigns, view.monitored);
     for tool in [
         ToolKind::Nmap,
         ToolKind::Masscan,
@@ -923,9 +986,9 @@ fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
     // §5.1: services vs scans — no relation (paper R = 0.047). Institutional
     // traffic is filtered first (§6.8): research scanners *do* follow
     // deployment, which would manufacture a correlation.
-    if let Some(yr) = run.years.iter().find(|y| y.analysis.year == 2022) {
+    if let Some(yr) = view.year(2022) {
         let census = synscan::netmodel::PortCensus::synthesize(1, 100_000);
-        let filtered = types::non_institutional_port_packets(&yr.analysis, &run.registry);
+        let filtered = types::non_institutional_port_packets(yr, &view.registry);
         if let Some(r) = portspread::correlate_census(&filtered, &census) {
             println!(
                 "services<->scans correlation (2022): R={:.3} (paper: R=0.047 — no relation)",
@@ -939,10 +1002,10 @@ fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
     }
 
     // §4.4/§6.6 implication: blocklists decay within days.
-    if let Some(yr) = run.years.iter().find(|y| y.analysis.year == 2022) {
+    if let Some(yr) = view.year(2022) {
         let day = 86_400_000_000u64;
-        let t0 = yr.analysis.start_micros;
-        let decay = blocklist::blocklist_decay(&yr.analysis.campaigns, t0, day, 5);
+        let t0 = yr.start_micros;
+        let decay = blocklist::blocklist_decay(&yr.campaigns, t0, day, 5);
         let series: Vec<String> = decay
             .iter()
             .map(|e| format!("{:.0}%", e.sources_blocked * 100.0))
@@ -958,10 +1021,10 @@ fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
     }
 
     // §6.1: the Unicorn rarity — 2 distinct source IPs across the decade.
-    let unicorn_sources: std::collections::HashSet<u32> = run
+    let unicorn_sources: std::collections::HashSet<u32> = view
         .years
         .iter()
-        .flat_map(|y| y.analysis.campaigns.iter())
+        .flat_map(|y| y.campaigns.iter())
         .filter(|c| c.tool() == Some(ToolKind::Unicorn))
         .map(|c| c.src_ip.0)
         .collect();
@@ -976,9 +1039,8 @@ fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
 
     // §6.2: Mirai fingerprint port spread in 2020 (paper: 99.6% of ports —
     // here bounded by the scaled packet budget, reported as a count).
-    if let Some(yr) = run.years.iter().find(|y| y.analysis.year == 2020) {
+    if let Some(yr) = view.year(2020) {
         let mirai_ports: std::collections::HashSet<u16> = yr
-            .analysis
             .tool_port_packets
             .iter()
             .filter(|((tool, _), _)| *tool == Some(ToolKind::Mirai))
@@ -997,10 +1059,10 @@ fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
     // §4.1: ZMap scans per day, min/max (paper 2023: min 3,448 / max 9,051;
     // 2024: min 17,122 — "not even close").
     for y in [2023u16, 2024] {
-        if let Some(yr) = run.years.iter().find(|r| r.analysis.year == y) {
+        if let Some(yr) = view.year(y) {
             let mut per_day: BTreeMap<u64, u64> = BTreeMap::new();
-            let t0 = yr.analysis.start_micros;
-            for c in &yr.analysis.campaigns {
+            let t0 = yr.start_micros;
+            for c in &yr.campaigns {
                 if c.tool() == Some(ToolKind::Zmap) {
                     *per_day
                         .entry(c.first_ts_micros.saturating_sub(t0) / 86_400_000_000)
@@ -1019,14 +1081,13 @@ fn prose(run: &DecadeRun, out: &Path) -> Result<(), String> {
 
     // P1: the 2024 ZMap fleet surge.
     let mut series = Vec::new();
-    for year in &run.years {
-        let zmap_scans = year
-            .analysis
+    for analysis in &view.years {
+        let zmap_scans = analysis
             .campaigns
             .iter()
             .filter(|c| c.tool() == Some(ToolKind::Zmap))
             .count();
-        series.push((year.analysis.year, zmap_scans));
+        series.push((analysis.year, zmap_scans));
     }
     println!(
         "{}",

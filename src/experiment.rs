@@ -35,6 +35,7 @@ use rayon::prelude::*;
 use synscan_core::analysis::YearAnalysis;
 use synscan_core::checkpoint::{SnapReader, SnapWriter};
 use synscan_core::pipeline::{try_collect_year_stream, PipelineError, PipelineMode, SizeHints};
+use synscan_core::store::{AnalysisStore, StoreError};
 use synscan_core::{
     run_year_supervised, AdmitState, CampaignConfig, Checkpoint, CheckpointError,
     CheckpointOptions, InjectedFaults, RunError, RunSpec, RunStatus, SupervisionConfig,
@@ -48,6 +49,39 @@ use synscan_wire::chaos::{ChaosPlan, ChaosStream};
 use synscan_wire::stream::{FaultCounters, FaultPolicy, InfallibleStream, SliceStream};
 use synscan_wire::ProbeRecord;
 
+/// Why a store-backed run failed: the measurement run itself, or
+/// persisting its terminal state into the analysis store.
+#[derive(Debug)]
+pub enum StoreRunError {
+    /// The pipeline failed before the year produced an analysis.
+    Run(PipelineError),
+    /// The analysis was computed but could not be persisted.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for StoreRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreRunError::Run(e) => write!(f, "{e}"),
+            StoreRunError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreRunError {}
+
+impl From<PipelineError> for StoreRunError {
+    fn from(e: PipelineError) -> Self {
+        StoreRunError::Run(e)
+    }
+}
+
+impl From<StoreError> for StoreRunError {
+    fn from(e: StoreError) -> Self {
+        StoreRunError::Store(e)
+    }
+}
+
 /// One fully processed year.
 #[derive(Debug, Clone)]
 pub struct YearRun {
@@ -59,6 +93,14 @@ pub struct YearRun {
     pub capture: CaptureStats,
     /// What the fault policy dropped or cut short (zero without chaos).
     pub faults: FaultCounters,
+}
+
+impl YearRun {
+    /// Persist this year's terminal state as a full store slice — the one
+    /// write path every run variant funnels through.
+    pub fn persist(&self, store: &AnalysisStore) -> Result<PathBuf, StoreError> {
+        store.write_year(&self.analysis)
+    }
 }
 
 /// The full decade, plus the shared world.
@@ -100,6 +142,12 @@ impl DecadeRun {
             total.absorb(&y.faults);
         }
         total
+    }
+
+    /// Persist every year's terminal state into the analysis store, one
+    /// full slice per year, returning the written paths ascending by year.
+    pub fn persist(&self, store: &AnalysisStore) -> Result<Vec<PathBuf>, StoreError> {
+        self.years.iter().map(|y| y.persist(store)).collect()
     }
 }
 
@@ -508,6 +556,32 @@ impl Experiment {
         })
     }
 
+    /// Run the whole decade, persisting each year into the analysis store
+    /// *as it completes* (not after the decade finishes), so an interrupted
+    /// decade leaves its finished years queryable and a resumed run only
+    /// recomputes the rest. This — like [`YearRun::persist`] and
+    /// [`DecadeRun::persist`] — funnels terminal state through the one
+    /// atomic store write path.
+    pub fn run_decade_into(self, store: &AnalysisStore) -> Result<DecadeRun, StoreRunError> {
+        let configs = YearConfig::decade();
+        let concurrent = configs.len().min(rayon::current_num_threads()).max(1);
+        let year_mode = self.mode.with_budget(concurrent);
+        let mut years: Vec<YearRun> = configs
+            .par_iter()
+            .map(|cfg| -> Result<YearRun, StoreRunError> {
+                let run = self.try_run_year_cfg_mode(cfg, year_mode)?;
+                run.persist(store)?;
+                Ok(run)
+            })
+            .collect::<Result<_, _>>()?;
+        years.sort_by_key(|y| y.analysis.year);
+        Ok(DecadeRun {
+            years,
+            monitored: self.dark.len() as u64,
+            registry: self.registry,
+        })
+    }
+
     /// Arm deterministic one-shot faults in the supervised shard workers —
     /// the test hook for the panic-containment and retry-from-checkpoint
     /// paths.
@@ -763,6 +837,17 @@ mod tests {
         assert!(!run.analysis.port_packets.contains_key(&445));
         // 2323 passes.
         assert!(run.analysis.port_packets.contains_key(&2323));
+    }
+
+    #[test]
+    fn persisted_year_reloads_identically() {
+        let dir = std::env::temp_dir().join(format!("synstore-exp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = AnalysisStore::open(&dir).expect("open store");
+        let run = Experiment::new(GeneratorConfig::tiny()).run_year(2020);
+        run.persist(&store).expect("persist");
+        assert_eq!(store.load_year(2020).expect("reload"), run.analysis);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

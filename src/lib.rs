@@ -30,6 +30,7 @@
 
 pub mod analyze;
 pub mod experiment;
+pub mod serve;
 
 pub use synscan_core as core;
 pub use synscan_netmodel as netmodel;

@@ -1,0 +1,506 @@
+//! The resident query daemon behind `synscan-serve`.
+//!
+//! A [`Server`] loads an [`AnalysisStore`] into a read-mostly
+//! [`StoreImage`] published through an [`ImageCell`], binds a line-delimited
+//! JSON endpoint (TCP or Unix socket), and answers queries from a pool of
+//! reader threads:
+//!
+//! - **Readers** (N threads) pull accepted connections off a shared queue
+//!   and answer data ops straight from their cached [`ImageReader`] — one
+//!   atomic load per query, zero locks in the steady state.
+//! - **One writer thread** owns all store I/O: a `reload` request is
+//!   forwarded to it over a channel, it rebuilds the image from disk and
+//!   installs it in the cell, and every reader observes the new generation
+//!   on its next query. Readers never touch the filesystem.
+//! - **One acceptor thread** hands connections to the pool; `shutdown`
+//!   stops the daemon by flipping the stop flag and unblocking the
+//!   acceptor with a self-connect.
+//!
+//! The protocol itself (request parsing, response rendering) lives in
+//! [`synscan_core::store::query`] so the offline client and tests answer
+//! queries byte-identically to the daemon.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use synscan_core::store::query::{answer, err_line, ok_line, parse_request, Request};
+use synscan_core::store::{AnalysisStore, ImageCell, ImageReader, StoreError, StoreImage};
+
+/// Everything that can go wrong starting or running the daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The analysis store could not be opened or loaded.
+    Store(StoreError),
+    /// Socket setup or thread plumbing failed.
+    Io(String),
+    /// The listen specification could not be parsed or is unsupported on
+    /// this platform.
+    BadListen(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Store(e) => write!(f, "store: {e}"),
+            ServeError::Io(msg) => write!(f, "io: {msg}"),
+            ServeError::BadListen(msg) => write!(f, "bad listen spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A TCP address like `127.0.0.1:7070` (port 0 binds an ephemeral port;
+    /// the bound address is reported by [`Server::endpoint`]).
+    Tcp(String),
+    /// A Unix-domain socket path (Unix only).
+    Unix(PathBuf),
+}
+
+impl Listen {
+    /// Parse a `--listen` specification: `unix:PATH` or a TCP `HOST:PORT`.
+    pub fn parse(spec: &str) -> Result<Self, ServeError> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(ServeError::BadListen(
+                    "unix: needs a socket path".to_string(),
+                ));
+            }
+            return Ok(Listen::Unix(PathBuf::from(path)));
+        }
+        if !spec.contains(':') {
+            return Err(ServeError::BadListen(format!(
+                "`{spec}` is neither HOST:PORT nor unix:PATH"
+            )));
+        }
+        Ok(Listen::Tcp(spec.to_string()))
+    }
+}
+
+/// The endpoint a started server actually bound (TCP port 0 resolves to
+/// the ephemeral port here).
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// Bound TCP address.
+    Tcp(SocketAddr),
+    /// Bound Unix socket path.
+    Unix(PathBuf),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A duplex byte stream: the only thing the reader pool needs to know
+/// about a connection.
+trait Conn: Read + Write + Send {}
+
+impl<T: Read + Write + Send> Conn for T {}
+
+/// The accepted-connection hand-off between the acceptor and the readers.
+struct ConnQueue {
+    queue: Mutex<VecDeque<Box<dyn Conn>>>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, conn: Box<dyn Conn>) {
+        self.queue
+            .lock()
+            .expect("conn queue poisoned")
+            .push_back(conn);
+        self.ready.notify_one();
+    }
+
+    /// Pop the next connection, or `None` once the stop flag is up and the
+    /// queue has drained.
+    fn pop(&self, stop: &AtomicBool) -> Option<Box<dyn Conn>> {
+        let mut queue = self.queue.lock().expect("conn queue poisoned");
+        loop {
+            if let Some(conn) = queue.pop_front() {
+                return Some(conn);
+            }
+            if stop.load(Ordering::Acquire) {
+                return None;
+            }
+            queue = self.ready.wait(queue).expect("conn queue poisoned");
+        }
+    }
+
+    fn wake_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+/// What the reader threads send to the single writer thread.
+enum WriterMsg {
+    /// Rebuild the image from disk and install it; reply with the new
+    /// generation.
+    Reload(mpsc::Sender<Result<u64, StoreError>>),
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+impl Listener {
+    fn bind(listen: &Listen) -> Result<(Self, Endpoint), ServeError> {
+        match listen {
+            Listen::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)
+                    .map_err(|e| ServeError::Io(format!("bind {addr}: {e}")))?;
+                let bound = listener
+                    .local_addr()
+                    .map_err(|e| ServeError::Io(format!("local_addr: {e}")))?;
+                Ok((Listener::Tcp(listener), Endpoint::Tcp(bound)))
+            }
+            #[cfg(unix)]
+            Listen::Unix(path) => {
+                // A previous daemon's stale socket file would make bind fail
+                // with AddrInUse even though nothing is listening.
+                let _ = std::fs::remove_file(path);
+                let listener = std::os::unix::net::UnixListener::bind(path)
+                    .map_err(|e| ServeError::Io(format!("bind {}: {e}", path.display())))?;
+                Ok((Listener::Unix(listener), Endpoint::Unix(path.clone())))
+            }
+            #[cfg(not(unix))]
+            Listen::Unix(path) => Err(ServeError::BadListen(format!(
+                "unix sockets are not supported on this platform ({})",
+                path.display()
+            ))),
+        }
+    }
+
+    /// Accept one connection, boxed for the queue. Errors are transient
+    /// (the acceptor logs and keeps going).
+    fn accept(&self) -> std::io::Result<Box<dyn Conn>> {
+        match self {
+            Listener::Tcp(listener) => {
+                let (stream, _) = listener.accept()?;
+                Ok(Box::new(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(listener) => {
+                let (stream, _) = listener.accept()?;
+                Ok(Box::new(stream))
+            }
+        }
+    }
+}
+
+/// Connect-and-drop against our own endpoint: unblocks an acceptor that is
+/// parked in `accept()` so it can observe the stop flag.
+fn self_connect(endpoint: &Endpoint) {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let _ = TcpStream::connect(addr);
+        }
+        #[cfg(unix)]
+        Endpoint::Unix(path) => {
+            let _ = std::os::unix::net::UnixStream::connect(path);
+        }
+        #[cfg(not(unix))]
+        Endpoint::Unix(_) => {}
+    }
+}
+
+/// A running daemon. Dropping the handle does not stop it; call
+/// [`Server::join`] to block until a client sends `shutdown` (or
+/// [`Server::stop`] first to initiate one).
+pub struct Server {
+    endpoint: Endpoint,
+    stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    writer_tx: mpsc::Sender<WriterMsg>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Open the store under `store_dir`, load it, bind `listen`, and start
+    /// the acceptor, `readers` reader threads, and the writer thread.
+    ///
+    /// An empty store is allowed — the daemon starts with no years and is
+    /// fed by later `reload`s.
+    pub fn start(store_dir: &Path, listen: &Listen, readers: usize) -> Result<Self, ServeError> {
+        let store = AnalysisStore::open(store_dir)?;
+        let image = StoreImage::load(&store)?;
+        let cell = ImageCell::new(image);
+        let (listener, endpoint) = Listener::bind(listen)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ConnQueue::new());
+        let (writer_tx, writer_rx) = mpsc::channel::<WriterMsg>();
+
+        let mut threads = Vec::new();
+
+        // The single writer: owns all store I/O after startup.
+        {
+            let cell = Arc::clone(&cell);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-writer".to_string())
+                    .spawn(move || {
+                        while let Ok(WriterMsg::Reload(reply)) = writer_rx.recv() {
+                            let outcome = StoreImage::load(&store).map(|image| cell.install(image));
+                            // A vanished requester is not the writer's
+                            // problem; keep serving.
+                            let _ = reply.send(outcome);
+                        }
+                    })
+                    .map_err(|e| ServeError::Io(format!("spawn writer: {e}")))?,
+            );
+        }
+
+        // The reader pool.
+        for n in 0..readers.max(1) {
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            let mut reader = cell.reader();
+            let writer_tx = writer_tx.clone();
+            let endpoint = endpoint.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-reader-{n}"))
+                    .spawn(move || {
+                        while let Some(conn) = queue.pop(&stop) {
+                            match serve_connection(conn, &mut reader, &writer_tx) {
+                                Ok(true) => {
+                                    // A client asked for shutdown: raise the
+                                    // flag, wake the pool, unpark the
+                                    // acceptor.
+                                    stop.store(true, Ordering::Release);
+                                    queue.wake_all();
+                                    self_connect(&endpoint);
+                                }
+                                Ok(false) => {}
+                                // A dropped client mid-conversation only
+                                // loses that conversation.
+                                Err(_) => {}
+                            }
+                        }
+                    })
+                    .map_err(|e| ServeError::Io(format!("spawn reader: {e}")))?,
+            );
+        }
+
+        // The acceptor.
+        {
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-acceptor".to_string())
+                    .spawn(move || loop {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        match listener.accept() {
+                            Ok(conn) => {
+                                if stop.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                queue.push(conn);
+                            }
+                            // Transient accept failures (e.g. aborted
+                            // handshakes) must not take the daemon down.
+                            Err(_) => continue,
+                        }
+                    })
+                    .map_err(|e| ServeError::Io(format!("spawn acceptor: {e}")))?,
+            );
+        }
+
+        Ok(Self {
+            endpoint,
+            stop,
+            queue,
+            writer_tx,
+            threads,
+        })
+    }
+
+    /// The endpoint actually bound (resolves TCP port 0).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Initiate shutdown from outside the protocol (tests, signal hooks).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.queue.wake_all();
+        self_connect(&self.endpoint);
+    }
+
+    /// Block until the daemon has shut down and every thread has exited.
+    pub fn join(self) -> Result<(), ServeError> {
+        let Server {
+            endpoint,
+            writer_tx,
+            threads,
+            ..
+        } = self;
+        // The writer exits when the last sender drops: ours now, the reader
+        // pool's as each reader thread ends.
+        drop(writer_tx);
+        for handle in threads {
+            handle
+                .join()
+                .map_err(|_| ServeError::Io("daemon thread panicked".to_string()))?;
+        }
+        if let Endpoint::Unix(path) = &endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// Ask the writer thread for a reload and wait for the new generation.
+fn request_reload(writer_tx: &mpsc::Sender<WriterMsg>) -> Result<u64, String> {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    writer_tx
+        .send(WriterMsg::Reload(reply_tx))
+        .map_err(|_| "writer thread is gone".to_string())?;
+    match reply_rx.recv() {
+        Ok(Ok(generation)) => Ok(generation),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(_) => Err("writer thread dropped the reload".to_string()),
+    }
+}
+
+/// Serve one connection to completion: one JSON request per line, one
+/// response line each. Returns `Ok(true)` if the client requested daemon
+/// shutdown.
+fn serve_connection(
+    mut conn: Box<dyn Conn>,
+    reader: &mut ImageReader,
+    writer_tx: &mpsc::Sender<WriterMsg>,
+) -> std::io::Result<bool> {
+    let mut lines = BufReader::new(&mut conn);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if lines.read_line(&mut line)? == 0 {
+            return Ok(false);
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (response, shutdown) = match parse_request(trimmed) {
+            Err(error) => (err_line(&error), false),
+            Ok(Request::Reload) => match request_reload(writer_tx) {
+                Ok(generation) => (
+                    ok_line(&format!("reloaded: generation {generation}")),
+                    false,
+                ),
+                Err(error) => (err_line(&format!("reload failed: {error}")), false),
+            },
+            Ok(Request::Shutdown) => (ok_line("shutting down"), true),
+            Ok(request) => (answer(reader.image(), &request), false),
+        };
+        let out = lines.get_mut();
+        out.write_all(response.as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_store(dir: &Path) -> AnalysisStore {
+        use crate::experiment::Experiment;
+        use crate::GeneratorConfig;
+        let store = AnalysisStore::open(dir).expect("open store");
+        let run = Experiment::new(GeneratorConfig::tiny()).run_year(2020);
+        store.write_year(&run.analysis).expect("write slice");
+        store
+    }
+
+    fn query(addr: &SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("{request}\n").as_bytes())
+            .expect("send");
+        let mut lines = BufReader::new(&stream);
+        let mut line = String::new();
+        lines.read_line(&mut line).expect("response");
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn listen_specs_parse() {
+        assert_eq!(
+            Listen::parse("127.0.0.1:7070").unwrap(),
+            Listen::Tcp("127.0.0.1:7070".to_string())
+        );
+        assert_eq!(
+            Listen::parse("unix:/tmp/s.sock").unwrap(),
+            Listen::Unix(PathBuf::from("/tmp/s.sock"))
+        );
+        assert!(Listen::parse("unix:").is_err());
+        assert!(Listen::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn daemon_answers_reloads_and_shuts_down() {
+        let dir = std::env::temp_dir().join(format!("synscan-serve-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = seeded_store(&dir);
+        let server =
+            Server::start(&dir, &Listen::Tcp("127.0.0.1:0".to_string()), 2).expect("daemon starts");
+        let addr = match server.endpoint() {
+            Endpoint::Tcp(addr) => *addr,
+            other => panic!("unexpected endpoint {other}"),
+        };
+
+        // Data op through the socket == the offline answer from the image.
+        let image = StoreImage::load(&store).expect("image");
+        let expect = synscan_core::store::query::answer_line(&image, "{\"op\":\"table1\"}");
+        assert_eq!(query(&addr, "{\"op\":\"table1\"}"), expect);
+
+        // Malformed lines come back as protocol errors, not disconnects.
+        assert!(query(&addr, "junk").starts_with("{\"ok\":false"));
+
+        // A reload bumps the generation (2: startup installed 1).
+        let line = query(&addr, "{\"op\":\"reload\"}");
+        assert!(line.contains("generation 2"), "got {line}");
+
+        // Shutdown stops every thread.
+        assert!(query(&addr, "{\"op\":\"shutdown\"}").contains("shutting down"));
+        server.join().expect("clean join");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

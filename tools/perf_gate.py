@@ -3,13 +3,19 @@
 
 Usage: perf_gate.py <committed.json> <fresh.json> [--max-regression 0.20]
 
-Compares `records_per_sec` in a freshly measured baseline against the
-committed one and exits non-zero when throughput dropped by more than the
-threshold (default 20%). Comparisons only happen like-for-like: if the two
-files were produced by different harnesses (`cargo-bench` vs
-`standalone-rustc`), or the committed file is still a null placeholder, the
-gate passes with a note — a number measured by one harness says nothing
-about the other.
+Compares the baseline's throughput figure (`records_per_sec` for the
+pipeline benches, `queries_per_sec` for the serve bench) in a freshly
+measured file against the committed one and exits non-zero when throughput
+dropped by more than the threshold (default 20%). Comparisons only happen
+like-for-like: if the two files were produced by different harnesses
+(`cargo-bench` vs `standalone-rustc`), or the committed file is still a
+null placeholder, the gate passes with a note — a number measured by one
+harness says nothing about the other.
+
+A missing or malformed baseline file, or a baseline without a `harness`
+field, fails with a one-line diagnosis instead of a traceback.
+
+Watched baselines: BENCH_hotpath.json, BENCH_ingest.json, BENCH_serve.json.
 
 Set PERF_GATE_SKIP=1 to bypass the gate on noisy or shared runners.
 """
@@ -18,10 +24,83 @@ import json
 import os
 import sys
 
+# Known throughput figures, in detection order. Each baseline carries
+# exactly one of these at the top level.
+METRIC_KEYS = ("records_per_sec", "queries_per_sec")
+
+
+class GateError(Exception):
+    """A diagnosable gate failure: printed as one line, exits 1."""
+
 
 def load(path):
-    with open(path) as fh:
-        return json.load(fh)
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        raise GateError(
+            f"{path}: baseline file is missing — run the matching bench "
+            "(cargo bench -p synscan-bench) to generate it"
+        )
+    except json.JSONDecodeError as err:
+        raise GateError(f"{path}: baseline is not valid JSON ({err})")
+    if not isinstance(data, dict):
+        raise GateError(f"{path}: baseline must be a JSON object, got {type(data).__name__}")
+    return data
+
+
+def metric_key(committed, fresh, name):
+    for key in METRIC_KEYS:
+        if key in committed or key in fresh:
+            return key
+    raise GateError(
+        f"{name}: neither baseline carries a known throughput figure "
+        f"(expected one of: {', '.join(METRIC_KEYS)})"
+    )
+
+
+def gate(committed_path, fresh_path, max_regression):
+    committed, fresh = load(committed_path), load(fresh_path)
+    name = fresh.get("bench", fresh_path)
+    key = metric_key(committed, fresh, name)
+
+    old = committed.get(key)
+    new = fresh.get(key)
+    if old is None:
+        print(f"perf_gate: {name}: committed baseline is a placeholder, nothing to gate")
+        return 0
+    if new is None:
+        raise GateError(f"{name}: fresh run produced no {key}")
+    if committed.get("harness") is None:
+        raise GateError(
+            f"{committed_path}: baseline has no `harness` field — cannot tell "
+            "which harness measured it, so the comparison would be meaningless"
+        )
+    if fresh.get("harness") is None:
+        raise GateError(f"{fresh_path}: fresh baseline has no `harness` field")
+    if committed["harness"] != fresh["harness"]:
+        print(
+            f"perf_gate: {name}: harness mismatch "
+            f"({committed['harness']} vs {fresh['harness']}), not comparable"
+        )
+        return 0
+
+    regression = (old - new) / old if old > 0 else 0.0
+    unit = key.replace("_per_sec", "/s")
+    verdict = (
+        f"perf_gate: {name}: committed {old:,.0f} {unit}, fresh {new:,.0f} {unit} "
+        f"({-regression:+.1%})"
+    )
+    if regression > max_regression:
+        print(f"{verdict} — exceeds the {max_regression:.0%} regression budget", file=sys.stderr)
+        print(
+            "perf_gate: rerun on a quiet machine or set PERF_GATE_SKIP=1 "
+            "if the runner is known-noisy",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{verdict} — within the {max_regression:.0%} budget")
+    return 0
 
 
 def main(argv):
@@ -37,39 +116,11 @@ def main(argv):
         print(f"perf_gate: PERF_GATE_SKIP set, skipping {fresh_path}")
         return 0
 
-    committed, fresh = load(committed_path), load(fresh_path)
-    name = fresh.get("bench", fresh_path)
-
-    old = committed.get("records_per_sec")
-    new = fresh.get("records_per_sec")
-    if old is None:
-        print(f"perf_gate: {name}: committed baseline is a placeholder, nothing to gate")
-        return 0
-    if new is None:
-        print(f"perf_gate: {name}: fresh run produced no records_per_sec", file=sys.stderr)
+    try:
+        return gate(committed_path, fresh_path, max_regression)
+    except GateError as err:
+        print(f"perf_gate: {err}", file=sys.stderr)
         return 1
-    if committed.get("harness") != fresh.get("harness"):
-        print(
-            f"perf_gate: {name}: harness mismatch "
-            f"({committed.get('harness')} vs {fresh.get('harness')}), not comparable"
-        )
-        return 0
-
-    regression = (old - new) / old if old > 0 else 0.0
-    verdict = (
-        f"perf_gate: {name}: committed {old:,.0f} rec/s, fresh {new:,.0f} rec/s "
-        f"({-regression:+.1%})"
-    )
-    if regression > max_regression:
-        print(f"{verdict} — exceeds the {max_regression:.0%} regression budget", file=sys.stderr)
-        print(
-            "perf_gate: rerun on a quiet machine or set PERF_GATE_SKIP=1 "
-            "if the runner is known-noisy",
-            file=sys.stderr,
-        )
-        return 1
-    print(f"{verdict} — within the {max_regression:.0%} budget")
-    return 0
 
 
 if __name__ == "__main__":

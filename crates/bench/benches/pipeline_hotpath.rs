@@ -75,9 +75,30 @@ fn baseline_pass(records: &[ProbeRecord], config: CampaignConfig) -> (f64, YearA
     (started.elapsed().as_secs_f64(), analysis)
 }
 
-fn write_baseline(records: usize, elapsed_secs: f64, analysis: &YearAnalysis) {
+/// Dense-vs-sketch footprint over the bench stream: exact per-source packet
+/// counts (hash-map capacity, measured) against the default heavy-hitter
+/// sketch's `state_bytes`, both divided by the distinct-source count.
+fn bytes_per_source(records: &[ProbeRecord], sources: u64) -> serde_json::Value {
+    use synscan_core::sketch::{HeavyHitterConfig, HeavyHitters};
+    let mut dense: synscan_core::FxHashMap<u32, u64> = synscan_core::FxHashMap::default();
+    let config = HeavyHitterConfig::default();
+    let mut heavy = HeavyHitters::new(config);
+    for r in records {
+        *dense.entry(r.src_ip.0).or_insert(0) += 1;
+        heavy.offer(r.src_ip.0, r.ts_micros, 0);
+    }
+    let dense_bytes =
+        dense.capacity() * (std::mem::size_of::<(u32, u64)>() + 1) + std::mem::size_of_val(&dense);
+    serde_json::json!({
+        "dense": dense_bytes as f64 / sources.max(1) as f64,
+        "sketch": heavy.state_bytes() as f64 / sources.max(1) as f64,
+        "sketch_config": format!("{},{},{}", config.k, config.width, config.depth),
+    })
+}
+
+fn write_baseline(records: &[ProbeRecord], elapsed_secs: f64, analysis: &YearAnalysis) {
     let records_per_sec = if elapsed_secs > 0.0 {
-        records as f64 / elapsed_secs
+        records.len() as f64 / elapsed_secs
     } else {
         0.0
     };
@@ -85,9 +106,10 @@ fn write_baseline(records: usize, elapsed_secs: f64, analysis: &YearAnalysis) {
         "bench": "pipeline_hotpath",
         "year": YEAR,
         "harness": "cargo-bench",
-        "records": records,
+        "records": records.len(),
         "elapsed_secs": elapsed_secs,
         "records_per_sec": records_per_sec,
+        "bytes_per_source": bytes_per_source(records, analysis.distinct_sources),
         "checks": {
             "total_packets": analysis.total_packets,
             "distinct_sources": analysis.distinct_sources,
@@ -113,7 +135,7 @@ fn pipeline_hotpath(c: &mut Criterion) {
     );
 
     let (elapsed, reference) = baseline_pass(&records, config);
-    write_baseline(records.len(), elapsed, &reference);
+    write_baseline(&records, elapsed, &reference);
 
     // Hints must be an optimization, never an observable: equal analysis
     // with and without pre-sizing, asserted outside the timed region.

@@ -23,6 +23,7 @@ use crate::campaign::{tool_slot, Campaign, CampaignConfig, NoiseStats, Pipeline,
 use crate::checkpoint::{CheckpointError, SnapReader, SnapWriter};
 use crate::compact::{IdSet, PortSet};
 use crate::fasthash::FxHashMap;
+use crate::sketch::{HeavyHitterConfig, HeavyHitters};
 
 /// Seconds per day, as µs.
 const DAY_MICROS: u64 = 86_400 * 1_000_000;
@@ -75,6 +76,10 @@ pub struct YearAnalysis {
     pub noise: NoiseStats,
     /// Telescope monitored-address count used for extrapolations.
     pub monitored: u64,
+    /// Sublinear heavy-hitter sketch state (top-K + count-min), present
+    /// when the run enabled `--heavy-hitters`. The "network impact" report
+    /// section is derived from this at render time.
+    pub heavy: Option<HeavyHitters>,
 }
 
 impl YearAnalysis {
@@ -171,6 +176,11 @@ impl YearAnalysis {
             *self.noise.rejected_sequences.entry(reason).or_default() += n;
         }
         self.noise.rejected_packets += other.noise.rejected_packets;
+        match (&mut self.heavy, other.heavy) {
+            (Some(mine), Some(theirs)) => mine.absorb(theirs),
+            (None, None) => {}
+            _ => panic!("partials disagree on heavy-hitter tracking"),
+        }
     }
 }
 
@@ -212,6 +222,8 @@ pub struct YearCollector {
     tool_port_packets: FxHashMap<u32, u64>,
     /// Volatility cells per packed `(week << 16) | slash16` key.
     week_cells: FxHashMap<u64, WeekState>,
+    /// Sublinear heavy-hitter tracking, when enabled for the run.
+    heavy: Option<HeavyHitters>,
 }
 
 impl YearCollector {
@@ -241,6 +253,7 @@ impl YearCollector {
             day_port_packets: FxHashMap::default(),
             tool_port_packets: FxHashMap::default(),
             week_cells: FxHashMap::default(),
+            heavy: None,
         }
     }
 
@@ -284,6 +297,16 @@ impl YearCollector {
         self.tool_port_packets.reserve(distinct_ports);
     }
 
+    /// Turn on sublinear heavy-hitter tracking for this run. Must be called
+    /// before any record is offered (every shard of a run enables the same
+    /// config up front, so merged partials agree); a second call is a no-op
+    /// to keep the hint application idempotent.
+    pub fn enable_heavy_hitters(&mut self, config: HeavyHitterConfig) {
+        if self.heavy.is_none() {
+            self.heavy = Some(HeavyHitters::new(config));
+        }
+    }
+
     /// Offer one admitted (SYN-filtered) record in timestamp order.
     pub fn offer(&mut self, record: &ProbeRecord) {
         let (verdict, sid) = self.pipeline.process_interned(record);
@@ -320,6 +343,13 @@ impl YearCollector {
             .tool_port_packets
             .entry((tool_idx << 16) | u32::from(record.dst_port))
             .or_default() += 1;
+
+        // The sketch is keyed by the raw source address (interned ids are
+        // shard-local and would not merge) and reuses the verdict's tool
+        // slot for the census tallies.
+        if let Some(heavy) = self.heavy.as_mut() {
+            heavy.offer(record.src_ip.0, record.ts_micros, tool_idx as usize);
+        }
 
         let week = (rel / self.period_micros) as u32;
         let cell = self
@@ -395,6 +425,15 @@ impl YearCollector {
             w.put_u64(cell.packets);
             cell.sources.snapshot_to(w);
         }
+
+        // Heavy-hitter sketch state, presence-tagged (format version 2).
+        match &self.heavy {
+            None => w.put_u8(0),
+            Some(heavy) => {
+                w.put_u8(1);
+                heavy.snapshot_to(w);
+            }
+        }
     }
 
     /// Rebuild a collector written by [`YearCollector::snapshot_to`].
@@ -465,6 +504,16 @@ impl YearCollector {
             week_cells.insert(key, WeekState { packets, sources });
         }
 
+        let heavy = match r.take_u8()? {
+            0 => None,
+            1 => Some(HeavyHitters::restore_from(r)?),
+            tag => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "bad heavy-hitter presence tag {tag}"
+                )))
+            }
+        };
+
         Ok(Self {
             year,
             pipeline,
@@ -479,6 +528,7 @@ impl YearCollector {
             day_port_packets,
             tool_port_packets,
             week_cells,
+            heavy,
         })
     }
 
@@ -564,6 +614,7 @@ impl YearCollector {
             campaigns,
             noise,
             monitored: self.monitored,
+            heavy: self.heavy,
         }
     }
 }
@@ -824,6 +875,95 @@ mod tests {
             resumed.offer(r);
         }
         assert_eq!(resumed.finish(), uninterrupted.finish());
+    }
+
+    #[test]
+    fn tool_slot_names_match_the_campaign_layer() {
+        // The sketch module names tool slots without depending on ToolKind
+        // (so it compiles standalone); this pins its slot order to the
+        // campaign layer's TOOL_BY_SLOT.
+        use crate::sketch::TOOL_SLOT_NAMES;
+        assert_eq!(TOOL_SLOT_NAMES.len(), TOOL_BY_SLOT.len() + 1);
+        assert_eq!(TOOL_SLOT_NAMES[0], "unattributed");
+        for (slot, tool) in TOOL_BY_SLOT.iter().enumerate() {
+            assert_eq!(
+                TOOL_SLOT_NAMES[slot + 1],
+                format!("{tool:?}").to_lowercase(),
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_enabled_shards_merge_to_the_sequential_sketch() {
+        let heavy_cfg = HeavyHitterConfig {
+            k: 8,
+            width: 128,
+            depth: 3,
+        };
+        let records: Vec<ProbeRecord> = (0..60u32)
+            .map(|i| {
+                record(
+                    0x0101_0000 + (i % 4),
+                    1000 + i,
+                    if i % 2 == 0 { 80 } else { 22 },
+                    u64::from(i) * 1000,
+                )
+            })
+            .collect();
+        let mut sequential = YearCollector::with_period(2020, cfg(), 7.0);
+        sequential.enable_heavy_hitters(heavy_cfg);
+        for r in &records {
+            sequential.offer(r);
+        }
+        let t0 = records[0].ts_micros;
+        let mut shards: Vec<YearCollector> = (0..2)
+            .map(|_| {
+                let mut c = YearCollector::with_origin(2020, cfg(), 7.0, t0);
+                c.enable_heavy_hitters(heavy_cfg);
+                c
+            })
+            .collect();
+        for r in &records {
+            shards[(r.src_ip.0 % 2) as usize].offer(r);
+        }
+        let mut parts: Vec<YearAnalysis> = shards.into_iter().map(YearCollector::finish).collect();
+        parts.reverse();
+        let merged = YearAnalysis::merge_partials(parts);
+        let reference = sequential.finish();
+        assert_eq!(merged, reference);
+        let heavy = reference.heavy.expect("heavy enabled");
+        assert_eq!(heavy.count_min().total(), 60);
+        assert_eq!(heavy.top_sources().len(), 4);
+    }
+
+    #[test]
+    fn heavy_collector_snapshot_round_trips() {
+        let mut collector = YearCollector::with_period(2022, cfg(), 7.0);
+        collector.enable_heavy_hitters(HeavyHitterConfig::with_k(4));
+        for i in 0..25u32 {
+            collector.offer(&record(
+                0x0303_0000 + (i % 6),
+                500 + i,
+                80,
+                u64::from(i) * 999,
+            ));
+        }
+        let back = collector_round_trip(&collector);
+        assert_eq!(back, collector);
+        assert_eq!(back.finish(), collector.finish());
+    }
+
+    #[test]
+    #[should_panic(expected = "heavy-hitter tracking")]
+    fn mixed_heavy_partials_panic() {
+        let with = {
+            let mut c = YearCollector::with_origin(2020, cfg(), 7.0, 0);
+            c.enable_heavy_hitters(HeavyHitterConfig::default());
+            c.finish()
+        };
+        let without = YearCollector::with_origin(2020, cfg(), 7.0, 0).finish();
+        let _ = YearAnalysis::merge_partials(vec![with, without]);
     }
 
     #[test]

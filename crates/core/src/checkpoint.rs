@@ -57,8 +57,9 @@ use crate::fasthash::FxHasher;
 pub const MAGIC: [u8; 8] = *b"SYNCKPT\0";
 
 /// Current checkpoint format version. Bumped on any layout change; readers
-/// reject files with a version they do not understand.
-pub const FORMAT_VERSION: u32 = 1;
+/// reject files with a version they do not understand. Version 2 appended
+/// the presence-tagged heavy-hitter sketch section to collector snapshots.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be written, read, or applied.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -54,6 +54,7 @@ pub mod fingerprint;
 pub mod intern;
 pub mod pipeline;
 pub mod report;
+pub mod sketch;
 pub mod store;
 pub mod supervise;
 
@@ -72,7 +73,10 @@ pub use pipeline::{
     collect_year_sharded, collect_year_stream, try_collect_year_mapped, try_collect_year_stream,
     MappedIngestReport, PipelineError, PipelineMode, PipelineOutcome, SizeHints,
 };
-pub use store::{AnalysisStore, ImageCell, ImageReader, SliceMeta, StoreError, StoreImage};
+pub use sketch::{CountMinSketch, HeavyHitterConfig, HeavyHitters, NetworkImpact, SpaceSaving};
+pub use store::{
+    AnalysisStore, ImageCell, ImageReader, SliceMeta, StoreError, StoreImage, YearSliceStat,
+};
 pub use supervise::{
     InjectedFaults, StallEvent, SupervisionConfig, SupervisionReport, WorkerFailure,
 };

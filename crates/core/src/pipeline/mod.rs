@@ -43,6 +43,7 @@ use synscan_wire::{Ipv4Address, ProbeRecord};
 
 use crate::analysis::{YearAnalysis, YearCollector};
 use crate::campaign::CampaignConfig;
+use crate::sketch::HeavyHitterConfig;
 
 pub mod supervised;
 
@@ -145,15 +146,24 @@ pub fn shard_of(src: Ipv4Address, workers: usize) -> usize {
     (mix64(u64::from(src.0)) % workers as u64) as usize
 }
 
-/// Expected-cardinality hints for pre-sizing the collector's hot state
-/// (interner, per-source vectors, per-port maps). Hints are never
-/// load-bearing: `0` / [`SizeHints::none`] simply means "grow on demand".
+/// Collector sizing carried into every pipeline arm: expected-cardinality
+/// hints for pre-sizing the hot state (interner, per-source vectors,
+/// per-port maps), plus the optional heavy-hitter sketch configuration.
+///
+/// The cardinality hints are never load-bearing — `0` / [`SizeHints::none`]
+/// simply means "grow on demand". The `heavy` field *is* load-bearing: when
+/// set, every collector (sequential, all shards, the empty-stream fallback)
+/// enables sublinear heavy-hitter tracking with that config, and the
+/// resulting analysis carries sketch state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SizeHints {
     /// Expected distinct scanning sources across the whole stream.
     pub sources: usize,
     /// Expected distinct destination ports across the whole stream.
     pub ports: usize,
+    /// Enable heavy-hitter sketch tracking with this sizing
+    /// (`--heavy-hitters k[,width,depth]`).
+    pub heavy: Option<HeavyHitterConfig>,
 }
 
 impl SizeHints {
@@ -164,28 +174,46 @@ impl SizeHints {
 
     /// Hint only the source cardinality.
     pub fn sources(sources: usize) -> Self {
-        Self { sources, ports: 0 }
+        Self {
+            sources,
+            ..Self::default()
+        }
     }
 
     /// Hint both cardinalities.
     pub fn new(sources: usize, ports: usize) -> Self {
-        Self { sources, ports }
+        Self {
+            sources,
+            ports,
+            ..Self::default()
+        }
+    }
+
+    /// Attach (or clear) the heavy-hitter sketch configuration.
+    pub fn with_heavy(self, heavy: Option<HeavyHitterConfig>) -> Self {
+        Self { heavy, ..self }
     }
 
     /// The share of these hints one of `workers` source-sharded workers
     /// should reserve: sources partition across shards, ports do not (every
-    /// shard can see every port).
+    /// shard can see every port), and the sketch config must be identical on
+    /// every shard for the partials to merge.
     fn per_worker(self, workers: usize) -> Self {
         Self {
             sources: self.sources / workers.max(1),
             ports: self.ports,
+            heavy: self.heavy,
         }
     }
 
-    /// Apply the hints to a collector (pre-sizes its hot tables).
+    /// Apply the hints to a collector (pre-sizes its hot tables and enables
+    /// heavy-hitter tracking when configured).
     pub fn apply_to(self, collector: &mut YearCollector) {
         collector.reserve_sources(self.sources);
         collector.reserve_ports(self.ports);
+        if let Some(cfg) = self.heavy {
+            collector.enable_heavy_hitters(cfg);
+        }
     }
 }
 
@@ -585,8 +613,11 @@ where
     let partials: Vec<YearAnalysis> = partials?.into_iter().flatten().collect();
     let analysis = if partials.is_empty() {
         // Nothing was admitted: same empty analysis the sequential path
-        // would produce.
-        YearCollector::with_period(year, config, period_days).finish()
+        // would produce — including the (empty) heavy-hitter state when the
+        // hints enable it, so the equivalence to sequential holds exactly.
+        let mut collector = YearCollector::with_period(year, config, period_days);
+        hints.apply_to(&mut collector);
+        collector.finish()
     } else {
         YearAnalysis::merge_partials(partials)
     };
@@ -851,6 +882,40 @@ mod tests {
         assert_eq!(got.total_packets, 0);
         assert_eq!(got.distinct_sources, 0);
         assert!(got.campaigns.is_empty());
+    }
+
+    #[test]
+    fn heavy_hitter_hints_reach_every_pipeline_arm() {
+        let records = stream();
+        let hints = SizeHints::sources(64).with_heavy(Some(HeavyHitterConfig {
+            k: 16,
+            width: 256,
+            depth: 4,
+        }));
+        let mut reference = YearCollector::with_period(2020, cfg(), 7.0);
+        hints.apply_to(&mut reference);
+        for record in &records {
+            if record.dst_port != 23 {
+                reference.offer(record);
+            }
+        }
+        let expected = reference.finish();
+        assert!(
+            expected.heavy.is_some(),
+            "sequential arm carries the sketch"
+        );
+        for workers in [1usize, 3] {
+            let got = collect_year_sharded(2020, cfg(), 7.0, workers, hints, &records, |r| {
+                r.dst_port != 23
+            });
+            assert_eq!(expected, got, "workers = {workers}");
+        }
+        // The nothing-admitted fallback must agree with an empty sequential
+        // run too — including the (empty) sketch state.
+        let empty = collect_year_sharded(2020, cfg(), 7.0, 4, hints, &records, |_| false);
+        let empty_heavy = empty.heavy.expect("fallback carries the sketch");
+        assert_eq!(empty_heavy.count_min().total(), 0);
+        assert!(empty_heavy.top_sources().is_empty());
     }
 
     #[test]

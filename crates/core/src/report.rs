@@ -309,6 +309,26 @@ pub fn campaign_lookup(years: &[YearAnalysis], source: Ipv4Address) -> CampaignL
     }
 }
 
+/// Derive one year's "network impact" section from its heavy-hitter sketch
+/// state, or `None` when the run did not enable `--heavy-hitters`.
+///
+/// Shared by the serve `heavy` op and the batch `repro`/`analyze` renderers
+/// so both produce byte-identical artifacts: the rate window is the year's
+/// observation window, and the percentile population is the year's distinct
+/// source list (sorted internally for determinism).
+pub fn network_impact_of(analysis: &YearAnalysis) -> Option<crate::sketch::NetworkImpact> {
+    let heavy = analysis.heavy.as_ref()?;
+    let window_secs = analysis.end_micros.saturating_sub(analysis.start_micros) as f64 / 1e6;
+    let sources: Vec<u32> = analysis.source_packets.keys().copied().collect();
+    Some(heavy.network_impact(analysis.year, window_secs, &sources))
+}
+
+/// Pretty-JSON form of [`network_impact_of`]'s result, the serve/batch
+/// artifact bytes.
+pub fn network_impact_json(impact: &crate::sketch::NetworkImpact) -> String {
+    serde_json::to_string_pretty(impact).expect("network impact serializes")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,9 +45,26 @@ pub mod query;
 /// Magic prefix of every analysis-store slice file.
 pub const STORE_MAGIC: [u8; 8] = *b"SYNSTORE";
 
-/// Current store format version. Bump on any layout change; readers reject
-/// other versions with a typed error instead of misparsing.
-pub const STORE_VERSION: u32 = 1;
+/// Store format **major** version: bumped on incompatible layout changes.
+/// Readers reject any other major with a typed error instead of misparsing.
+pub const STORE_FORMAT_MAJOR: u16 = 1;
+
+/// Store format **minor** version: bumped on backward-compatible additions
+/// (new sections appended to the body). Readers accept any minor of their
+/// major — sections introduced after their own minor are tolerated as
+/// trailing bytes, so a slice written by a *newer* minor still loads.
+/// Minor 1 appended the presence-tagged heavy-hitter sketch section.
+pub const STORE_FORMAT_MINOR: u16 = 1;
+
+/// The packed version word written to the envelope: major in the low 16
+/// bits, minor in the high 16 bits. The pre-minor era wrote a bare `1`,
+/// which under this packing reads back naturally as (major 1, minor 0).
+pub const STORE_VERSION: u32 = (STORE_FORMAT_MAJOR as u32) | ((STORE_FORMAT_MINOR as u32) << 16);
+
+/// Split an envelope version word into `(major, minor)`.
+fn split_version(word: u32) -> (u16, u16) {
+    ((word & 0xffff) as u16, (word >> 16) as u16)
+}
 
 /// Fixed envelope prefix: magic (8) + version (4) + payload len (8) +
 /// checksum (8).
@@ -60,7 +77,8 @@ pub enum StoreError {
     Io(String),
     /// The file does not start with [`STORE_MAGIC`].
     BadMagic,
-    /// The file's format version is not [`STORE_VERSION`].
+    /// The file's format major version (low 16 bits of the carried word) is
+    /// not [`STORE_FORMAT_MAJOR`].
     UnsupportedVersion(u32),
     /// The payload hash does not match the stored checksum.
     ChecksumMismatch,
@@ -80,9 +98,11 @@ impl fmt::Display for StoreError {
             StoreError::Io(msg) => write!(f, "store I/O error: {msg}"),
             StoreError::BadMagic => write!(f, "not an analysis store file (bad magic)"),
             StoreError::UnsupportedVersion(v) => {
+                let (major, minor) = split_version(*v);
                 write!(
                     f,
-                    "unsupported store version {v} (expected {STORE_VERSION})"
+                    "unsupported store version {major}.{minor} (reader is \
+                     {STORE_FORMAT_MAJOR}.{STORE_FORMAT_MINOR})"
                 )
             }
             StoreError::ChecksumMismatch => write!(f, "store checksum mismatch"),
@@ -124,9 +144,9 @@ fn seal(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Verify the envelope and return the payload, or a typed error. Never
-/// panics on hostile bytes.
-fn unseal(bytes: &[u8]) -> Result<&[u8], StoreError> {
+/// Verify the envelope and return the writer's minor version plus the
+/// payload, or a typed error. Never panics on hostile bytes.
+fn unseal(bytes: &[u8]) -> Result<(u16, &[u8]), StoreError> {
     if bytes.len() < ENVELOPE_LEN {
         return Err(StoreError::Truncated);
     }
@@ -134,7 +154,8 @@ fn unseal(bytes: &[u8]) -> Result<&[u8], StoreError> {
         return Err(StoreError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
-    if version != STORE_VERSION {
+    let (major, minor) = split_version(version);
+    if major != STORE_FORMAT_MAJOR {
         return Err(StoreError::UnsupportedVersion(version));
     }
     let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice"));
@@ -146,7 +167,7 @@ fn unseal(bytes: &[u8]) -> Result<&[u8], StoreError> {
     if payload_checksum(payload) != checksum {
         return Err(StoreError::ChecksumMismatch);
     }
-    Ok(payload)
+    Ok((minor, payload))
 }
 
 /// The decoded index section of one slice file — enough to route queries
@@ -171,6 +192,13 @@ pub struct SliceMeta {
     pub ports: Vec<u16>,
     /// Every scanning source (host-order IPv4), ascending.
     pub sources: Vec<u32>,
+    /// Format major version the slice file was written with (from the
+    /// envelope, not the payload; [`read_meta`] fills it).
+    pub format_major: u16,
+    /// Format minor version the slice file was written with.
+    pub format_minor: u16,
+    /// Whole slice-file size in bytes, envelope included.
+    pub file_bytes: u64,
 }
 
 fn encode_meta(w: &mut SnapWriter, analysis: &YearAnalysis) {
@@ -222,6 +250,10 @@ fn decode_meta(r: &mut SnapReader<'_>) -> Result<SliceMeta, StoreError> {
         campaigns,
         ports,
         sources,
+        // Envelope-level facts; the caller (read_meta) fills them in.
+        format_major: 0,
+        format_minor: 0,
+        file_bytes: 0,
     })
 }
 
@@ -341,14 +373,30 @@ pub fn encode_year(analysis: &YearAnalysis) -> Vec<u8> {
     }
     analysis.noise.snapshot_to(&mut w);
 
+    // Minor-1 section: the heavy-hitter sketch state, presence-tagged.
+    // Appended after everything a minor-0 reader knows, so older sections
+    // keep their offsets.
+    match &analysis.heavy {
+        None => w.put_u8(0),
+        Some(heavy) => {
+            w.put_u8(1);
+            heavy.snapshot_to(&mut w);
+        }
+    }
+
     seal(&w.into_bytes())
 }
 
-/// Read just the index section of slice-file bytes.
+/// Read just the index section of slice-file bytes, plus the envelope-level
+/// facts (format version, file size) the `stats` query reports.
 pub fn read_meta(bytes: &[u8]) -> Result<SliceMeta, StoreError> {
-    let payload = unseal(bytes)?;
+    let (minor, payload) = unseal(bytes)?;
     let mut r = SnapReader::new(payload);
-    decode_meta(&mut r)
+    let mut meta = decode_meta(&mut r)?;
+    meta.format_major = STORE_FORMAT_MAJOR;
+    meta.format_minor = minor;
+    meta.file_bytes = bytes.len() as u64;
+    Ok(meta)
 }
 
 /// Decode complete slice-file bytes back into a [`YearAnalysis`].
@@ -356,7 +404,7 @@ pub fn read_meta(bytes: &[u8]) -> Result<SliceMeta, StoreError> {
 /// Corrupted, truncated, or wrong-version input yields a typed
 /// [`StoreError`]; this function never panics on hostile bytes.
 pub fn decode_year(bytes: &[u8]) -> Result<YearAnalysis, StoreError> {
-    let payload = unseal(bytes)?;
+    let (minor, payload) = unseal(bytes)?;
     let mut r = SnapReader::new(payload);
     let meta = decode_meta(&mut r)?;
 
@@ -449,7 +497,24 @@ pub fn decode_year(bytes: &[u8]) -> Result<YearAnalysis, StoreError> {
         campaigns.push(Campaign::restore_from(&mut r)?);
     }
     let noise = NoiseStats::restore_from(&mut r)?;
-    if r.remaining() != 0 {
+
+    // Minor-1 section: heavy-hitter sketch state. A minor-0 slice simply
+    // does not have it.
+    let heavy = if minor >= 1 {
+        match r.take_u8()? {
+            0 => None,
+            1 => Some(crate::sketch::HeavyHitters::restore_from(&mut r)?),
+            t => return Err(StoreError::Corrupt(format!("heavy tag {t}"))),
+        }
+    } else {
+        None
+    };
+
+    // A slice written by a *newer* minor of our major may append sections
+    // we do not know; tolerate the trailing bytes (the checksum already
+    // vouched for them). For our own minor and older, trailing bytes mean
+    // corruption.
+    if minor <= STORE_FORMAT_MINOR && r.remaining() != 0 {
         return Err(StoreError::Corrupt(format!(
             "{} trailing bytes after slice body",
             r.remaining()
@@ -473,6 +538,7 @@ pub fn decode_year(bytes: &[u8]) -> Result<YearAnalysis, StoreError> {
         campaigns,
         noise,
         monitored: meta.monitored,
+        heavy,
     })
 }
 
@@ -643,6 +709,23 @@ fn annotate_slice_error(err: StoreError, path: &Path) -> StoreError {
     }
 }
 
+/// Per-year slice accounting the `stats` query reports: how many files back
+/// the year, their combined on-disk size, and the format version they were
+/// written with (the newest minor among the year's files).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct YearSliceStat {
+    /// Calendar year the slices cover.
+    pub year: u16,
+    /// Slice files (1 for a promoted year, more for unmerged partials).
+    pub files: u64,
+    /// Combined slice-file bytes, envelopes included.
+    pub bytes: u64,
+    /// Format major version of the year's slices.
+    pub format_major: u16,
+    /// Newest format minor among the year's slice files.
+    pub format_minor: u16,
+}
+
 /// The read-mostly in-memory image the daemon serves from: every year in
 /// the store, decoded and merged, ascending.
 #[derive(Debug, Clone, Default)]
@@ -652,6 +735,9 @@ pub struct StoreImage {
     pub generation: u64,
     /// Number of slice files the image was built from.
     pub slice_files: usize,
+    /// Per-year slice accounting (files, bytes, format version), ascending
+    /// by year.
+    pub slices: Vec<YearSliceStat>,
     /// Per-year analyses, ascending by year.
     pub years: Vec<YearAnalysis>,
 }
@@ -665,13 +751,33 @@ impl StoreImage {
 
     /// Build an image from everything currently in `store`.
     pub fn load(store: &AnalysisStore) -> Result<Self, StoreError> {
-        let slice_files = store.slice_files()?.len();
+        let index = store.index()?;
+        let slice_files = index.len();
+        let mut by_year: BTreeMap<u16, YearSliceStat> = BTreeMap::new();
+        for (_, meta) in &index {
+            let stat = by_year.entry(meta.year).or_insert(YearSliceStat {
+                year: meta.year,
+                files: 0,
+                bytes: 0,
+                format_major: meta.format_major,
+                format_minor: 0,
+            });
+            stat.files += 1;
+            stat.bytes += meta.file_bytes;
+            stat.format_minor = stat.format_minor.max(meta.format_minor);
+        }
         let years = store.load_all()?;
         Ok(Self {
             generation: 0,
             slice_files,
+            slices: by_year.into_values().collect(),
             years,
         })
+    }
+
+    /// The slice accounting for `year`, if present.
+    pub fn slice_stat(&self, year: u16) -> Option<&YearSliceStat> {
+        self.slices.iter().find(|s| s.year == year)
     }
 
     /// The analysis for `year`, if present.
@@ -845,15 +951,92 @@ mod tests {
         let mut bad = bytes.clone();
         bad[0] ^= 0xff;
         assert_eq!(decode_year(&bad), Err(StoreError::BadMagic));
-        // Unsupported version.
+        // Unsupported major version (byte 8 is the major's low byte).
         let mut bad = bytes.clone();
         bad[8] = 99;
-        assert_eq!(decode_year(&bad), Err(StoreError::UnsupportedVersion(99)));
+        match decode_year(&bad) {
+            Err(StoreError::UnsupportedVersion(word)) => {
+                assert_eq!(split_version(word).0, 99);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
         // Flipped payload byte → checksum mismatch.
         let mut bad = bytes.clone();
         let last = bad.len() - 1;
         bad[last] ^= 0x01;
         assert_eq!(decode_year(&bad), Err(StoreError::ChecksumMismatch));
+    }
+
+    /// Re-seal `payload` with an arbitrary (major, minor) version word.
+    fn seal_as(payload: &[u8], major: u16, minor: u16) -> Vec<u8> {
+        let mut bytes = seal(payload);
+        let word = (major as u32) | ((minor as u32) << 16);
+        bytes[8..12].copy_from_slice(&word.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn version_word_packs_major_low_minor_high() {
+        assert_eq!(split_version(STORE_VERSION), (1, 1));
+        // The pre-minor era wrote a bare 1: reads back as major 1, minor 0.
+        assert_eq!(split_version(1), (1, 0));
+    }
+
+    #[test]
+    fn legacy_minor_zero_slices_still_load() {
+        // A minor-0 slice is today's encoding minus the heavy section.
+        let original = analysis(2016);
+        let sealed = encode_year(&original);
+        let payload = &sealed[ENVELOPE_LEN..];
+        assert_eq!(payload.last(), Some(&0u8), "heavy absent ⇒ tag byte 0");
+        let legacy = seal_as(&payload[..payload.len() - 1], 1, 0);
+        let decoded = decode_year(&legacy).expect("minor-0 slice loads");
+        assert_eq!(decoded, original);
+        let meta = read_meta(&legacy).expect("meta reads");
+        assert_eq!((meta.format_major, meta.format_minor), (1, 0));
+        assert_eq!(meta.file_bytes, legacy.len() as u64);
+    }
+
+    #[test]
+    fn higher_minor_slices_load_with_trailing_sections_tolerated() {
+        // A slice written by minor 2 of our major: today's body plus an
+        // unknown appended section. It must load (the new section is
+        // skipped), not error.
+        let original = analysis(2022);
+        let sealed = encode_year(&original);
+        let mut payload = sealed[ENVELOPE_LEN..].to_vec();
+        payload.extend_from_slice(b"future-section-bytes");
+        let newer = seal_as(&payload, 1, STORE_FORMAT_MINOR + 1);
+        let decoded = decode_year(&newer).expect("higher-minor slice loads");
+        assert_eq!(decoded, original);
+        // The same trailing bytes under our *own* minor are corruption.
+        let same_minor = seal_as(&payload, 1, STORE_FORMAT_MINOR);
+        assert!(matches!(
+            decode_year(&same_minor),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn heavy_state_round_trips_through_the_slice() {
+        use crate::sketch::HeavyHitterConfig;
+        let cfg = CampaignConfig {
+            min_distinct_dests: 5,
+            min_rate_pps: 1.0,
+            expiry_secs: 3600.0,
+            monitored_addresses: 1 << 16,
+        };
+        let mut collector = YearCollector::new(2024, cfg);
+        collector.enable_heavy_hitters(HeavyHitterConfig::with_k(8));
+        for i in 0..60u32 {
+            collector.offer(&record(10 + (i % 5), 100 + i, 443, u64::from(i) * 250_000));
+        }
+        let original = collector.finish();
+        assert!(original.heavy.is_some());
+        let bytes = encode_year(&original);
+        let decoded = decode_year(&bytes).expect("decodes");
+        assert_eq!(decoded, original);
+        assert_eq!(encode_year(&decoded), bytes);
     }
 
     #[test]
@@ -903,6 +1086,151 @@ mod tests {
         assert_eq!(store.load_year(2018).expect("full"), merged);
 
         assert!(store.write_partial(&merged, "bad label").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn tiny_cfg() -> CampaignConfig {
+        CampaignConfig {
+            min_distinct_dests: 5,
+            min_rate_pps: 1.0,
+            expiry_secs: 3600.0,
+            monitored_addresses: 1 << 16,
+        }
+    }
+
+    #[test]
+    fn empty_partials_merge_as_identity() {
+        // A shard that admitted nothing still writes a (valid, empty)
+        // partial; loading the year must merge it away without disturbing
+        // the busy partial's analysis.
+        let dir = std::env::temp_dir().join(format!("synstore-t3-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = AnalysisStore::open(&dir).expect("open");
+
+        let mut busy = YearCollector::with_origin(2019, tiny_cfg(), 7.0, 0);
+        for i in 0..25u32 {
+            busy.offer(&record(31, 700 + i, 443, u64::from(i) * 90_000));
+        }
+        let busy = busy.finish();
+        let empty = YearCollector::with_origin(2019, tiny_cfg(), 7.0, 0).finish();
+        assert_eq!(empty.total_packets, 0);
+
+        store.write_partial(&busy, "shard0").expect("busy partial");
+        store
+            .write_partial(&empty, "shard1")
+            .expect("empty partial");
+        let loaded = store.load_year(2019).expect("merged");
+        assert_eq!(
+            loaded,
+            YearAnalysis::merge_partials(vec![busy.clone(), empty])
+        );
+        assert_eq!(loaded.total_packets, busy.total_packets);
+        assert_eq!(loaded.campaigns, busy.campaigns);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn many_duplicate_year_partials_merge_to_one_year() {
+        // Several partials of the same year — more than the usual two, with
+        // an empty one mixed in — must collapse into one merged analysis,
+        // and `years()` must report the year exactly once.
+        let dir = std::env::temp_dir().join(format!("synstore-t4-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = AnalysisStore::open(&dir).expect("open");
+
+        let shard = |src: u32, n: u32| {
+            let mut c = YearCollector::with_origin(2021, tiny_cfg(), 7.0, 0);
+            for i in 0..n {
+                c.offer(&record(src, 100 + i, 80, u64::from(i) * 120_000));
+            }
+            c.finish()
+        };
+        let parts = vec![
+            shard(41, 15),
+            shard(42, 10),
+            shard(43, 20),
+            YearCollector::with_origin(2021, tiny_cfg(), 7.0, 0).finish(),
+        ];
+        for (i, p) in parts.iter().enumerate() {
+            store.write_partial(p, &format!("w{i}")).expect("partial");
+        }
+        assert_eq!(store.slice_files().expect("files").len(), 4);
+        assert_eq!(store.years().expect("years"), vec![2021]);
+        let loaded = store.load_year(2021).expect("merged");
+        assert_eq!(loaded, YearAnalysis::merge_partials(parts));
+        assert_eq!(loaded.total_packets, 45);
+        assert_eq!(loaded.distinct_sources, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn higher_minor_partial_loads_through_the_store() {
+        // A partial written by a future minor of our major (e.g. a newer
+        // worker build) must load and merge, not error out the whole year.
+        let dir = std::env::temp_dir().join(format!("synstore-t5-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = AnalysisStore::open(&dir).expect("open");
+
+        let mut c = YearCollector::with_origin(2023, tiny_cfg(), 7.0, 0);
+        for i in 0..30u32 {
+            c.offer(&record(51, 100 + i, 22, u64::from(i) * 100_000));
+        }
+        let part = c.finish();
+        store.write_partial(&part, "old").expect("current partial");
+
+        // Hand-craft the future-minor sibling: a disjoint-source shard's
+        // body plus an unknown appended section, version word minor+1.
+        let mut c = YearCollector::with_origin(2023, tiny_cfg(), 7.0, 0);
+        for i in 0..10u32 {
+            c.offer(&record(52, 300 + i, 22, u64::from(i) * 100_000 + 7));
+        }
+        let future_part = c.finish();
+        let sealed = encode_year(&future_part);
+        let mut payload = sealed[ENVELOPE_LEN..].to_vec();
+        payload.extend_from_slice(&[0xAB; 9]);
+        let newer = seal_as(&payload, STORE_FORMAT_MAJOR, STORE_FORMAT_MINOR + 1);
+        std::fs::write(store.partial_path(2023, "new"), &newer).expect("write future partial");
+
+        let index = store.index().expect("index reads both");
+        assert_eq!(index.len(), 2);
+        let minors: Vec<u16> = index.iter().map(|(_, m)| m.format_minor).collect();
+        assert!(minors.contains(&STORE_FORMAT_MINOR));
+        assert!(minors.contains(&(STORE_FORMAT_MINOR + 1)));
+
+        let loaded = store.load_year(2023).expect("future-minor partial loads");
+        assert_eq!(
+            loaded,
+            YearAnalysis::merge_partials(vec![part, future_part])
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn image_carries_per_year_slice_stats() {
+        let dir = std::env::temp_dir().join(format!("synstore-t6-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = AnalysisStore::open(&dir).expect("open");
+        store.write_year(&analysis(2015)).expect("write 2015");
+        let p = analysis(2016);
+        store.write_partial(&p, "a").expect("partial a");
+        store.write_partial(&p, "b").expect("partial b");
+
+        let image = StoreImage::load(&store).expect("image");
+        assert_eq!(image.slice_files, 3);
+        assert_eq!(image.slices.len(), 2);
+        let s2015 = image.slice_stat(2015).expect("2015 stat");
+        assert_eq!(s2015.files, 1);
+        assert_eq!(
+            s2015.bytes,
+            fs::metadata(store.slice_path(2015)).expect("meta").len()
+        );
+        assert_eq!(
+            (s2015.format_major, s2015.format_minor),
+            (STORE_FORMAT_MAJOR, STORE_FORMAT_MINOR)
+        );
+        let s2016 = image.slice_stat(2016).expect("2016 stat");
+        assert_eq!(s2016.files, 2);
+        assert_eq!(s2016.bytes, 2 * encode_year(&p).len() as u64);
         let _ = fs::remove_dir_all(&dir);
     }
 

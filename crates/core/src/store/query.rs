@@ -23,6 +23,11 @@
 //! | `{"op":"source","ip":"A.B.C.D"}` | `SourceHistory` pretty JSON |
 //! | `{"op":"port","port":N}` | `PortTrend` pretty JSON |
 //! | `{"op":"campaigns","ip":"A.B.C.D"}` | `CampaignLookup` pretty JSON |
+//! | `{"op":"heavy","year":Y}` | that year's `NetworkImpact` pretty JSON |
+//!
+//! `stats` additionally reports per-year slice accounting (file count,
+//! on-disk bytes, format version) next to the aggregate totals. `heavy` is
+//! an error for years whose run did not enable `--heavy-hitters`.
 //!
 //! Admin ops (`{"op":"reload"}`, `{"op":"shutdown"}`) parse here too but
 //! are intercepted by the daemon's connection loop — the single writer
@@ -35,7 +40,10 @@ use synscan_wire::Ipv4Address;
 
 use super::StoreImage;
 use crate::analysis::yearly::summarize;
-use crate::report::{campaign_lookup, port_trend, source_history, DecadeReport};
+use crate::report::{
+    campaign_lookup, network_impact_json, network_impact_of, port_trend, source_history,
+    DecadeReport,
+};
 
 /// Ranking depth for table/summary bodies — the paper prints 5, and the
 /// batch `repro` artifacts use the same depth, which the byte-equivalence
@@ -72,6 +80,11 @@ pub enum Request {
     Campaigns {
         /// The source address.
         ip: Ipv4Address,
+    },
+    /// One year's heavy-hitter network-impact section.
+    Heavy {
+        /// The requested calendar year.
+        year: u16,
     },
     /// Ask the writer thread to reload the store from disk.
     Reload,
@@ -122,6 +135,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .get("op")
         .and_then(|v| v.as_str())
         .ok_or_else(|| "request has no \"op\" field".to_string())?;
+    let year_field = |value: &serde_json::Value| -> Result<u16, String> {
+        value
+            .get("year")
+            .and_then(|v| v.as_u64())
+            .filter(|y| *y <= u64::from(u16::MAX))
+            .map(|y| y as u16)
+            .ok_or_else(|| format!("op {op:?} needs a \"year\" field"))
+    };
     let ip_field = |value: &serde_json::Value| -> Result<Ipv4Address, String> {
         let text = value
             .get("ip")
@@ -135,14 +156,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "years" => Ok(Request::Years),
         "stats" => Ok(Request::Stats),
         "table1" => Ok(Request::Table1),
-        "summary" => {
-            let year = value
-                .get("year")
-                .and_then(|v| v.as_u64())
-                .filter(|y| *y <= u64::from(u16::MAX))
-                .ok_or_else(|| "op \"summary\" needs a \"year\" field".to_string())?;
-            Ok(Request::Summary { year: year as u16 })
-        }
+        "summary" => Ok(Request::Summary {
+            year: year_field(&value)?,
+        }),
+        "heavy" => Ok(Request::Heavy {
+            year: year_field(&value)?,
+        }),
         "source" => Ok(Request::Source {
             ip: ip_field(&value)?,
         }),
@@ -163,6 +182,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
+/// One year's slice accounting inside the `stats` body.
+#[derive(Debug, Serialize)]
+struct SliceStatRow {
+    year: u16,
+    files: u64,
+    bytes: u64,
+    /// Format version the year's slices were written with, `major.minor`.
+    version: String,
+}
+
 /// Image statistics for the `stats` op.
 #[derive(Debug, Serialize)]
 struct ImageStats {
@@ -172,6 +201,8 @@ struct ImageStats {
     total_packets: u64,
     distinct_sources: u64,
     campaigns: u64,
+    /// Per-year slice accounting (file count, on-disk bytes, version).
+    slices: Vec<SliceStatRow>,
 }
 
 /// Answer a data request from an image, returning the full response line.
@@ -193,6 +224,16 @@ pub fn answer(image: &StoreImage, request: &Request) -> String {
                 total_packets: image.years.iter().map(|y| y.total_packets).sum(),
                 distinct_sources: image.years.iter().map(|y| y.distinct_sources).sum(),
                 campaigns: image.years.iter().map(|y| y.campaigns.len() as u64).sum(),
+                slices: image
+                    .slices
+                    .iter()
+                    .map(|s| SliceStatRow {
+                        year: s.year,
+                        files: s.files,
+                        bytes: s.bytes,
+                        version: format!("{}.{}", s.format_major, s.format_minor),
+                    })
+                    .collect(),
             };
             let body = serde_json::to_string_pretty(&stats).expect("stats serialize");
             ok_line(&body)
@@ -209,6 +250,16 @@ pub fn answer(image: &StoreImage, request: &Request) -> String {
         Request::Source { ip } => ok_line(&source_history(&image.years, *ip).to_json()),
         Request::Port { port } => ok_line(&port_trend(&image.years, *port).to_json()),
         Request::Campaigns { ip } => ok_line(&campaign_lookup(&image.years, *ip).to_json()),
+        Request::Heavy { year } => match image.year(*year) {
+            Some(analysis) => match network_impact_of(analysis) {
+                Some(impact) => ok_line(&network_impact_json(&impact)),
+                None => err_line(&format!(
+                    "year {year} was analyzed without --heavy-hitters; re-run with the flag \
+                     to enable the network-impact section"
+                )),
+            },
+            None => err_line(&format!("no store slice covers year {year}")),
+        },
         Request::Reload => ok_line("reload: no-op (no daemon writer on this path)"),
         Request::Shutdown => ok_line("shutdown: no-op (no daemon on this path)"),
     }
@@ -255,6 +306,59 @@ mod tests {
             Ok(Request::Port { port: 443 })
         );
         assert_eq!(parse_request("{\"op\":\"reload\"}"), Ok(Request::Reload));
+        assert_eq!(
+            parse_request("{\"op\":\"heavy\",\"year\":2020}"),
+            Ok(Request::Heavy { year: 2020 })
+        );
+        assert!(parse_request("{\"op\":\"heavy\"}").is_err());
+    }
+
+    #[test]
+    fn stats_reports_per_year_slice_version_and_bytes() {
+        use crate::store::{YearSliceStat, STORE_FORMAT_MAJOR, STORE_FORMAT_MINOR};
+        let mut image = StoreImage::empty();
+        image.slice_files = 3;
+        image.slices = vec![
+            YearSliceStat {
+                year: 2019,
+                files: 1,
+                bytes: 4096,
+                format_major: STORE_FORMAT_MAJOR,
+                format_minor: STORE_FORMAT_MINOR,
+            },
+            YearSliceStat {
+                year: 2020,
+                files: 2,
+                bytes: 8192,
+                format_major: STORE_FORMAT_MAJOR,
+                format_minor: STORE_FORMAT_MINOR,
+            },
+        ];
+        let line = answer_line(&image, "{\"op\":\"stats\"}");
+        let body = body_of(&line).expect("stats body");
+        let value: serde_json::Value = serde_json::from_str(&body).expect("stats JSON");
+        let slices = value
+            .get("slices")
+            .and_then(|v| v.as_array())
+            .expect("stats body has a slices array");
+        assert_eq!(slices.len(), 2);
+        let expect_version = format!("{STORE_FORMAT_MAJOR}.{STORE_FORMAT_MINOR}");
+        for (row, (year, files, bytes)) in slices.iter().zip([(2019, 1, 4096), (2020, 2, 8192)]) {
+            assert_eq!(row.get("year").and_then(|v| v.as_u64()), Some(year));
+            assert_eq!(row.get("files").and_then(|v| v.as_u64()), Some(files));
+            assert_eq!(row.get("bytes").and_then(|v| v.as_u64()), Some(bytes));
+            assert_eq!(
+                row.get("version").and_then(|v| v.as_str()),
+                Some(expect_version.as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_without_sketch_state_is_an_error_response() {
+        let image = StoreImage::empty();
+        let line = answer_line(&image, "{\"op\":\"heavy\",\"year\":2020}");
+        assert!(line.starts_with("{\"ok\":false"));
     }
 
     #[test]

@@ -43,6 +43,7 @@ use crate::experiment::CheckpointSpec;
 use synscan_core::analysis::{toolports, yearly, YearAnalysis};
 use synscan_core::checkpoint::{SnapReader, SnapWriter};
 use synscan_core::pipeline::{try_collect_year_stream, PipelineError, SizeHints};
+use synscan_core::sketch::HeavyHitterConfig;
 use synscan_core::{
     run_year_supervised, AdmitState, CampaignConfig, Checkpoint, CheckpointError,
     CheckpointOptions, PipelineMode, RunError, RunSpec, RunStatus, SupervisionConfig,
@@ -87,6 +88,10 @@ pub struct AnalyzeOptions {
     /// [`analyze_pcap_mapped`] honors the mapped modes; [`analyze_pcap`]
     /// always streams.
     pub ingest: IngestMode,
+    /// Sublinear heavy-hitter tracking (`--heavy-hitters`): when set, the
+    /// analysis carries a space-saving top-K + count-min sketch over raw
+    /// source addresses and the report gains a "network impact" section.
+    pub heavy: Option<HeavyHitterConfig>,
 }
 
 impl Default for AnalyzeOptions {
@@ -100,6 +105,7 @@ impl Default for AnalyzeOptions {
             policy: FaultPolicy::Fail,
             chaos_seed: None,
             ingest: IngestMode::default(),
+            heavy: None,
         }
     }
 }
@@ -280,7 +286,7 @@ fn analyze_pcap_inner<R: Read>(
         config,
         7.0,
         options.pipeline,
-        SizeHints::none(),
+        SizeHints::none().with_heavy(options.heavy),
         options.policy,
         &mut stream,
         admit,
@@ -346,7 +352,7 @@ pub fn analyze_pcap_mapped(
         config,
         7.0,
         options.pipeline,
-        SizeHints::none(),
+        SizeHints::none().with_heavy(options.heavy),
         options.policy,
         &capture,
         queues,
@@ -574,7 +580,7 @@ fn checkpointed_inner<R: Read>(
         config: CampaignConfig::scaled(monitored.max(1)),
         period_days: 7.0,
         mode: options.pipeline,
-        hints: SizeHints::none(),
+        hints: SizeHints::none().with_heavy(options.heavy),
         policy: options.policy,
     };
     let opts = SupervisorOptions {
@@ -658,7 +664,7 @@ pub fn analyze_records(mut records: Vec<ProbeRecord>, options: &AnalyzeOptions) 
         config,
         7.0,
         options.pipeline,
-        SizeHints::none(),
+        SizeHints::none().with_heavy(options.heavy),
         options.policy,
         &mut stream,
         admit,
@@ -735,6 +741,30 @@ pub fn render_report(result: &AnalyzeResult) -> String {
         "\ntracked tools carry {:.1}% of the scan traffic",
         tracked * 100.0
     );
+    if let Some(impact) = synscan_core::report::network_impact_of(a) {
+        let _ = writeln!(
+            out,
+            "\nnetwork impact (top-{k} of {n} sources, sketch {bytes} B, \
+             \u{3b5}N \u{2264} {err:.1})",
+            k = impact.config.k,
+            n = impact.tracked_sources,
+            bytes = impact.sketch_bytes,
+            err = impact.epsilon * impact.total_packets as f64,
+        );
+        for entry in impact.top_by_packets.iter().take(10) {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>10} pkts (err \u{2264}{:>6}) {:>10.1} pps  tool {}",
+                entry.source, entry.packets, entry.count_error, entry.pps, entry.tool,
+            );
+        }
+        let p = &impact.rate_percentiles;
+        let _ = writeln!(
+            out,
+            "  source pps percentiles  p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}",
+            p.p50, p.p90, p.p99, p.max
+        );
+    }
     out
 }
 
@@ -987,6 +1017,61 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, CheckpointedAnalyzeError::NeedsStreaming);
+    }
+
+    #[test]
+    fn heavy_hitters_thread_through_every_analysis_shape() {
+        let bytes = capture_bytes();
+        let options = AnalyzeOptions {
+            monitored: Some(100),
+            heavy: Some(HeavyHitterConfig::with_k(8)),
+            ..AnalyzeOptions::default()
+        };
+        let streamed = analyze_pcap(std::io::Cursor::new(bytes.clone()), &options).unwrap();
+        let heavy = streamed
+            .analysis
+            .heavy
+            .as_ref()
+            .expect("heavy option enables sketch state");
+        assert_eq!(heavy.count_min().total(), 200);
+
+        // Sharded, materialized, and streamed runs agree on the sketch too
+        // (it rides inside YearAnalysis equality).
+        let sharded = analyze_pcap(
+            std::io::Cursor::new(bytes.clone()),
+            &AnalyzeOptions {
+                pipeline: PipelineMode::Sharded { workers: 3 },
+                ..options.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(streamed.analysis, sharded.analysis);
+        let materialized = analyze_pcap(
+            std::io::Cursor::new(bytes),
+            &AnalyzeOptions {
+                materialize: true,
+                ..options
+            },
+        )
+        .unwrap();
+        assert_eq!(streamed.analysis, materialized.analysis);
+
+        let report = render_report(&streamed);
+        assert!(report.contains("network impact"), "report: {report}");
+        assert!(report.contains("203.0.113.5"));
+        assert!(report.contains("source pps percentiles"));
+
+        // Without the option the section stays out of the report.
+        let plain = analyze_pcap(
+            std::io::Cursor::new(capture_bytes()),
+            &AnalyzeOptions {
+                monitored: Some(100),
+                ..AnalyzeOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(plain.analysis.heavy.is_none());
+        assert!(!render_report(&plain).contains("network impact"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! analyze <capture.pcap | -> [--monitored N] [--year Y] [--top N]
 //!         [--pipeline sequential|auto|sharded:N] [--materialize]
-//!         [--ingest read|mmap|mmap:N]
+//!         [--ingest read|mmap|mmap:N] [--heavy-hitters K[,WIDTH,DEPTH]]
 //!         [--fault-policy fail|skip|stop] [--chaos-seed N]
 //!         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //!         [--die-after-checkpoints K] [--store-dir DIR]
@@ -45,6 +45,12 @@
 //! `--monitored`, file input); `--die-after-checkpoints K` is the
 //! kill-and-resume drill hook.
 //!
+//! `--heavy-hitters K[,WIDTH,DEPTH]` adds the sublinear heavy-hitter layer:
+//! the analysis carries a space-saving top-K tracker and count-min rate
+//! sketch over raw source addresses, the report gains a "network impact"
+//! section, and the sketch state persists into the `--store-dir` slice for
+//! the `synscan-serve` `heavy` query.
+//!
 //! `--store-dir DIR` persists the finished analysis as a versioned store
 //! slice (`year-YYYY.store`) — the same terminal-state path `repro` uses —
 //! so a capture analyzed here is immediately queryable by `synscan-serve`.
@@ -73,7 +79,7 @@ use synscan_wire::ingest::{IngestMode, MappedCapture};
 
 const USAGE: &str = "usage: analyze <capture.pcap | -> [--monitored N] [--year Y] [--top N] \
                      [--pipeline sequential|auto|sharded:N] [--materialize] \
-                     [--ingest read|mmap|mmap:N] \
+                     [--ingest read|mmap|mmap:N] [--heavy-hitters K[,WIDTH,DEPTH]] \
                      [--fault-policy fail|skip|stop] [--chaos-seed N] \
                      [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
                      [--die-after-checkpoints K] [--store-dir DIR]\n\
@@ -87,6 +93,9 @@ const USAGE: &str = "usage: analyze <capture.pcap | -> [--monitored N] [--year Y
                      streaming it (required for unordered captures)\
                      \n  --ingest MODE       read (streaming, default) | mmap (zero-copy \
                      mapped) | mmap:N (mapped, N decode queues); mmap buffers stdin/pipes whole\
+                     \n  --heavy-hitters K[,WIDTH,DEPTH]  track the top-K sources in \
+                     sublinear space (space-saving + count-min; default sketch 2048x4) \
+                     and report the network-impact section\
                      \n  --fault-policy P    fail | skip | stop: how malformed records are \
                      handled (default fail)\
                      \n  --chaos-seed N      XOR seeded byte noise into the capture before \
@@ -176,6 +185,14 @@ fn run() -> Result<(), String> {
             }
             "--materialize" => options.materialize = true,
             "--ingest" => options.ingest = flag_value(&mut args, "--ingest", "read|mmap|mmap:N")?,
+            "--heavy-hitters" => {
+                let config: synscan::core::sketch::HeavyHitterConfig =
+                    flag_value(&mut args, "--heavy-hitters", "K[,WIDTH,DEPTH]")?;
+                config
+                    .validate()
+                    .map_err(|e| format!("--heavy-hitters: {e}"))?;
+                options.heavy = Some(config);
+            }
             "--fault-policy" => {
                 options.policy = flag_value(&mut args, "--fault-policy", "fail|skip|stop")?
             }

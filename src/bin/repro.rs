@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--scale tiny|small|default] [--out DIR] [--store-dir DIR]
 //!       [--pipeline sequential|auto|sharded:N] [--materialize]
-//!       [--ingest read|mmap|mmap:N]
+//!       [--ingest read|mmap|mmap:N] [--heavy-hitters K[,WIDTH,DEPTH]]
 //!       [--chaos-seed N] [--fault-policy fail|skip|stop]
 //!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //!       [--die-after-checkpoints K] [TARGET...]
@@ -44,6 +44,13 @@
 //! artifacts double as a store round-trip proof, and `synscan-serve` can
 //! answer queries over the same slices the batch run produced.
 //!
+//! `--heavy-hitters K[,WIDTH,DEPTH]` turns on the sublinear heavy-hitter
+//! layer: every year additionally carries a space-saving top-K tracker and
+//! count-min rate sketch over raw source addresses (persisted through the
+//! store slices), and the run prints and writes a per-year "network impact"
+//! section (`heavy_hitters.json`) — top-K sources by packets and by rate,
+//! per-source rate percentiles, and the aggressive-scanner census.
+//!
 //! Each target prints its reproduction to stdout and writes a JSON artifact
 //! into the output directory. EXPERIMENTS.md records how the output compares
 //! with the paper's numbers.
@@ -58,6 +65,7 @@ use synscan::core::analysis::{
     vertical, volatility,
 };
 use synscan::core::report::render_series;
+use synscan::core::sketch::HeavyHitterConfig;
 use synscan::core::store::{AnalysisStore, StoreImage};
 use synscan::experiment::{CheckpointSpec, DecadeRun, DecadeStatus, Experiment};
 use synscan::netmodel::{InternetRegistry, ScannerClass};
@@ -68,7 +76,7 @@ use synscan::{GeneratorConfig, PipelineMode, ToolKind, YearConfig};
 const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out DIR] \
                      [--store-dir DIR] \
                      [--pipeline sequential|auto|sharded:N] [--materialize] \
-                     [--ingest read|mmap|mmap:N] \
+                     [--ingest read|mmap|mmap:N] [--heavy-hitters K[,WIDTH,DEPTH]] \
                      [--chaos-seed N] [--fault-policy fail|skip|stop] \
                      [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
                      [--die-after-checkpoints K] [TARGET...]\n\
@@ -83,6 +91,9 @@ const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out
                      analysis instead of streaming it (same bytes, O(year) memory)\
                      \n  --ingest MODE       read | mmap | mmap:N: how the pcap target's \
                      read-back verification parses the export (default read)\
+                     \n  --heavy-hitters K[,WIDTH,DEPTH]  track the top-K sources per year \
+                     in sublinear space (space-saving + count-min; default sketch \
+                     2048x4) and emit the network-impact section\
                      \n  --chaos-seed N      decay every year's stream with the seeded benign \
                      fault plan (robustness drill)\
                      \n  --fault-policy P    fail | skip | stop: how the pipeline reacts to \
@@ -125,6 +136,7 @@ fn run() -> Result<(), String> {
     let mut pipeline = PipelineMode::auto();
     let mut materialize = false;
     let mut ingest = IngestMode::default();
+    let mut heavy: Option<HeavyHitterConfig> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut fault_policy = FaultPolicy::Fail;
     let mut checkpoint_dir: Option<PathBuf> = None;
@@ -169,6 +181,14 @@ fn run() -> Result<(), String> {
             }
             "--materialize" => materialize = true,
             "--ingest" => ingest = flag_value(&mut args, "--ingest", "read|mmap|mmap:N")?,
+            "--heavy-hitters" => {
+                let config: HeavyHitterConfig =
+                    flag_value(&mut args, "--heavy-hitters", "K[,WIDTH,DEPTH]")?;
+                config
+                    .validate()
+                    .map_err(|e| format!("--heavy-hitters: {e}"))?;
+                heavy = Some(config);
+            }
             "--chaos-seed" => {
                 chaos_seed = Some(flag_value(&mut args, "--chaos-seed", "a u64 seed")?)
             }
@@ -233,7 +253,8 @@ fn run() -> Result<(), String> {
     let mut experiment = Experiment::new(gen)
         .with_pipeline_mode(pipeline)
         .with_materialize(materialize)
-        .with_fault_policy(fault_policy);
+        .with_fault_policy(fault_policy)
+        .with_heavy_hitters(heavy);
     if let Some(seed) = chaos_seed {
         experiment = experiment.with_chaos(ChaosPlan::benign(seed));
     }
@@ -376,7 +397,50 @@ fn run() -> Result<(), String> {
     if want("pcap") {
         pcap_export(&gen, &out_dir, ingest)?;
     }
+    if heavy.is_some() {
+        heavy_report(&view, &out_dir)?;
+    }
     Ok(())
+}
+
+/// The `--heavy-hitters` network-impact section, rendered (like every other
+/// artifact) from the *reloaded* store image — so it doubles as proof the
+/// sketch state round-trips the on-disk slices.
+fn heavy_report(view: &StoreView, out: &Path) -> Result<(), String> {
+    use synscan::core::report::network_impact_of;
+    println!("=== network impact: per-year heavy hitters (sublinear sketch) ===");
+    let mut artifact = Vec::new();
+    for analysis in &view.years {
+        let Some(impact) = network_impact_of(analysis) else {
+            continue;
+        };
+        println!(
+            "{}: top-{} of {} tracked sources, {} pkts | sketch {} B, eps*N <= {:.1}, {} evictions",
+            impact.year,
+            impact.config.k,
+            impact.tracked_sources,
+            impact.total_packets,
+            impact.sketch_bytes,
+            impact.epsilon * impact.total_packets as f64,
+            impact.evictions,
+        );
+        for entry in impact.top_by_packets.iter().take(5) {
+            println!(
+                "  {:<16} {:>10} pkts (err <={:>6}) {:>10.1} pps  tool {:<12} origin {}",
+                entry.source, entry.packets, entry.count_error, entry.pps, entry.tool, entry.origin,
+            );
+        }
+        let p = &impact.rate_percentiles;
+        println!(
+            "  source pps percentiles  p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}",
+            p.p50, p.p90, p.p99, p.max
+        );
+        artifact.push(impact);
+    }
+    if artifact.is_empty() {
+        return Err("--heavy-hitters was set but no reloaded slice carries sketch state".into());
+    }
+    write_json(out, "heavy_hitters.json", &artifact)
 }
 
 /// What rendering needs from a finished run: the per-year analyses as read

@@ -35,6 +35,7 @@ use rayon::prelude::*;
 use synscan_core::analysis::YearAnalysis;
 use synscan_core::checkpoint::{SnapReader, SnapWriter};
 use synscan_core::pipeline::{try_collect_year_stream, PipelineError, PipelineMode, SizeHints};
+use synscan_core::sketch::HeavyHitterConfig;
 use synscan_core::store::{AnalysisStore, StoreError};
 use synscan_core::{
     run_year_supervised, AdmitState, CampaignConfig, Checkpoint, CheckpointError,
@@ -303,6 +304,7 @@ pub struct Experiment {
     policy: FaultPolicy,
     chaos: Option<ChaosPlan>,
     inject: Option<Arc<InjectedFaults>>,
+    heavy: Option<HeavyHitterConfig>,
 }
 
 impl Experiment {
@@ -320,7 +322,17 @@ impl Experiment {
             policy: FaultPolicy::Fail,
             chaos: None,
             inject: None,
+            heavy: None,
         }
+    }
+
+    /// Enable sublinear heavy-hitter tracking (`--heavy-hitters`): every
+    /// year's analysis then carries top-K + count-min sketch state and the
+    /// derived "network impact" report section. Identical across pipeline
+    /// modes, like every other aggregate.
+    pub fn with_heavy_hitters(mut self, config: Option<HeavyHitterConfig>) -> Self {
+        self.heavy = config;
+        self
     }
 
     /// Select how each year's measurement loop executes (sequential or
@@ -437,7 +449,8 @@ impl Experiment {
         // Rough distinct-source width: campaigns dominate, each from its own
         // source, plus background stragglers. Port width: horizontal scans
         // cluster on the popular-port list, vertical scans fan out to their
-        // widest bucket. Only pre-size hints, never load-bearing.
+        // widest bucket. The cardinalities are only pre-size hints; the heavy
+        // config enables sketch tracking when set.
         let hints = SizeHints::new(
             (plan.truth.scans as usize).saturating_mul(2),
             plan.truth
@@ -446,7 +459,8 @@ impl Experiment {
                 .max()
                 .map_or(0, |&ports| ports as usize)
                 + 64,
-        );
+        )
+        .with_heavy(self.heavy);
         // Per-year reseeding: one user-facing seed, distinct (but
         // reproducible) injection offsets for every year of the decade.
         let chaos = self
@@ -651,7 +665,8 @@ impl Experiment {
                 .max()
                 .map_or(0, |&ports| ports as usize)
                 + 64,
-        );
+        )
+        .with_heavy(self.heavy);
         let chaos = self
             .chaos
             .as_ref()

@@ -305,6 +305,7 @@ impl NaiveCollector {
             campaigns: self.campaigns,
             noise: self.noise,
             monitored: self.config.monitored_addresses,
+            heavy: None,
         }
     }
 }

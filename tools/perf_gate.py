@@ -12,6 +12,11 @@ like-for-like: if the two files were produced by different harnesses
 null placeholder, the gate passes with a note — a number measured by one
 harness says nothing about the other.
 
+When both files carry a `bytes_per_source` object (the hotpath bench's
+dense-vs-sketch footprint), the sketch figure is gated too — lower is
+better, same threshold — and the fresh sketch must stay below the fresh
+dense figure (the sketch's whole point is sublinearity).
+
 A missing or malformed baseline file, or a baseline without a `harness`
 field, fails with a one-line diagnosis instead of a traceback.
 
@@ -98,6 +103,32 @@ def gate(committed_path, fresh_path, max_regression):
             "if the runner is known-noisy",
             file=sys.stderr,
         )
+        return 1
+    print(f"{verdict} — within the {max_regression:.0%} budget")
+    return gate_memory(committed, fresh, name, max_regression)
+
+
+def gate_memory(committed, fresh, name, max_regression):
+    """Lower-is-better gate over the hotpath bench's sketch bytes/source."""
+    old = (committed.get("bytes_per_source") or {}).get("sketch")
+    new_row = fresh.get("bytes_per_source") or {}
+    new, dense = new_row.get("sketch"), new_row.get("dense")
+    if old is None or new is None:
+        return 0
+    if dense is not None and new >= dense:
+        print(
+            f"perf_gate: {name}: sketch footprint {new:,.0f} B/source is not "
+            f"below the dense footprint {dense:,.0f} B/source",
+            file=sys.stderr,
+        )
+        return 1
+    growth = (new - old) / old if old > 0 else 0.0
+    verdict = (
+        f"perf_gate: {name}: sketch footprint committed {old:,.0f} B/source, "
+        f"fresh {new:,.0f} B/source ({growth:+.1%})"
+    )
+    if growth > max_regression:
+        print(f"{verdict} — exceeds the {max_regression:.0%} growth budget", file=sys.stderr)
         return 1
     print(f"{verdict} — within the {max_regression:.0%} budget")
     return 0

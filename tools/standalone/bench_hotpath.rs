@@ -17,6 +17,7 @@ use std::time::Instant;
 use synscan_core_hotpath::compact::PortSet;
 use synscan_core_hotpath::fasthash::FxHashMap;
 use synscan_core_hotpath::intern::SourceTable;
+use synscan_core_hotpath::sketch::{HeavyHitterConfig, HeavyHitters};
 use synscan_wire::{Ipv4Address, ProbeRecord, TcpFlags};
 
 const YEAR: u16 = 2020;
@@ -93,10 +94,30 @@ fn main() {
     } else {
         0.0
     };
+
+    // Dense-vs-sketch footprint over the same stream: exact per-source
+    // packet counts (hash-map capacity, measured after the fact) against the
+    // default heavy-hitter sketch's state_bytes. Both divided by the
+    // distinct-source count, so the figure stays comparable as RECORDS moves.
+    let mut dense: FxHashMap<u32, u64> = FxHashMap::default();
+    let config = HeavyHitterConfig::default();
+    let mut heavy = HeavyHitters::new(config);
+    for r in &records {
+        *dense.entry(r.src_ip.0).or_insert(0) += 1;
+        heavy.offer(r.src_ip.0, r.ts_micros, 0);
+    }
+    let dense_bytes =
+        dense.capacity() * (std::mem::size_of::<(u32, u64)>() + 1) + std::mem::size_of_val(&dense);
+    let dense_per_source = dense_bytes as f64 / best.sources.max(1) as f64;
+    let sketch_per_source = heavy.state_bytes() as f64 / best.sources.max(1) as f64;
+
     let body = format!(
         "{{\n  \"bench\": \"pipeline_hotpath\",\n  \"year\": {YEAR},\n  \
          \"harness\": \"standalone-rustc\",\n  \"records\": {total},\n  \
          \"elapsed_secs\": {elapsed:.6},\n  \"records_per_sec\": {rps:.1},\n  \
+         \"bytes_per_source\": {{ \"dense\": {dense_per_source:.1}, \
+         \"sketch\": {sketch_per_source:.1}, \
+         \"sketch_config\": \"{k},{width},{depth}\" }},\n  \
          \"checks\": {{ \"total_packets\": {total}, \"distinct_sources\": {sources}, \
          \"port_cells\": {port_cells} }},\n  \
          \"note\": \"best of 3 passes; intern + PortSet + FxHashMap accumulation \
@@ -107,7 +128,13 @@ fn main() {
         elapsed = best.elapsed,
         sources = best.sources,
         port_cells = best.port_cells,
+        k = config.k,
+        width = config.width,
+        depth = config.depth,
     );
     std::fs::write(&out, body).expect("write baseline json");
-    eprintln!("bench_hotpath: {rps:.0} records/sec -> {out}");
+    eprintln!(
+        "bench_hotpath: {rps:.0} records/sec, {dense_per_source:.0} dense vs \
+         {sketch_per_source:.0} sketch bytes/source -> {out}"
+    );
 }

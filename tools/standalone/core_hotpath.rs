@@ -133,3 +133,6 @@ pub mod intern;
 
 #[path = "../../crates/core/src/compact.rs"]
 pub mod compact;
+
+#[path = "../../crates/core/src/sketch.rs"]
+pub mod sketch;

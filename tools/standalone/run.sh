@@ -35,6 +35,14 @@ rustc --edition 2021 -O --cfg synscan_standalone \
     --extern "synscan_core_hotpath=$out/libsynscan_core_hotpath.rlib" \
     "$here/bench_hotpath.rs" -o "$out/bench_hotpath"
 
+echo "standalone: compiling the sketch differential suite" >&2
+rustc --edition 2021 -O --cfg synscan_standalone \
+    --extern "synscan_core_hotpath=$out/libsynscan_core_hotpath.rlib" \
+    "$here/sketch_equiv.rs" -o "$out/sketch_equiv"
+
+echo "standalone: running the sketch differential suite" >&2
+"$out/sketch_equiv"
+
 "$out/bench_ingest" "$root/BENCH_ingest.json"
 "$out/bench_hotpath" "$root/BENCH_hotpath.json"
 

@@ -1,0 +1,32 @@
+//! Registry-free mount of the sketch differential suite.
+//!
+//! `tools/standalone/run.sh` compiles this main with bare `rustc`
+//! (`--cfg synscan_standalone`) against the `core_hotpath` rlib, so the
+//! exact assertions of `tests/sketch_equivalence.rs` run on a machine with
+//! no crates registry. Honors the same knobs: `SKETCH_FUZZ_ITERS`
+//! (default 25) and `SKETCH_SEED_BASE` (default 0xf).
+
+#[path = "sketch_cases.rs"]
+mod cases;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    let Ok(value) = std::env::var(name) else {
+        return default;
+    };
+    let parsed = match value.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => value.parse().ok(),
+    };
+    parsed.unwrap_or_else(|| {
+        eprintln!("sketch_equiv: ignoring unparsable {name}={value}");
+        default
+    })
+}
+
+fn main() {
+    let iters = env_u64("SKETCH_FUZZ_ITERS", 25);
+    let seed = env_u64("SKETCH_SEED_BASE", 0xf);
+    eprintln!("sketch_equiv: seed matrix {:x?}, {iters} fuzz iterations", cases::SEED_MATRIX);
+    cases::run_all(iters, seed);
+    println!("sketch_equiv: all differential cases passed ({iters} fuzz iterations)");
+}

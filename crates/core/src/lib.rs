@@ -34,7 +34,10 @@
 //! checksummed snapshots of the full pipeline state), [`supervise`] (worker
 //! heartbeats, panic containment, stall watchdog), and
 //! [`pipeline::supervised`] (the checkpointed, resumable driver tying both
-//! together).
+//! together). [`distrib`] lifts the same sharded-merge architecture across
+//! process (and host) boundaries: workers compute `(year, partition)` slice
+//! partials over a framed checkpoint protocol and a coordinator merges them
+//! bit-identically to the sequential run.
 //!
 //! Terminal run state persists through [`store`]: a versioned on-disk
 //! analysis store of per-year slices that [`report`] renders as a pure
@@ -49,6 +52,7 @@ pub mod campaign;
 pub mod checkpoint;
 pub mod classify;
 pub mod compact;
+pub mod distrib;
 pub mod fasthash;
 pub mod fingerprint;
 pub mod intern;
@@ -62,6 +66,10 @@ pub use campaign::{Campaign, CampaignConfig, CampaignDetector, RejectReason};
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointHeader};
 pub use classify::classify_source;
 pub use compact::{IdSet, PortSet};
+pub use distrib::{
+    merge_slices, plan_slices, run_slice, DistribError, Message, SliceOutcome, SliceSpec,
+    SliceTask, PROTO_VERSION,
+};
 pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use fingerprint::{FingerprintEngine, InternedFingerprint, PacketVerdict};
 pub use intern::{SourceId, SourceTable};

@@ -198,7 +198,7 @@ impl SizeHints {
     /// should reserve: sources partition across shards, ports do not (every
     /// shard can see every port), and the sketch config must be identical on
     /// every shard for the partials to merge.
-    fn per_worker(self, workers: usize) -> Self {
+    pub(crate) fn per_worker(self, workers: usize) -> Self {
         Self {
             sources: self.sources / workers.max(1),
             ports: self.ports,
@@ -277,7 +277,7 @@ pub struct PipelineOutcome {
 }
 
 /// Verdict of the driver's per-record fault gate.
-enum Gate {
+pub(crate) enum Gate {
     /// Clean: hand the record to the admit filter.
     Pass,
     /// Drop this record (injected duplicate / order regression under skip).
@@ -296,14 +296,14 @@ enum Gate {
 /// dropped), and timestamp regressions (the [`TryRecordStream`] contract
 /// is non-decreasing order; under [`FaultPolicy::Fail`] a regression is an
 /// [`StreamError::Unordered`] error, under skip the offender is dropped).
-struct FaultGate {
-    policy: FaultPolicy,
-    counters: FaultCounters,
-    last: Option<ProbeRecord>,
+pub(crate) struct FaultGate {
+    pub(crate) policy: FaultPolicy,
+    pub(crate) counters: FaultCounters,
+    pub(crate) last: Option<ProbeRecord>,
 }
 
 impl FaultGate {
-    fn new(policy: FaultPolicy) -> Self {
+    pub(crate) fn new(policy: FaultPolicy) -> Self {
         Self {
             policy,
             counters: FaultCounters::default(),
@@ -311,7 +311,7 @@ impl FaultGate {
         }
     }
 
-    fn offer(&mut self, record: &ProbeRecord) -> Result<Gate, StreamError> {
+    pub(crate) fn offer(&mut self, record: &ProbeRecord) -> Result<Gate, StreamError> {
         if let Some(last) = &self.last {
             // Duplicate check first: an exact replay carries an equal (not
             // regressed) timestamp, so it never reaches the order check.
@@ -349,7 +349,7 @@ impl FaultGate {
 
     /// A terminal error from the stream itself: fatal under strict policy,
     /// a counted clean truncation under the lossy ones.
-    fn stream_error(&mut self, e: StreamError) -> Result<(), PipelineError> {
+    pub(crate) fn stream_error(&mut self, e: StreamError) -> Result<(), PipelineError> {
         match self.policy {
             FaultPolicy::Fail => Err(PipelineError::Stream(e)),
             FaultPolicy::SkipRecord | FaultPolicy::StopClean => {

@@ -43,7 +43,7 @@
 use std::io::{self, Read};
 use std::path::Path;
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 use crate::checksum;
@@ -341,6 +341,11 @@ impl<'a> PcapSlice<'a> {
     ///   case at the point the merged stream reaches it.
     pub fn partition(&self, parts: usize) -> Vec<(usize, usize)> {
         let parts = parts.max(1);
+        if parts == 1 {
+            // One part is the whole slice; skip the framing walk — on a
+            // decade-scale capture that walk reads every record header.
+            return vec![(self.cursor, self.end)];
+        }
         let (clean_end, records) = self.framed_prefix();
         let per = records.div_ceil(parts as u64).max(1);
         let mut ranges = Vec::with_capacity(parts);
@@ -555,12 +560,14 @@ impl<'a> MappedPcapStream<'a> {
     /// Stream an already-opened slice (used by the queue front end for
     /// segments, which share one global header).
     pub fn over(slice: PcapSlice<'a>, policy: FaultPolicy) -> Self {
+        // The owned buffer grows lazily on first use: callers that only
+        // ever decode through `try_next_owned` never touch it.
         Self {
             slice,
             policy,
             checksums: ChecksumPolicy::Trust,
             batch_target: BATCH_RECORDS,
-            batch: Vec::with_capacity(BATCH_RECORDS),
+            batch: Vec::new(),
             run: FrameBatch::with_capacity(RUN_FRAMES),
             non_tcp: 0,
             last_ts: 0,
@@ -568,6 +575,48 @@ impl<'a> MappedPcapStream<'a> {
             faults: FaultCounters::default(),
             error: None,
             done: false,
+        }
+    }
+
+    /// Rebuild a stream over `data` from a [`suspend`]ed state.
+    ///
+    /// [`suspend`]: MappedPcapStream::suspend
+    pub fn resume(data: &'a [u8], state: MappedStreamState) -> Result<Self, PcapError> {
+        let base = PcapSlice::new(data)?;
+        Ok(Self {
+            slice: base.segment(state.cursor, state.end),
+            policy: state.policy,
+            checksums: state.checksums,
+            batch_target: state.batch_target,
+            batch: Vec::new(),
+            run: FrameBatch::with_capacity(RUN_FRAMES),
+            non_tcp: state.non_tcp,
+            last_ts: state.last_ts,
+            order_violations: state.order_violations,
+            faults: state.faults,
+            error: state.error,
+            done: state.done,
+        })
+    }
+
+    /// Detach the decode state from the mapping borrow, so an owner of the
+    /// mapping can park the stream beside it and [`resume`] later — the
+    /// no-self-reference idiom the inline single-queue ingest path uses.
+    ///
+    /// [`resume`]: MappedPcapStream::resume
+    pub fn suspend(self) -> MappedStreamState {
+        MappedStreamState {
+            cursor: self.slice.cursor,
+            end: self.slice.end,
+            policy: self.policy,
+            checksums: self.checksums,
+            batch_target: self.batch_target,
+            non_tcp: self.non_tcp,
+            last_ts: self.last_ts,
+            order_violations: self.order_violations,
+            faults: self.faults,
+            error: self.error,
+            done: self.done,
         }
     }
 
@@ -611,17 +660,38 @@ impl<'a> MappedPcapStream<'a> {
     }
 
     fn fill(&mut self) -> Result<bool, StreamError> {
+        let mut batch = std::mem::take(&mut self.batch);
+        let filled = self.fill_into(&mut batch);
+        self.batch = batch;
+        filled
+    }
+
+    /// Decode the next batch into `buf` (cleared first) and hand it back by
+    /// value — the owned-batch variant of [`TryRecordStream::try_next_batch`].
+    /// The queue front end moves these buffers across threads and recycles
+    /// them, so a decoded record is written exactly once and never copied.
+    pub fn try_next_owned(
+        &mut self,
+        mut buf: Vec<ProbeRecord>,
+    ) -> Result<Option<Vec<ProbeRecord>>, StreamError> {
+        match self.fill_into(&mut buf)? {
+            true => Ok(Some(buf)),
+            false => Ok(None),
+        }
+    }
+
+    fn fill_into(&mut self, out: &mut Vec<ProbeRecord>) -> Result<bool, StreamError> {
         if self.done {
             return Ok(false);
         }
-        self.batch.clear();
-        while self.batch.len() < self.batch_target {
+        out.clear();
+        while out.len() < self.batch_target {
             self.run.clear();
-            let budget = RUN_FRAMES.min(self.batch_target - self.batch.len());
+            let budget = RUN_FRAMES.min(self.batch_target - out.len());
             let outcome = self.run.gather(&mut self.slice, budget);
             self.run.decode_into(
                 self.checksums,
-                &mut self.batch,
+                out,
                 &mut self.non_tcp,
                 &mut self.last_ts,
                 &mut self.order_violations,
@@ -656,7 +726,7 @@ impl<'a> MappedPcapStream<'a> {
                 },
             }
         }
-        Ok(!self.batch.is_empty())
+        Ok(!out.is_empty())
     }
 }
 
@@ -682,6 +752,24 @@ impl TryRecordStream for MappedPcapStream<'_> {
     }
 }
 
+/// A [`MappedPcapStream`] with the mapping borrow detached: byte cursor,
+/// policies, and every running counter — everything but the `&[u8]` and the
+/// scratch buffers. See [`MappedPcapStream::suspend`].
+#[derive(Debug, Clone)]
+pub struct MappedStreamState {
+    cursor: usize,
+    end: usize,
+    policy: FaultPolicy,
+    checksums: ChecksumPolicy,
+    batch_target: usize,
+    non_tcp: u64,
+    last_ts: u64,
+    order_violations: u64,
+    faults: FaultCounters,
+    error: Option<StreamError>,
+    done: bool,
+}
+
 /// What one decode queue reports when it finishes its segment.
 #[derive(Debug)]
 struct QueueSummary {
@@ -702,10 +790,16 @@ enum QueueMsg {
 /// [`TryRecordStream`] interface.
 ///
 /// Order is preserved because the partitions tile the capture: the merger
-/// drains queue 0 to completion, then queue 1, and so on; queues decode
-/// ahead behind a bounded channel (at most [`QUEUE_DEPTH`] batches per queue
-/// in flight), so memory stays O(queues × batch) while header parsing and
-/// field extraction overlap across cores. Per-source record order — the
+/// drains queue 0 to completion, then queue 1, and so on. Queues decode
+/// ahead behind a bounded channel whose depth is derived from the
+/// [`RUNAHEAD_BYTES`] budget (see [`queue_depth`]): deep enough that a
+/// later queue keeps decoding while the merger is still draining an
+/// earlier one — run-ahead is exactly the parallelism this front end buys,
+/// a rendezvous-shallow channel serializes the queues behind the merger —
+/// yet bounded, so memory stays O(budget) however large the capture is.
+/// Batches move by value through the channel and spent buffers recycle
+/// back to the decoders through a shared pool, so a decoded record is
+/// written once and never copied again. Per-source record order — the
 /// invariant the sharded pipeline's [`FaultPolicy`] gate depends on — is
 /// therefore exactly the capture's, same as sequential ingest.
 #[derive(Debug)]
@@ -717,13 +811,57 @@ pub struct IngestQueues {
     ranges: Vec<(usize, usize)>,
 }
 
-/// Decoded batches each queue may buffer ahead of the merger.
-pub const QUEUE_DEPTH: usize = 4;
+/// Decoded bytes the whole queue set may buffer ahead of the merger.
+///
+/// Sizing rationale: the merger consumes queues strictly in capture order,
+/// so every queue after the current one makes progress *only* into its
+/// channel buffer. The old fixed depth of 4 batches (~2 MiB decoded) meant
+/// later queues filled their channels in microseconds and then sat blocked
+/// — the whole decode degenerated to sequential, plus a per-batch copy and
+/// a thread rendezvous per hand-off (measured 2.7× slower than the
+/// single-stream mapped reader). 64 MiB of run-ahead lets each queue of a
+/// typical multi-queue split decode a large fraction of its segment before
+/// ever blocking, which is what actually overlaps the work.
+pub const RUNAHEAD_BYTES: usize = 64 << 20;
+
+/// Per-queue channel depth (in batches) for a `queues`-way split: the
+/// shared [`RUNAHEAD_BYTES`] budget divided evenly, floored at two batches
+/// so a queue can always overlap one decode with one hand-off.
+pub fn queue_depth(queues: usize) -> usize {
+    let batch_bytes = (BATCH_RECORDS * core::mem::size_of::<ProbeRecord>()).max(1);
+    (RUNAHEAD_BYTES / queues.max(1) / batch_bytes).max(2)
+}
+
+/// Spent batch buffers on their way back to the decode threads. Capacity
+/// recycles through here instead of being freed and re-grown per batch;
+/// the population is naturally bounded by the channel depths (a buffer is
+/// either in a channel, in the merger's hands, or parked here). Distinct
+/// from [`crate::stream::BatchPool`], which recycles inside one thread.
+type RecycledBatches = Arc<Mutex<Vec<Vec<ProbeRecord>>>>;
 
 impl IngestQueues {
-    /// Plan a multi-queue ingest over a shared mapping. Fails only if the
-    /// global header does not parse (no framing to partition).
+    /// Plan a right-sized multi-queue ingest over a shared mapping: the
+    /// requested queue count is clamped to the machine's available
+    /// parallelism, because queues past the core count cannot overlap any
+    /// work — they only add hand-off and scheduling cost (on a one-core
+    /// box, the unclamped 4-queue decode measured 2.7× slower than the
+    /// single stream). A clamp to one queue decodes *inline*, with no
+    /// threads at all. Fails only if the global header does not parse (no
+    /// framing to partition).
     pub fn new(
+        capture: Arc<MappedCapture>,
+        queues: usize,
+        policy: FaultPolicy,
+    ) -> Result<Self, PcapError> {
+        let cores = thread::available_parallelism().map_or(1, |n| n.get());
+        Self::exact(capture, queues.max(1).min(cores), policy)
+    }
+
+    /// Plan exactly `queues` decode queues, even past the machine's
+    /// parallelism. The equivalence suite uses this to exercise the
+    /// multi-queue merge paths on any box; production callers want the
+    /// right-sizing of [`IngestQueues::new`].
+    pub fn exact(
         capture: Arc<MappedCapture>,
         queues: usize,
         policy: FaultPolicy,
@@ -746,18 +884,49 @@ impl IngestQueues {
         self
     }
 
+    /// The effective queue count (after [`IngestQueues::new`]'s clamp).
+    pub fn queues(&self) -> usize {
+        self.queues
+    }
+
     /// The planned record-boundary-aligned byte ranges, one per queue.
     pub fn ranges(&self) -> &[(usize, usize)] {
         &self.ranges
     }
 
-    /// Spawn the decode threads and return the merged, ordered stream.
+    /// Start the planned ingest and return the merged, ordered stream: one
+    /// decode thread per queue, or the threadless inline decoder when the
+    /// plan collapsed to a single queue.
     pub fn spawn(self) -> ParallelIngest {
+        if self.queues == 1 {
+            let (start, end) = self.ranges[0];
+            let state = MappedPcapStream::over(
+                // The planner parsed this header in `new`, so the segment
+                // bounds are valid; re-deriving the slice per batch is how
+                // the inline path avoids a self-referential borrow.
+                PcapSlice::new(self.capture.as_slice())
+                    .expect("header parsed at plan time")
+                    .segment(start, end),
+                self.policy,
+            )
+            .checksums(self.checksums)
+            .suspend();
+            return ParallelIngest {
+                backend: IngestBackend::Inline(InlineIngest {
+                    capture: self.capture,
+                    state: Some(state),
+                    batch: Vec::new(),
+                }),
+            };
+        }
         let mut receivers = Vec::with_capacity(self.queues);
         let mut workers = Vec::with_capacity(self.queues);
+        let depth = queue_depth(self.queues);
+        let pool: RecycledBatches = Arc::new(Mutex::new(Vec::new()));
         for &(start, end) in &self.ranges {
-            let (tx, rx) = mpsc::sync_channel::<QueueMsg>(QUEUE_DEPTH);
+            let (tx, rx) = mpsc::sync_channel::<QueueMsg>(depth);
             let capture = Arc::clone(&self.capture);
+            let pool = Arc::clone(&pool);
             let (policy, checksums) = (self.policy, self.checksums);
             let handle = thread::spawn(move || {
                 let slice = match PcapSlice::new(capture.as_slice()) {
@@ -777,9 +946,14 @@ impl IngestQueues {
                 let mut stream = MappedPcapStream::over(slice, policy).checksums(checksums);
                 let mut error = None;
                 loop {
-                    match stream.try_next_batch() {
+                    let buf = pool
+                        .lock()
+                        .map(|mut parked| parked.pop())
+                        .unwrap_or_default()
+                        .unwrap_or_else(|| Vec::with_capacity(BATCH_RECORDS));
+                    match stream.try_next_owned(buf) {
                         Ok(Some(batch)) => {
-                            if tx.send(QueueMsg::Batch(batch.to_vec())).is_err() {
+                            if tx.send(QueueMsg::Batch(batch)).is_err() {
                                 return; // merger dropped; stop decoding
                             }
                         }
@@ -801,31 +975,90 @@ impl IngestQueues {
             workers.push(handle);
         }
         ParallelIngest {
-            receivers,
-            workers,
-            current_queue: 0,
-            batch: Vec::new(),
-            last_ts: None,
-            at_boundary: false,
-            non_tcp: 0,
-            order_violations: 0,
-            faults: FaultCounters::default(),
-            error: None,
-            done: false,
+            backend: IngestBackend::Threaded(ThreadedIngest {
+                receivers,
+                workers,
+                pool,
+                current_queue: 0,
+                batch: Vec::new(),
+                last_ts: None,
+                at_boundary: false,
+                non_tcp: 0,
+                order_violations: 0,
+                faults: FaultCounters::default(),
+                error: None,
+                done: false,
+            }),
         }
     }
 }
 
-/// The merged, capture-ordered stream over [`IngestQueues`] decode threads.
+/// The merged, capture-ordered stream over an [`IngestQueues`] plan.
 ///
 /// Implements [`TryRecordStream`] with the exact single-stream semantics:
 /// batches arrive in capture order, fault counters aggregate across queues,
 /// and the consecutive-record order census accounts for queue boundaries
 /// (the one comparison per boundary the per-queue censuses cannot see).
+/// When the plan collapsed to a single queue this is the threadless inline
+/// decoder — same interface, same bytes, no hand-off cost.
 #[derive(Debug)]
 pub struct ParallelIngest {
+    backend: IngestBackend,
+}
+
+#[derive(Debug)]
+enum IngestBackend {
+    Inline(InlineIngest),
+    Threaded(ThreadedIngest),
+}
+
+/// The single-queue degenerate case: decode on the consumer's own thread.
+/// The stream state is held [`suspend`]ed beside the owned mapping and the
+/// borrow is re-derived per batch, which is cheap (one 24-byte header
+/// parse) and avoids a self-referential struct.
+///
+/// [`suspend`]: MappedPcapStream::suspend
+#[derive(Debug)]
+struct InlineIngest {
+    capture: Arc<MappedCapture>,
+    state: Option<MappedStreamState>,
+    batch: Vec<ProbeRecord>,
+}
+
+impl InlineIngest {
+    fn fill(&mut self) -> Result<bool, StreamError> {
+        let mut state = self.state.take().expect("inline state always parked");
+        let mut stream = match MappedPcapStream::resume(self.capture.as_slice(), state.clone()) {
+            Ok(stream) => stream,
+            Err(e) => {
+                // Unreachable (the header parsed at plan time), but keep
+                // the typed-error contract rather than panicking.
+                state.done = true;
+                state.error = Some(StreamError::Pcap(e));
+                self.state = Some(state);
+                return Err(StreamError::Pcap(e));
+            }
+        };
+        let mut batch = std::mem::take(&mut self.batch);
+        let filled = stream.fill_into(&mut batch);
+        self.batch = batch;
+        self.state = Some(stream.suspend());
+        filled
+    }
+
+    fn view(&self) -> (&MappedStreamState, &[ProbeRecord]) {
+        (
+            self.state.as_ref().expect("inline state always parked"),
+            &self.batch,
+        )
+    }
+}
+
+#[derive(Debug)]
+struct ThreadedIngest {
     receivers: Vec<mpsc::Receiver<QueueMsg>>,
     workers: Vec<thread::JoinHandle<()>>,
+    pool: RecycledBatches,
     current_queue: usize,
     batch: Vec<ProbeRecord>,
     /// Timestamp of the last record delivered to the consumer, across queue
@@ -845,26 +1078,40 @@ impl ParallelIngest {
     /// Frames that were not parseable IPv4/TCP, across all queues drained
     /// so far.
     pub fn non_tcp_frames(&self) -> u64 {
-        self.non_tcp
+        match &self.backend {
+            IngestBackend::Inline(inline) => inline.view().0.non_tcp,
+            IngestBackend::Threaded(threaded) => threaded.non_tcp,
+        }
     }
 
     /// Consecutive-record timestamp inversions, including queue-boundary
     /// comparisons.
     pub fn order_violations(&self) -> u64 {
-        self.order_violations
+        match &self.backend {
+            IngestBackend::Inline(inline) => inline.view().0.order_violations,
+            IngestBackend::Threaded(threaded) => threaded.order_violations,
+        }
     }
 
     /// Aggregated fault tally of all queues drained so far.
     pub fn faults(&self) -> FaultCounters {
-        self.faults
+        match &self.backend {
+            IngestBackend::Inline(inline) => inline.view().0.faults,
+            IngestBackend::Threaded(threaded) => threaded.faults,
+        }
     }
 
     /// The error that ended the stream, if any (also surfaced through
     /// [`TryRecordStream::try_next_batch`] under [`FaultPolicy::Fail`]).
     pub fn error(&self) -> Option<StreamError> {
-        self.error
+        match &self.backend {
+            IngestBackend::Inline(inline) => inline.view().0.error,
+            IngestBackend::Threaded(threaded) => threaded.error,
+        }
     }
+}
 
+impl ThreadedIngest {
     fn fill(&mut self) -> Result<bool, StreamError> {
         if self.done {
             return Ok(false);
@@ -887,7 +1134,12 @@ impl ParallelIngest {
                         self.at_boundary = false;
                     }
                     self.last_ts = batch.last().map(|r| r.ts_micros).or(self.last_ts);
-                    self.batch = batch;
+                    let spent = std::mem::replace(&mut self.batch, batch);
+                    if spent.capacity() > 0 {
+                        if let Ok(mut parked) = self.pool.lock() {
+                            parked.push(spent);
+                        }
+                    }
                     return Ok(true);
                 }
                 Ok(QueueMsg::Done(summary)) => {
@@ -920,14 +1172,20 @@ impl ParallelIngest {
 
 impl TryRecordStream for ParallelIngest {
     fn try_next_batch(&mut self) -> Result<Option<&[ProbeRecord]>, StreamError> {
-        match self.fill()? {
-            true => Ok(Some(&self.batch)),
-            false => Ok(None),
+        match &mut self.backend {
+            IngestBackend::Inline(inline) => match inline.fill()? {
+                true => Ok(Some(&inline.batch)),
+                false => Ok(None),
+            },
+            IngestBackend::Threaded(threaded) => match threaded.fill()? {
+                true => Ok(Some(&threaded.batch)),
+                false => Ok(None),
+            },
         }
     }
 }
 
-impl Drop for ParallelIngest {
+impl Drop for ThreadedIngest {
     fn drop(&mut self) {
         // Unblock producers by dropping the receivers, then reap.
         self.receivers.clear();
@@ -1138,7 +1396,7 @@ mod tests {
         let bytes = capture_of(&records);
         for queues in [1usize, 2, 3, 8] {
             let capture = Arc::new(MappedCapture::from_bytes(bytes.clone()));
-            let mut merged = IngestQueues::new(capture, queues, FaultPolicy::Fail)
+            let mut merged = IngestQueues::exact(capture, queues, FaultPolicy::Fail)
                 .unwrap()
                 .spawn();
             assert_eq!(drain(&mut merged).unwrap(), records, "queues={queues}");
@@ -1164,7 +1422,7 @@ mod tests {
         assert_eq!(sequential.order_violations(), 499);
         for queues in [2usize, 3, 5] {
             let capture = Arc::new(MappedCapture::from_bytes(bytes.clone()));
-            let mut merged = IngestQueues::new(capture, queues, FaultPolicy::Fail)
+            let mut merged = IngestQueues::exact(capture, queues, FaultPolicy::Fail)
                 .unwrap()
                 .spawn();
             drain(&mut merged).unwrap();
@@ -1181,7 +1439,7 @@ mod tests {
         let mut bytes = capture_of(&(0..200).map(record).collect::<Vec<_>>());
         bytes.truncate(bytes.len() - 9);
         let capture = Arc::new(MappedCapture::from_bytes(bytes));
-        let mut merged = IngestQueues::new(capture, 3, FaultPolicy::Fail)
+        let mut merged = IngestQueues::exact(capture, 3, FaultPolicy::Fail)
             .unwrap()
             .spawn();
         let err = drain(&mut merged).unwrap_err();
@@ -1197,7 +1455,7 @@ mod tests {
         let mut bytes = capture_of(&records);
         bytes.truncate(bytes.len() - 9);
         let capture = Arc::new(MappedCapture::from_bytes(bytes));
-        let mut merged = IngestQueues::new(capture, 4, FaultPolicy::SkipRecord)
+        let mut merged = IngestQueues::exact(capture, 4, FaultPolicy::SkipRecord)
             .unwrap()
             .spawn();
         let parsed = drain(&mut merged).unwrap();
@@ -1211,10 +1469,71 @@ mod tests {
         let mut stream = MappedPcapStream::new(&bytes).unwrap();
         assert!(drain(&mut stream).unwrap().is_empty());
         let capture = Arc::new(MappedCapture::from_bytes(bytes));
-        let mut merged = IngestQueues::new(capture, 4, FaultPolicy::Fail)
+        let mut merged = IngestQueues::exact(capture, 4, FaultPolicy::Fail)
             .unwrap()
             .spawn();
         assert!(drain(&mut merged).unwrap().is_empty());
+    }
+
+    #[test]
+    fn new_right_sizes_to_available_parallelism() {
+        let cores = thread::available_parallelism().map_or(1, |n| n.get());
+        let bytes = capture_of(&(0..100).map(record).collect::<Vec<_>>());
+        let capture = Arc::new(MappedCapture::from_bytes(bytes));
+        let planned = IngestQueues::new(Arc::clone(&capture), 4, FaultPolicy::Fail).unwrap();
+        assert_eq!(planned.queues(), 4.min(cores));
+        assert_eq!(planned.ranges().len(), 4.min(cores));
+        let exact = IngestQueues::exact(capture, 4, FaultPolicy::Fail).unwrap();
+        assert_eq!(exact.queues(), 4);
+    }
+
+    #[test]
+    fn inline_single_queue_equals_sequential_counters_and_faults() {
+        // Clean capture: the threadless inline backend must reproduce the
+        // sequential stream exactly, counters included.
+        let records: Vec<ProbeRecord> = (0..5_000).map(record).collect();
+        let bytes = capture_of(&records);
+        let capture = Arc::new(MappedCapture::from_bytes(bytes.clone()));
+        let mut inline = IngestQueues::exact(Arc::clone(&capture), 1, FaultPolicy::Fail)
+            .unwrap()
+            .spawn();
+        assert_eq!(drain(&mut inline).unwrap(), records);
+        assert_eq!(inline.non_tcp_frames(), 0);
+        assert_eq!(inline.order_violations(), 0);
+        assert!(!inline.faults().any());
+        assert_eq!(inline.error(), None);
+
+        // Torn tail under Fail: the typed error surfaces through the same
+        // interface, and sticks.
+        let mut torn = bytes;
+        torn.truncate(torn.len() - 9);
+        let capture = Arc::new(MappedCapture::from_bytes(torn));
+        let mut inline = IngestQueues::exact(capture, 1, FaultPolicy::Fail)
+            .unwrap()
+            .spawn();
+        let err = drain(&mut inline).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::Pcap(PcapError::TruncatedRecordBody { .. })
+        ));
+        assert_eq!(inline.error(), Some(err));
+    }
+
+    #[test]
+    fn suspend_resume_roundtrips_mid_stream() {
+        let records: Vec<ProbeRecord> = (0..3_000).map(record).collect();
+        let bytes = capture_of(&records);
+        let mut stream = MappedPcapStream::new(&bytes).unwrap().batch_target(512);
+        let mut collected = Vec::new();
+        collected.extend_from_slice(stream.try_next_batch().unwrap().unwrap());
+        // Park the state, drop the stream, resume against the same bytes.
+        let state = stream.suspend();
+        let mut resumed = MappedPcapStream::resume(&bytes, state).unwrap();
+        while let Some(batch) = resumed.try_next_batch().unwrap() {
+            collected.extend_from_slice(batch);
+        }
+        assert_eq!(collected, records);
+        assert_eq!(resumed.order_violations(), 0);
     }
 
     #[test]

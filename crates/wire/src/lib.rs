@@ -54,6 +54,7 @@
 pub mod chaos;
 pub mod checksum;
 pub mod ethernet;
+pub mod frame;
 pub mod ingest;
 pub mod ipv4;
 pub mod pcap;
@@ -65,9 +66,11 @@ pub mod udp;
 
 pub use chaos::{ChaosPlan, ChaosReader, ChaosStream, Fault, InjectionLog};
 pub use ethernet::{EtherType, EthernetFrame, EthernetRepr};
+pub use frame::{read_frame, write_frame, FrameError, FramedMessage};
 pub use ingest::{
-    decode_frame, ChecksumPolicy, FrameBatch, GatherOutcome, IngestMode, IngestQueues,
-    MappedCapture, MappedPcapStream, ParallelIngest, PcapSlice, RawFrame,
+    decode_frame, queue_depth, ChecksumPolicy, FrameBatch, GatherOutcome, IngestMode, IngestQueues,
+    MappedCapture, MappedPcapStream, MappedStreamState, ParallelIngest, PcapSlice, RawFrame,
+    RUNAHEAD_BYTES,
 };
 pub use ipv4::{Address as Ipv4Address, Ipv4Packet, Ipv4Repr, Protocol};
 pub use pcap::{PcapError, PcapReader, PcapRecord, PcapWriter};

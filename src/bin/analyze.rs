@@ -57,6 +57,13 @@
 //! Every run variant (streaming, mapped, materialized, checkpointed)
 //! funnels through the one store write.
 //!
+//! `analyze --worker [tcp:HOST:PORT|unix:PATH]` does none of the above:
+//! it turns the process into a distributed-runtime worker speaking the
+//! SYNDIST framed protocol on stdin/stdout (or the given endpoint) and
+//! serving slice assignments from a coordinator (`repro --distributed N`).
+//! Both batch binaries expose the same worker, so either can populate a
+//! fleet.
+//!
 //! Try it on the repository's own artifact:
 //!
 //! ```text
@@ -109,7 +116,10 @@ const USAGE: &str = "usage: analyze <capture.pcap | -> [--monitored N] [--year Y
                      \n  --die-after-checkpoints K  abort the process after K checkpoints \
                      (kill-and-resume drill)\
                      \n  --store-dir DIR     persist the finished analysis as a versioned \
-                     store slice in DIR (queryable by synscan-serve)";
+                     store slice in DIR (queryable by synscan-serve)\
+                     \n  --worker [EP]       run as a distributed-runtime worker on \
+                     stdin/stdout, or connect to EP (tcp:HOST:PORT | unix:PATH); \
+                     must be the first argument";
 
 fn flag_value<T: std::str::FromStr>(
     args: &mut impl Iterator<Item = String>,
@@ -139,8 +149,37 @@ fn persist_result(result: &AnalyzeResult, store_dir: Option<&Path>) -> Result<()
     Ok(())
 }
 
+/// Serve the distributed runtime's worker protocol — same worker as
+/// `repro --worker`, hosted here so either batch binary can populate a
+/// fleet (`repro --distributed N --worker-cmd "analyze --worker"`).
+fn worker_main(endpoint: Option<&str>) -> Result<(), String> {
+    let label = format!("analyze-worker-{}", std::process::id());
+    let result = match endpoint {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut input = stdin.lock();
+            let mut output = stdout.lock();
+            synscan::run_worker(&mut input, &mut output, &label)
+        }
+        Some(spec) => {
+            let (mut input, mut output) =
+                synscan::connect_worker(spec).map_err(|e| e.to_string())?;
+            synscan::run_worker(&mut input, &mut output, &label)
+        }
+    };
+    result.map_err(|e| format!("worker: {e}"))
+}
+
 fn run() -> Result<(), String> {
-    let mut args = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--worker") {
+        if argv.len() > 2 {
+            return Err("--worker takes at most one endpoint argument".into());
+        }
+        return worker_main(argv.get(1).map(String::as_str));
+    }
+    let mut args = argv.into_iter();
     let mut path: Option<String> = None;
     let mut options = AnalyzeOptions::default();
     let mut store_dir: Option<PathBuf> = None;
@@ -198,6 +237,9 @@ fn run() -> Result<(), String> {
             }
             "--chaos-seed" => {
                 options.chaos_seed = Some(flag_value(&mut args, "--chaos-seed", "a u64 seed")?)
+            }
+            "--worker" => {
+                return Err("--worker must be the first argument".into());
             }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");

@@ -79,7 +79,10 @@ const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out
                      [--ingest read|mmap|mmap:N] [--heavy-hitters K[,WIDTH,DEPTH]] \
                      [--chaos-seed N] [--fault-policy fail|skip|stop] \
                      [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
-                     [--die-after-checkpoints K] [TARGET...]\n\
+                     [--die-after-checkpoints K] \
+                     [--distributed N] [--worker-cmd CMD] [--listen ENDPOINT] \
+                     [--distributed-kill-drill K] [TARGET...]\
+                     \n       repro --worker [tcp:HOST:PORT|unix:PATH]\
                      \n  --scale NAME        generator scale: tiny | small | default\
                      \n  --seed N            override the generator seed (u64)\
                      \n  --out DIR           artifact output directory (default ./out)\
@@ -106,6 +109,20 @@ const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out
                      in --checkpoint-dir\
                      \n  --die-after-checkpoints K  abort the process after K checkpoints \
                      per year (kill-and-resume drill)\
+                     \n  --distributed N     run the decade as (year, partition) slices \
+                     across N worker processes and merge the partials \
+                     bit-identically to the sequential run; --checkpoint-every \
+                     sets the workers' mid-slice checkpoint cadence (retry \
+                     granularity)\
+                     \n  --worker-cmd CMD    spawn workers with this command line instead of \
+                     re-executing this binary with --worker\
+                     \n  --listen ENDPOINT   tcp:HOST:PORT | unix:PATH: accept N remote \
+                     workers instead of spawning local ones\
+                     \n  --distributed-kill-drill K  arm the recovery drill: the first \
+                     assigned worker aborts after its K-th checkpoint and the \
+                     coordinator must resume the slice on another worker\
+                     \n  --worker [ENDPOINT] serve slices over stdin/stdout (or dial the \
+                     coordinator at tcp:/unix: ENDPOINT) until Shutdown\
                      \n  TARGET              table1 table2 fig1..fig10 prose etl pcap all \
                      (default all)";
 
@@ -127,8 +144,39 @@ fn flag_value<T: std::str::FromStr>(
         .map_err(|_| format!("{flag}: invalid value `{value}` ({what})"))
 }
 
+/// Worker mode: the whole process is one protocol loop. Over stdin/stdout
+/// when spawned as a local child, or dialing out to a listening
+/// coordinator when given an endpoint. Everything else (scale, seed,
+/// policy) arrives in the job spec of each assignment, so no other flags
+/// apply.
+fn worker_main(endpoint: Option<&str>) -> Result<(), String> {
+    let label = format!("repro-worker-{}", std::process::id());
+    let result = match endpoint {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut input = stdin.lock();
+            let mut output = stdout.lock();
+            synscan::run_worker(&mut input, &mut output, &label)
+        }
+        Some(spec) => {
+            let (mut input, mut output) =
+                synscan::connect_worker(spec).map_err(|e| e.to_string())?;
+            synscan::run_worker(&mut input, &mut output, &label)
+        }
+    };
+    result.map_err(|e| format!("worker: {e}"))
+}
+
 fn run() -> Result<(), String> {
-    let mut args = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--worker") {
+        if argv.len() > 2 {
+            return Err(format!("--worker takes at most one endpoint\n{USAGE}"));
+        }
+        return worker_main(argv.get(1).map(String::as_str));
+    }
+    let mut args = argv.into_iter();
     let mut scale = "default".to_string();
     let mut out_dir = PathBuf::from("out");
     let mut store_dir: Option<PathBuf> = None;
@@ -143,9 +191,38 @@ fn run() -> Result<(), String> {
     let mut checkpoint_every: u64 = 500_000;
     let mut resume = false;
     let mut die_after: Option<u64> = None;
+    let mut distributed: Option<usize> = None;
+    let mut worker_cmd: Option<String> = None;
+    let mut listen: Option<String> = None;
+    let mut kill_drill: Option<u64> = None;
     let mut targets: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--worker" => {
+                return Err("--worker must be the first argument (worker mode takes no \
+                            other flags)"
+                    .into())
+            }
+            "--distributed" => {
+                distributed = Some(flag_value(&mut args, "--distributed", "a worker count")?)
+            }
+            "--worker-cmd" => {
+                worker_cmd = Some(flag_value(&mut args, "--worker-cmd", "a command line")?)
+            }
+            "--listen" => {
+                listen = Some(flag_value(
+                    &mut args,
+                    "--listen",
+                    "tcp:HOST:PORT or unix:PATH",
+                )?)
+            }
+            "--distributed-kill-drill" => {
+                kill_drill = Some(flag_value(
+                    &mut args,
+                    "--distributed-kill-drill",
+                    "a checkpoint count",
+                )?)
+            }
             "--checkpoint-dir" => {
                 checkpoint_dir = Some(PathBuf::from(flag_value::<String>(
                     &mut args,
@@ -213,6 +290,9 @@ fn run() -> Result<(), String> {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
+    if distributed.is_none() && (worker_cmd.is_some() || listen.is_some() || kill_drill.is_some()) {
+        return Err("--worker-cmd / --listen / --distributed-kill-drill need --distributed".into());
+    }
     let mut gen = match scale.as_str() {
         "tiny" => GeneratorConfig::tiny(),
         "small" => GeneratorConfig {
@@ -258,62 +338,135 @@ fn run() -> Result<(), String> {
     if let Some(seed) = chaos_seed {
         experiment = experiment.with_chaos(ChaosPlan::benign(seed));
     }
-    let run = match &checkpoint_dir {
-        None => {
-            if resume || die_after.is_some() {
-                return Err("--resume / --die-after-checkpoints need --checkpoint-dir".into());
-            }
-            experiment
-                .run_decade_into(&store)
-                .map_err(|e| format!("decade run failed: {e} (try --fault-policy skip)"))?
+    let run = if let Some(workers) = distributed {
+        // The job spec a worker rebuilds carries the generator config and
+        // the heavy-hitter knob — nothing else. Refuse combinations that
+        // would silently drop a knob instead of distributing it.
+        if chaos_seed.is_some() {
+            return Err(
+                "--distributed cannot carry --chaos-seed (the job spec has no \
+                        chaos plan); run the chaos drill sequentially"
+                    .into(),
+            );
         }
-        Some(dir) => {
-            fs::create_dir_all(dir)
-                .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
-            let spec = CheckpointSpec::new(dir)
-                .every(checkpoint_every)
-                .resume(resume)
-                .interrupt_after(die_after);
-            let stop = sig::install();
-            match experiment
-                .try_run_decade_checkpointed(&spec, Some(stop))
-                .map_err(|e| format!("decade run failed: {e} (try --fault-policy skip)"))?
-            {
-                DecadeStatus::Completed { run, supervision } => {
-                    if !supervision.stalls.is_empty()
-                        || !supervision.failures.is_empty()
-                        || supervision.retried > 0
-                    {
-                        eprintln!(
-                            "[repro] supervision: {} stalls, {} contained failures, {} retries",
-                            supervision.stalls.len(),
-                            supervision.failures.len(),
-                            supervision.retried
-                        );
-                    }
-                    // The checkpointed driver does not stream per-year
-                    // persistence; funnel its terminal state through the
-                    // same store write path here.
-                    run.persist(&store).map_err(|e| {
-                        format!("cannot persist run into {}: {e}", store_dir.display())
-                    })?;
-                    run
+        if materialize {
+            return Err(
+                "--distributed workers always stream from the generator plan; \
+                        drop --materialize"
+                    .into(),
+            );
+        }
+        if checkpoint_dir.is_some() || resume || die_after.is_some() {
+            return Err(
+                "--distributed keeps retry checkpoints in the coordinator, not \
+                        on disk; drop --checkpoint-dir / --resume / \
+                        --die-after-checkpoints"
+                    .into(),
+            );
+        }
+        let source = match (&listen, &worker_cmd) {
+            (Some(addr), _) => synscan::WorkerSource::Listen {
+                endpoint: synscan::Endpoint::parse(addr).map_err(|e| format!("--listen: {e}"))?,
+                workers,
+            },
+            (None, Some(cmd)) => synscan::WorkerSource::Spawn {
+                cmd: cmd.split_whitespace().map(String::from).collect(),
+                workers,
+            },
+            (None, None) => {
+                let exe = std::env::current_exe()
+                    .map_err(|e| format!("cannot find own executable for workers: {e}"))?
+                    .to_string_lossy()
+                    .into_owned();
+                synscan::WorkerSource::Spawn {
+                    cmd: vec![exe, "--worker".into()],
+                    workers,
                 }
-                DecadeStatus::Interrupted {
-                    completed,
-                    interrupted,
-                } => {
-                    eprintln!(
+            }
+        };
+        let options = synscan::DistribOptions {
+            source,
+            every: checkpoint_every,
+            kill_drill,
+            supervision: synscan::core::SupervisionConfig::default(),
+        };
+        eprintln!(
+            "[repro] distributing {} slices across {workers} worker(s), checkpoint \
+             cadence {checkpoint_every}",
+            10 * workers
+        );
+        let (run, supervision) = synscan::run_distributed(experiment, &options, Some(&store))
+            .map_err(|e| format!("distributed decade run failed: {e}"))?;
+        if !supervision.stalls.is_empty()
+            || !supervision.failures.is_empty()
+            || supervision.retried > 0
+        {
+            eprintln!(
+                "[repro] distributed supervision: {} stalls, {} slice failures, {} retries",
+                supervision.stalls.len(),
+                supervision.failures.len(),
+                supervision.retried
+            );
+        }
+        run
+    } else {
+        match &checkpoint_dir {
+            None => {
+                if resume || die_after.is_some() {
+                    return Err("--resume / --die-after-checkpoints need --checkpoint-dir".into());
+                }
+                experiment
+                    .run_decade_into(&store)
+                    .map_err(|e| format!("decade run failed: {e} (try --fault-policy skip)"))?
+            }
+            Some(dir) => {
+                fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+                let spec = CheckpointSpec::new(dir)
+                    .every(checkpoint_every)
+                    .resume(resume)
+                    .interrupt_after(die_after);
+                let stop = sig::install();
+                match experiment
+                    .try_run_decade_checkpointed(&spec, Some(stop))
+                    .map_err(|e| format!("decade run failed: {e} (try --fault-policy skip)"))?
+                {
+                    DecadeStatus::Completed { run, supervision } => {
+                        if !supervision.stalls.is_empty()
+                            || !supervision.failures.is_empty()
+                            || supervision.retried > 0
+                        {
+                            eprintln!(
+                                "[repro] supervision: {} stalls, {} contained failures, {} retries",
+                                supervision.stalls.len(),
+                                supervision.failures.len(),
+                                supervision.retried
+                            );
+                        }
+                        // The checkpointed driver does not stream per-year
+                        // persistence; funnel its terminal state through the
+                        // same store write path here.
+                        run.persist(&store).map_err(|e| {
+                            format!("cannot persist run into {}: {e}", store_dir.display())
+                        })?;
+                        run
+                    }
+                    DecadeStatus::Interrupted {
+                        completed,
+                        interrupted,
+                    } => {
+                        eprintln!(
                         "[repro] interrupted: {completed} years completed, years {interrupted:?} \
                          checkpointed in {}",
                         dir.display()
                     );
-                    if die_after.is_some() {
-                        // The kill-and-resume drill dies the way a crash
-                        // would: no unwinding, no cleanup.
-                        std::process::abort();
+                        if die_after.is_some() {
+                            // The kill-and-resume drill dies the way a crash
+                            // would: no unwinding, no cleanup.
+                            std::process::abort();
+                        }
+                        return Err("run interrupted; re-run with --resume to continue".into());
                     }
-                    return Err("run interrupted; re-run with --resume to continue".into());
                 }
             }
         }

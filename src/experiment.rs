@@ -44,6 +44,7 @@ use synscan_core::{
 };
 use synscan_netmodel::InternetRegistry;
 use synscan_synthesis::generate::{plan_year, GeneratorConfig, GroundTruth};
+use synscan_synthesis::stream::YearPlan;
 use synscan_synthesis::yearcfg::YearConfig;
 use synscan_telescope::{AddressSet, CaptureSession, CaptureStats};
 use synscan_wire::chaos::{ChaosPlan, ChaosStream};
@@ -245,9 +246,46 @@ pub enum DecadeStatus {
 /// [`AdmitState`] adapter over the telescope capture: admits records via
 /// [`CaptureSession::offer`] and checkpoints the seven capture counters so a
 /// resumed run's capture statistics continue exactly where the interrupted
-/// run's stopped.
-struct SessionAdmit<'a> {
+/// run's stopped. The distributed worker reuses it verbatim, which is what
+/// makes a worker's capture-counter blob decodable by the coordinator.
+pub(crate) struct SessionAdmit<'a> {
     session: CaptureSession<'a>,
+}
+
+impl<'a> SessionAdmit<'a> {
+    /// A fresh capture session over `dark` for `year`.
+    pub(crate) fn new(dark: &'a AddressSet, year: u16) -> Self {
+        Self {
+            session: CaptureSession::new(dark, year),
+        }
+    }
+
+    /// The capture counters accumulated so far.
+    pub(crate) fn stats(&self) -> CaptureStats {
+        self.session.stats()
+    }
+}
+
+/// Decode the seven-counter capture blob produced by
+/// [`SessionAdmit::snapshot`] — the coordinator uses this to reconstruct a
+/// year's [`CaptureStats`] from a remote worker's partial.
+pub(crate) fn decode_capture_stats(blob: &[u8]) -> Result<CaptureStats, CheckpointError> {
+    let mut r = SnapReader::new(blob);
+    let stats = CaptureStats {
+        offered: r.take_u64()?,
+        not_dark: r.take_u64()?,
+        outage_lost: r.take_u64()?,
+        ingress_blocked: r.take_u64()?,
+        backscatter: r.take_u64()?,
+        other_scan_techniques: r.take_u64()?,
+        admitted: r.take_u64()?,
+    };
+    if r.remaining() != 0 {
+        return Err(CheckpointError::Corrupt(
+            "trailing bytes after capture statistics".into(),
+        ));
+    }
+    Ok(stats)
 }
 
 impl AdmitState for SessionAdmit<'_> {
@@ -273,22 +311,7 @@ impl AdmitState for SessionAdmit<'_> {
     }
 
     fn restore(&mut self, blob: &[u8]) -> Result<(), CheckpointError> {
-        let mut r = SnapReader::new(blob);
-        let stats = CaptureStats {
-            offered: r.take_u64()?,
-            not_dark: r.take_u64()?,
-            outage_lost: r.take_u64()?,
-            ingress_blocked: r.take_u64()?,
-            backscatter: r.take_u64()?,
-            other_scan_techniques: r.take_u64()?,
-            admitted: r.take_u64()?,
-        };
-        if r.remaining() != 0 {
-            return Err(CheckpointError::Corrupt(
-                "trailing bytes after capture statistics".into(),
-            ));
-        }
-        self.session.restore_stats(stats);
+        self.session.restore_stats(decode_capture_stats(blob)?);
         Ok(())
     }
 }
@@ -400,6 +423,51 @@ impl Experiment {
         CampaignConfig::scaled(self.dark.len() as u64)
     }
 
+    /// The heavy-hitter sketch configuration in effect (None = disabled).
+    pub(crate) fn heavy(&self) -> Option<HeavyHitterConfig> {
+        self.heavy
+    }
+
+    /// Volatility period length for this generator scale: the paper compares
+    /// week over week inside a 29–61 day window; a short simulated window
+    /// uses proportionally shorter periods so Figure 2 still gets several
+    /// period pairs.
+    pub(crate) fn period_days(&self) -> f64 {
+        (self.gen.days / 5.0).clamp(1.0, 7.0)
+    }
+
+    /// Pipeline pre-size hints for a planned year. Rough distinct-source
+    /// width: campaigns dominate, each from its own source, plus background
+    /// stragglers. Port width: horizontal scans cluster on the popular-port
+    /// list, vertical scans fan out to their widest bucket. The cardinalities
+    /// are only pre-size hints; the heavy config enables sketch tracking when
+    /// set.
+    pub(crate) fn hints_for(&self, truth: &GroundTruth) -> SizeHints {
+        SizeHints::new(
+            (truth.scans as usize).saturating_mul(2),
+            truth
+                .vertical_scans
+                .keys()
+                .max()
+                .map_or(0, |&ports| ports as usize)
+                + 64,
+        )
+        .with_heavy(self.heavy)
+    }
+
+    /// Plan one year's emitters and ground truth (no records materialized).
+    pub(crate) fn plan(&self, year_cfg: &YearConfig) -> YearPlan {
+        plan_year(year_cfg, &self.gen, &self.registry, &self.dark)
+    }
+
+    /// Tear the experiment down into the pieces a [`DecadeRun`] carries
+    /// beyond the per-year results: the shared registry and the monitored
+    /// address count.
+    pub(crate) fn into_world(self) -> (InternetRegistry, u64) {
+        let monitored = self.dark.len() as u64;
+        (self.registry, monitored)
+    }
+
     /// Run one year end to end.
     ///
     /// # Panics
@@ -440,27 +508,10 @@ impl Experiment {
         year_cfg: &YearConfig,
         mode: PipelineMode,
     ) -> Result<YearRun, PipelineError> {
-        let plan = plan_year(year_cfg, &self.gen, &self.registry, &self.dark);
+        let plan = self.plan(year_cfg);
         let mut session = CaptureSession::new(&self.dark, year_cfg.year);
-        // Volatility periods: the paper compares week over week inside a
-        // 29-61 day window; a short simulated window uses proportionally
-        // shorter periods so Figure 2 still gets several period pairs.
-        let period_days = (self.gen.days / 5.0).clamp(1.0, 7.0);
-        // Rough distinct-source width: campaigns dominate, each from its own
-        // source, plus background stragglers. Port width: horizontal scans
-        // cluster on the popular-port list, vertical scans fan out to their
-        // widest bucket. The cardinalities are only pre-size hints; the heavy
-        // config enables sketch tracking when set.
-        let hints = SizeHints::new(
-            (plan.truth.scans as usize).saturating_mul(2),
-            plan.truth
-                .vertical_scans
-                .keys()
-                .max()
-                .map_or(0, |&ports| ports as usize)
-                + 64,
-        )
-        .with_heavy(self.heavy);
+        let period_days = self.period_days();
+        let hints = self.hints_for(&plan.truth);
         // Per-year reseeding: one user-facing seed, distinct (but
         // reproducible) injection offsets for every year of the decade.
         let chaos = self
@@ -652,21 +703,10 @@ impl Experiment {
         resume: Option<Checkpoint>,
         stop: Option<&AtomicBool>,
     ) -> Result<YearStatus, RunError> {
-        let plan = plan_year(year_cfg, &self.gen, &self.registry, &self.dark);
-        let mut admit = SessionAdmit {
-            session: CaptureSession::new(&self.dark, year_cfg.year),
-        };
-        let period_days = (self.gen.days / 5.0).clamp(1.0, 7.0);
-        let hints = SizeHints::new(
-            (plan.truth.scans as usize).saturating_mul(2),
-            plan.truth
-                .vertical_scans
-                .keys()
-                .max()
-                .map_or(0, |&ports| ports as usize)
-                + 64,
-        )
-        .with_heavy(self.heavy);
+        let plan = self.plan(year_cfg);
+        let mut admit = SessionAdmit::new(&self.dark, year_cfg.year);
+        let period_days = self.period_days();
+        let hints = self.hints_for(&plan.truth);
         let chaos = self
             .chaos
             .as_ref()

@@ -4,7 +4,9 @@
 //! Scanning* (Griffioen, Koursiounis, Smaragdakis, Doerr — IMC 2024).
 //!
 //! This umbrella crate re-exports the workspace and provides the
-//! [`experiment`] runner that wires the full loop together:
+//! [`experiment`] runner that wires the full loop together (plus
+//! [`distrib`], which spreads that loop across worker processes and
+//! hosts):
 //!
 //! ```text
 //! synscan-synthesis ──► synscan-telescope ──► synscan-core ──► reports
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod distrib;
 pub mod experiment;
 pub mod serve;
 
@@ -40,6 +43,9 @@ pub use synscan_synthesis as synthesis;
 pub use synscan_telescope as telescope;
 pub use synscan_wire as wire;
 
+pub use distrib::{
+    connect_worker, run_distributed, run_worker, CoordError, DistribOptions, Endpoint, WorkerSource,
+};
 pub use experiment::{CheckpointSpec, DecadeStatus, Experiment, YearStatus};
 pub use synscan_core::{
     Campaign, CampaignConfig, FingerprintEngine, PipelineMode, RunError, ToolKind,

@@ -1,0 +1,288 @@
+//! Distributed-runtime equivalence, end to end through the real binary:
+//! a 4-process distributed decade must be **byte-identical** to the
+//! sequential decade — the rendered `table1.json` artifact and every
+//! on-disk store slice — including when a worker is killed mid-slice and
+//! the coordinator recovers from its last checkpoint. Plus the protocol
+//! hardening matrix: malformed and truncated SYNDIST frames yield typed
+//! errors at both the frame layer and a live `--worker` process, and
+//! nothing ever panics.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+
+use synscan::core::Message;
+use synscan::distrib::send;
+use synscan::wire::frame::{FRAME_HEADER_BYTES, FRAME_MAGIC, FRAME_VERSION, MAX_FRAME_PAYLOAD};
+use synscan::wire::{read_frame, write_frame, FrameError};
+
+const REPRO: &str = env!("CARGO_BIN_EXE_repro");
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("synscan-distrib-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Run `repro --scale tiny table1` with extra flags into `out`; panic with
+/// the child's stderr on failure so CI logs explain themselves.
+fn repro_table1(out: &Path, extra: &[&str]) -> Output {
+    let output = Command::new(REPRO)
+        .arg("--scale")
+        .arg("tiny")
+        .arg("--out")
+        .arg(out)
+        .args(extra)
+        .arg("table1")
+        .output()
+        .expect("spawn repro");
+    assert!(
+        output.status.success(),
+        "repro {extra:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+/// Every `*.store` slice in a store directory, name -> bytes.
+fn store_slices(store_dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut slices: Vec<(String, Vec<u8>)> = std::fs::read_dir(store_dir)
+        .expect("store dir exists")
+        .map(|entry| entry.expect("store entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "store"))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            (name, std::fs::read(&p).expect("read slice"))
+        })
+        .collect();
+    slices.sort_by(|a, b| a.0.cmp(&b.0));
+    slices
+}
+
+/// The distributed run (with `extra` flags) must leave artifacts
+/// byte-identical to the sequential reference: same `table1.json` bytes,
+/// same store slice file names, same slice bytes.
+fn assert_matches_sequential(name: &str, extra: &[&str]) -> Output {
+    let seq = temp_dir(&format!("{name}-seq"));
+    let dist = temp_dir(&format!("{name}-dist"));
+    repro_table1(&seq, &["--pipeline", "sequential"]);
+    let output = repro_table1(&dist, extra);
+
+    let seq_table = std::fs::read(seq.join("table1.json")).expect("sequential table1.json");
+    let dist_table = std::fs::read(dist.join("table1.json")).expect("distributed table1.json");
+    assert!(
+        seq_table == dist_table,
+        "{name}: table1.json diverges from the sequential run"
+    );
+
+    let seq_slices = store_slices(&seq.join("store"));
+    let dist_slices = store_slices(&dist.join("store"));
+    assert!(
+        !seq_slices.is_empty(),
+        "{name}: sequential run wrote no slices"
+    );
+    let names = |s: &[(String, Vec<u8>)]| s.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+    assert_eq!(
+        names(&seq_slices),
+        names(&dist_slices),
+        "{name}: store slice file sets differ (left sequential, right distributed)"
+    );
+    for ((slice, seq_bytes), (_, dist_bytes)) in seq_slices.iter().zip(&dist_slices) {
+        assert!(
+            seq_bytes == dist_bytes,
+            "{name}: store slice {slice} diverges from the sequential run"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&seq);
+    let _ = std::fs::remove_dir_all(&dist);
+    output
+}
+
+#[test]
+fn four_process_distributed_decade_is_byte_identical_to_sequential() {
+    assert_matches_sequential(
+        "4proc",
+        &["--distributed", "4", "--checkpoint-every", "2000"],
+    );
+}
+
+#[test]
+fn kill_drill_recovers_from_checkpoint_and_stays_byte_identical() {
+    // The first assigned worker aborts (as SIGKILL would) right after its
+    // first checkpoint; the coordinator must respawn, resume the slice
+    // from that checkpoint, and still produce the sequential bytes. The
+    // tight cadence guarantees a checkpoint cuts — and the drill fires —
+    // even inside the smallest tiny-scale slice (the low-volume 2015
+    // stream is assigned first).
+    let output = assert_matches_sequential(
+        "killdrill",
+        &[
+            "--distributed",
+            "4",
+            "--checkpoint-every",
+            "25",
+            "--distributed-kill-drill",
+            "1",
+        ],
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("respawning worker"),
+        "the kill drill must cost a worker its life:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("distributed supervision:"),
+        "the recovery must be reported as a supervision event:\n{stderr}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-frame hardening matrix
+// ---------------------------------------------------------------------------
+
+fn valid_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, kind, payload).expect("in-memory frame");
+    bytes
+}
+
+fn read_back(bytes: &[u8]) -> Result<Option<synscan::wire::FramedMessage>, FrameError> {
+    read_frame(&mut std::io::Cursor::new(bytes), MAX_FRAME_PAYLOAD)
+}
+
+#[test]
+fn malformed_and_truncated_frames_yield_typed_errors_never_panics() {
+    let frame = valid_frame(3, b"have you SYN me?");
+    assert!(matches!(read_back(&frame), Ok(Some(_))));
+
+    // Truncation at every byte boundary: empty input is a clean close,
+    // dying inside the header is Truncated, dying inside the payload is a
+    // typed I/O error. No cut may panic.
+    for cut in 0..frame.len() {
+        match read_back(&frame[..cut]) {
+            Ok(None) => assert_eq!(cut, 0, "only EOF-between-frames is a clean close"),
+            Err(FrameError::Truncated) => {
+                assert!((1..FRAME_HEADER_BYTES).contains(&cut), "Truncated at {cut}")
+            }
+            Err(FrameError::Io(_)) => {
+                assert!(cut >= FRAME_HEADER_BYTES, "Io mid-header at {cut}")
+            }
+            other => panic!("cut at {cut}: unexpected {other:?}"),
+        }
+    }
+
+    // Corrupted magic.
+    let mut bad = frame.clone();
+    bad[0] ^= 0xff;
+    assert!(matches!(read_back(&bad), Err(FrameError::BadMagic)));
+
+    // Unsupported protocol version.
+    let mut bad = frame.clone();
+    bad[8..12].copy_from_slice(&(FRAME_VERSION + 9).to_le_bytes());
+    assert!(matches!(
+        read_back(&bad),
+        Err(FrameError::UnsupportedVersion(v)) if v == FRAME_VERSION + 9
+    ));
+
+    // A length field past the cap must be rejected before any allocation.
+    let mut bad = frame.clone();
+    bad[13..21].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(
+        read_back(&bad),
+        Err(FrameError::Oversized {
+            announced: u64::MAX,
+            ..
+        })
+    ));
+
+    // Payload corruption and checksum corruption both fail the checksum.
+    let mut bad = frame.clone();
+    bad[FRAME_HEADER_BYTES] ^= 0x01;
+    assert!(matches!(read_back(&bad), Err(FrameError::ChecksumMismatch)));
+    let mut bad = frame.clone();
+    bad[21] ^= 0x01;
+    assert!(matches!(read_back(&bad), Err(FrameError::ChecksumMismatch)));
+
+    // The kind byte is deliberately outside the checksum (the protocol
+    // layer validates it): flipping it still reads as a whole frame.
+    let mut flipped = frame;
+    flipped[12] = 250;
+    let message = read_back(&flipped).expect("frame").expect("whole");
+    assert_eq!(message.kind, 250);
+    assert_eq!(message.payload, b"have you SYN me?");
+}
+
+/// Feed a live `repro --worker` process hostile stdin bytes; the worker
+/// must exit non-zero with a diagnosed error on stderr — and never panic.
+fn worker_rejects(name: &str, stdin_bytes: &[u8]) {
+    let mut child = Command::new(REPRO)
+        .arg("--worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn worker");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(stdin_bytes)
+        .expect("write hostile bytes");
+    // stdin drops here: the worker sees EOF after the hostile bytes.
+    let output = child.wait_with_output().expect("worker exits");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        !output.status.success(),
+        "{name}: worker accepted hostile input"
+    );
+    assert!(
+        stderr.contains("repro: worker:"),
+        "{name}: expected a diagnosed worker error, got:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{name}: the worker panicked:\n{stderr}"
+    );
+}
+
+#[test]
+fn a_live_worker_survives_the_hostile_stdin_matrix_with_typed_errors() {
+    // Garbage that is long enough to fill a header but is no frame.
+    worker_rejects("bad-magic", b"this is not a SYNDIST frame, not even close");
+
+    // A half-written header: death mid-frame.
+    worker_rejects("truncated-header", &FRAME_MAGIC[..6]);
+
+    // A whole, checksum-valid frame whose payload is not a decodable
+    // protocol message.
+    worker_rejects("undecodable-payload", &valid_frame(2, b"junk payload"));
+
+    // A valid message the worker must refuse mid-handshake: workers serve
+    // Assign/Shutdown, they do not receive Hello.
+    let mut hello = Vec::new();
+    send(
+        &mut hello,
+        &Message::Hello {
+            proto: synscan::core::PROTO_VERSION,
+            worker: "imposter".into(),
+        },
+    )
+    .expect("encode hello");
+    worker_rejects("out-of-protocol-message", &hello);
+
+    // An announced payload length past the frame cap.
+    let mut oversized = valid_frame(2, b"");
+    oversized[13..21].copy_from_slice(&u64::MAX.to_le_bytes());
+    worker_rejects("oversized-length", &oversized);
+
+    // A corrupted checksum on an otherwise valid frame.
+    let mut corrupt = valid_frame(2, b"junk payload");
+    corrupt[21] ^= 0x01;
+    worker_rejects("checksum-mismatch", &corrupt);
+}

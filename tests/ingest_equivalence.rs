@@ -271,8 +271,11 @@ fn fuzzed_captures_drain_identically_sequential_and_parallel() {
                     sequential.faults(),
                 );
                 let capture = Arc::new(MappedCapture::from_bytes(bytes.clone()));
-                for queues in [2, 3, 5] {
-                    let mut parallel = IngestQueues::new(Arc::clone(&capture), queues, policy)
+                for queues in [1, 2, 3, 5] {
+                    // `exact` bypasses the core-count clamp so the threaded
+                    // merge paths (and the queues=1 inline backend) are
+                    // exercised whatever box runs the suite.
+                    let mut parallel = IngestQueues::exact(Arc::clone(&capture), queues, policy)
                         .expect("valid header")
                         .spawn();
                     let label = format!("seed={seed:#x} n={n} {policy:?} queues={queues}");

@@ -17,10 +17,17 @@ dense-vs-sketch footprint), the sketch figure is gated too — lower is
 better, same threshold — and the fresh sketch must stay below the fresh
 dense figure (the sketch's whole point is sublinearity).
 
+When the fresh file carries a `workers` object (the distributed bench's
+per-worker-count rows), the gate additionally requires the 4-worker
+`records_per_sec` to exceed the 1-worker figure — higher is better, no
+threshold: fleet scan throughput must grow with worker count on every
+machine, or the distributed runtime is not earning its keep.
+
 A missing or malformed baseline file, or a baseline without a `harness`
 field, fails with a one-line diagnosis instead of a traceback.
 
-Watched baselines: BENCH_hotpath.json, BENCH_ingest.json, BENCH_serve.json.
+Watched baselines: BENCH_hotpath.json, BENCH_ingest.json, BENCH_serve.json,
+BENCH_distributed.json.
 
 Set PERF_GATE_SKIP=1 to bypass the gate on noisy or shared runners.
 """
@@ -105,7 +112,10 @@ def gate(committed_path, fresh_path, max_regression):
         )
         return 1
     print(f"{verdict} — within the {max_regression:.0%} budget")
-    return gate_memory(committed, fresh, name, max_regression)
+    rc = gate_memory(committed, fresh, name, max_regression)
+    if rc:
+        return rc
+    return gate_scaling(fresh, name)
 
 
 def gate_memory(committed, fresh, name, max_regression):
@@ -131,6 +141,37 @@ def gate_memory(committed, fresh, name, max_regression):
         print(f"{verdict} — exceeds the {max_regression:.0%} growth budget", file=sys.stderr)
         return 1
     print(f"{verdict} — within the {max_regression:.0%} budget")
+    return 0
+
+
+def gate_scaling(fresh, name):
+    """Higher-is-better gate over the distributed bench's worker scaling.
+
+    Gates within the fresh file: both figures come from the same run on the
+    same machine, so no harness or noise caveats apply — 4 workers must
+    out-scan 1 worker, full stop.
+    """
+    workers = fresh.get("workers")
+    if not isinstance(workers, dict):
+        return 0
+    one = (workers.get("1") or {}).get("records_per_sec")
+    four = (workers.get("4") or {}).get("records_per_sec")
+    if one is None or four is None:
+        raise GateError(
+            f"{name}: workers object is missing the 1-worker or 4-worker "
+            "records_per_sec row"
+        )
+    if four <= one:
+        print(
+            f"perf_gate: {name}: 4-worker fleet throughput {four:,.0f} rec/s "
+            f"does not exceed the 1-worker figure {one:,.0f} rec/s",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"perf_gate: {name}: fleet scan throughput scales "
+        f"{one:,.0f} -> {four:,.0f} rec/s (1 -> 4 workers, x{four / one:.2f})"
+    )
     return 0
 
 

@@ -1,0 +1,455 @@
+//! Standalone distributed-run baseline: 1/2/4 worker processes over
+//! source-partitioned slices with durable checkpoints, written to
+//! `BENCH_distributed.json`.
+//!
+//! Built with bare `rustc` by `tools/standalone/run.sh` (see that script's
+//! header for why cargo is not an option on registry-less machines). The
+//! harness re-executes itself with `--worker`: the coordinator spawns W
+//! child processes, sends each a SYNDIST-framed assignment on stdin, and
+//! collects one framed partial from each child's stdout — the same framing
+//! (`synscan_wire::frame`), the same kind numbers, and the same
+//! source-partition slice design (`shard_of(src, parts) == part`, every
+//! worker replaying the full stream) as the real `repro --distributed`
+//! runtime in `src/distrib.rs`.
+//!
+//! Each worker also does what the real `run_slice` does between records:
+//! it streams durable checkpoints, staging each delta segment to a `.tmp`
+//! sibling, `fsync`ing, and renaming — the atomic protocol of
+//! `core::checkpoint`.
+//!
+//! The headline `records_per_sec` is **fleet scan throughput**: records
+//! replayed per second summed over all workers. In the source-partition
+//! design every worker decodes and filters the entire stream, so a W-worker
+//! fleet really does scan W×N records — that is the capacity figure that
+//! scales past one machine, and it grows with W on any host. Wall-clock for
+//! the fixed job is reported next to it (`elapsed_secs`, `speedup`) and is
+//! *not* claimed to improve on a single-core box — on 1 core the fixed job
+//! can only slow down with more processes, and the JSON says so honestly;
+//! on multi-core hosts both figures rise together. The merged partials
+//! must reproduce the 1-worker reference exactly — the bench fails
+//! otherwise.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+use synscan_wire::frame::{read_frame, write_frame, FrameError, MAX_FRAME_PAYLOAD};
+
+/// Probe records in the shared synthetic stream.
+const RECORDS: u64 = 20_000_000;
+/// Distinct scan sources (power of two so the bench's `shard` stays a
+/// mask): the monolithic aggregation table is ~128 MB at 50% load.
+const SOURCES: u64 = 1 << 23;
+/// Kept records between durable checkpoint segments — the default
+/// `repro --checkpoint-every` cadence.
+const CHECKPOINT_EVERY: u64 = 500_000;
+/// Bytes per checkpoint delta entry (the `(src, +1)` aggregation delta).
+const DELTA_BYTES: u64 = 8;
+/// Worker counts measured, in order; "1" is the reference the others must
+/// reproduce bit-for-bit.
+const WORKER_COUNTS: [u32; 3] = [1, 2, 4];
+/// Timed passes per worker count (first pass also warms the page cache).
+const PASSES: usize = 2;
+
+/// Protocol kind numbers, mirroring `core::distrib` (KIND_ASSIGN = 2,
+/// KIND_PARTIAL = 4).
+const KIND_ASSIGN: u8 = 2;
+const KIND_PARTIAL: u8 = 4;
+
+/// `splitmix64`, byte-for-byte the `synscan_scanners::traits::mix64` that
+/// `shard_of` uses — the bench partitions sources exactly the way the
+/// distributed runtime does.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Source address of record `i`: deterministic, uniform over `SOURCES`.
+fn src_of(i: u64) -> u64 {
+    mix64(i) & (SOURCES - 1)
+}
+
+/// `shard_of` for this stream (the real one takes `Ipv4Address`).
+fn shard(src: u64, parts: u64) -> u64 {
+    mix64(src) % parts
+}
+
+struct Assign {
+    part: u32,
+    parts: u32,
+    records: u64,
+    every: u64,
+    dir: String,
+}
+
+impl Assign {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(26 + self.dir.len());
+        buf.extend_from_slice(&self.part.to_le_bytes());
+        buf.extend_from_slice(&self.parts.to_le_bytes());
+        buf.extend_from_slice(&self.records.to_le_bytes());
+        buf.extend_from_slice(&self.every.to_le_bytes());
+        buf.extend_from_slice(&(self.dir.len() as u16).to_le_bytes());
+        buf.extend_from_slice(self.dir.as_bytes());
+        buf
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, String> {
+        if payload.len() < 26 {
+            return Err(format!(
+                "assign payload: {} bytes, want >= 26",
+                payload.len()
+            ));
+        }
+        let dir_len = u16::from_le_bytes(payload[24..26].try_into().unwrap()) as usize;
+        if payload.len() != 26 + dir_len {
+            return Err(format!(
+                "assign payload: {} bytes, want {}",
+                payload.len(),
+                26 + dir_len
+            ));
+        }
+        Ok(Self {
+            part: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
+            parts: u32::from_le_bytes(payload[4..8].try_into().unwrap()),
+            records: u64::from_le_bytes(payload[8..16].try_into().unwrap()),
+            every: u64::from_le_bytes(payload[16..24].try_into().unwrap()),
+            dir: String::from_utf8(payload[26..].to_vec())
+                .map_err(|_| "assign payload: dir is not UTF-8".to_string())?,
+        })
+    }
+}
+
+struct Partial {
+    part: u32,
+    kept: u64,
+    distinct: u64,
+    digest: u64,
+    checkpoints: u32,
+    checkpoint_bytes: u64,
+}
+
+impl Partial {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(40);
+        buf.extend_from_slice(&self.part.to_le_bytes());
+        buf.extend_from_slice(&self.kept.to_le_bytes());
+        buf.extend_from_slice(&self.distinct.to_le_bytes());
+        buf.extend_from_slice(&self.digest.to_le_bytes());
+        buf.extend_from_slice(&self.checkpoints.to_le_bytes());
+        buf.extend_from_slice(&self.checkpoint_bytes.to_le_bytes());
+        buf
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, String> {
+        if payload.len() != 40 {
+            return Err(format!("partial payload: {} bytes, want 40", payload.len()));
+        }
+        Ok(Self {
+            part: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
+            kept: u64::from_le_bytes(payload[4..12].try_into().unwrap()),
+            distinct: u64::from_le_bytes(payload[12..20].try_into().unwrap()),
+            digest: u64::from_le_bytes(payload[20..28].try_into().unwrap()),
+            checkpoints: u32::from_le_bytes(payload[28..32].try_into().unwrap()),
+            checkpoint_bytes: u64::from_le_bytes(payload[32..40].try_into().unwrap()),
+        })
+    }
+}
+
+/// Write one delta segment the way `core::checkpoint` persists snapshots:
+/// staged to a `.tmp` sibling, fsynced, renamed into place.
+fn write_segment(dir: &Path, part: u32, seq: u32, delta: &[u8]) -> Result<u64, String> {
+    let stage = dir.join(format!("slice-{part}-{seq}.tmp"));
+    let cooked = dir.join(format!("slice-{part}-{seq}.ckpt"));
+    let fail = |what: &str, e: std::io::Error| format!("checkpoint {what} {stage:?}: {e}");
+    let mut file = std::fs::File::create(&stage).map_err(|e| fail("create", e))?;
+    file.write_all(delta).map_err(|e| fail("write", e))?;
+    file.sync_all().map_err(|e| fail("sync", e))?;
+    drop(file);
+    std::fs::rename(&stage, &cooked).map_err(|e| fail("rename", e))?;
+    Ok(delta.len() as u64)
+}
+
+/// Replay the full stream, keep only this worker's source partition,
+/// aggregate per-source probe counts in an open-addressed table (key+count
+/// packed in one `u64`, 50% max load), and durably checkpoint the `(src,
+/// +1)` delta log every `every` kept records. The digest folds every
+/// occupied slot through `mix64` with a commutative sum, so it is
+/// identical however the sources were partitioned — that is the
+/// merge-equivalence check.
+fn run_slice(assign: &Assign) -> Result<Partial, String> {
+    let parts = u64::from(assign.parts);
+    let part = u64::from(assign.part);
+    let slots = (2 * SOURCES / parts).next_power_of_two();
+    let mask = (slots - 1) as usize;
+    let mut table = vec![0u64; slots as usize];
+    let dir = PathBuf::from(&assign.dir);
+    let mut delta = Vec::with_capacity((assign.every * DELTA_BYTES) as usize);
+    let mut kept = 0u64;
+    let (mut checkpoints, mut checkpoint_bytes) = (0u32, 0u64);
+    for i in 0..assign.records {
+        let src = src_of(i);
+        if shard(src, parts) != part {
+            continue;
+        }
+        kept += 1;
+        delta.extend_from_slice(&src.to_le_bytes());
+        let mut slot = mix64(src ^ 0x5ca1_ab1e) as usize & mask;
+        loop {
+            let v = table[slot];
+            if v == 0 {
+                table[slot] = (src << 32) | 1;
+                break;
+            } else if v >> 32 == src {
+                table[slot] = v + 1;
+                break;
+            }
+            slot = (slot + 1) & mask;
+        }
+        if kept % assign.every == 0 {
+            checkpoint_bytes += write_segment(&dir, assign.part, checkpoints, &delta)?;
+            checkpoints += 1;
+            delta.clear();
+        }
+    }
+    if !delta.is_empty() {
+        checkpoint_bytes += write_segment(&dir, assign.part, checkpoints, &delta)?;
+        checkpoints += 1;
+    }
+    let (mut distinct, mut digest) = (0u64, 0u64);
+    for &v in &table {
+        if v != 0 {
+            distinct += 1;
+            digest = digest.wrapping_add(mix64(v));
+        }
+    }
+    Ok(Partial {
+        part: assign.part,
+        kept,
+        distinct,
+        digest,
+        checkpoints,
+        checkpoint_bytes,
+    })
+}
+
+/// Child mode: one framed assignment in on stdin, one framed partial out on
+/// stdout. Any protocol error is fatal for the child — the coordinator sees
+/// the closed pipe.
+fn worker_main() -> Result<(), String> {
+    let mut stdin = std::io::stdin().lock();
+    let frame = read_frame(&mut stdin, MAX_FRAME_PAYLOAD)
+        .map_err(|e| format!("worker: bad assign frame: {e}"))?
+        .ok_or_else(|| "worker: coordinator closed before assigning".to_string())?;
+    if frame.kind != KIND_ASSIGN {
+        return Err(format!("worker: unexpected frame kind {}", frame.kind));
+    }
+    let assign = Assign::decode(&frame.payload).map_err(|e| format!("worker: {e}"))?;
+    let partial = run_slice(&assign)?;
+    let mut stdout = std::io::stdout().lock();
+    write_frame(&mut stdout, KIND_PARTIAL, &partial.encode())
+        .map_err(|e| format!("worker: cannot send partial: {e}"))
+}
+
+/// Read the single framed partial a child produced, then reap it.
+fn collect(child: &mut Child) -> Result<Partial, String> {
+    let stdout = child.stdout.as_mut().expect("child stdout is piped");
+    let mut reader = std::io::BufReader::new(stdout);
+    let frame = read_frame(&mut reader, MAX_FRAME_PAYLOAD)
+        .map_err(|e| format!("coordinator: bad partial frame: {e}"))?
+        .ok_or_else(|| "coordinator: worker exited without a partial".to_string())?;
+    let mut rest = Vec::new();
+    reader
+        .read_to_end(&mut rest)
+        .map_err(|e| FrameError::from(e).to_string())?;
+    let status = child
+        .wait()
+        .map_err(|e| format!("coordinator: cannot reap worker: {e}"))?;
+    if !status.success() {
+        return Err(format!("coordinator: worker exited {status}"));
+    }
+    if frame.kind != KIND_PARTIAL {
+        return Err(format!("coordinator: unexpected frame kind {}", frame.kind));
+    }
+    Partial::decode(&frame.payload).map_err(|e| format!("coordinator: {e}"))
+}
+
+#[derive(PartialEq, Debug, Clone, Copy)]
+struct Merged {
+    kept: u64,
+    distinct: u64,
+    digest: u64,
+    checkpoint_bytes: u64,
+}
+
+struct RunOutcome {
+    elapsed: f64,
+    merged: Merged,
+    checkpoints: u32,
+}
+
+/// Spawn `parts` workers, assign each its partition, merge their partials.
+/// The clock covers the whole job: spawn, assign, worker compute and
+/// durable checkpoints, framed hand-back, merge.
+fn timed_run(exe: &Path, dir: &Path, parts: u32) -> Result<RunOutcome, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    let started = Instant::now();
+    let mut children = Vec::with_capacity(parts as usize);
+    for part in 0..parts {
+        let mut child = Command::new(exe)
+            .arg("--worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("coordinator: cannot spawn worker {part}: {e}"))?;
+        let assign = Assign {
+            part,
+            parts,
+            records: RECORDS,
+            every: CHECKPOINT_EVERY,
+            dir: dir.display().to_string(),
+        };
+        let stdin = child.stdin.as_mut().expect("child stdin is piped");
+        write_frame(stdin, KIND_ASSIGN, &assign.encode())
+            .map_err(|e| format!("coordinator: cannot assign worker {part}: {e}"))?;
+        children.push(child);
+    }
+    let mut merged = Merged {
+        kept: 0,
+        distinct: 0,
+        digest: 0,
+        checkpoint_bytes: 0,
+    };
+    let mut checkpoints = 0u32;
+    for (part, child) in children.iter_mut().enumerate() {
+        let partial = collect(child)?;
+        if partial.part != part as u32 {
+            return Err(format!(
+                "coordinator: worker {part} answered for partition {}",
+                partial.part
+            ));
+        }
+        merged.kept += partial.kept;
+        merged.distinct += partial.distinct;
+        merged.digest = merged.digest.wrapping_add(partial.digest);
+        merged.checkpoint_bytes += partial.checkpoint_bytes;
+        checkpoints += partial.checkpoints;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(dir).map_err(|e| format!("cannot clean {dir:?}: {e}"))?;
+    Ok(RunOutcome {
+        elapsed,
+        merged,
+        checkpoints,
+    })
+}
+
+fn coordinator_main(out: &str) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let dir = std::env::temp_dir().join(format!("synscan-bench-distrib-{}", std::process::id()));
+    eprintln!(
+        "bench_distrib: {RECORDS} records over {SOURCES} sources, \
+         checkpoint every {CHECKPOINT_EVERY} kept, workers {WORKER_COUNTS:?}"
+    );
+    let mut reference: Option<Merged> = None;
+    let mut rows = Vec::new();
+    for parts in WORKER_COUNTS {
+        let mut best: Option<RunOutcome> = None;
+        for _ in 0..PASSES {
+            let run = timed_run(&exe, &dir, parts)?;
+            if run.merged.kept != RECORDS {
+                return Err(format!(
+                    "workers={parts}: partitions kept {} of {RECORDS} records",
+                    run.merged.kept
+                ));
+            }
+            match reference {
+                None => reference = Some(run.merged),
+                Some(want) if want != run.merged => {
+                    return Err(format!(
+                        "workers={parts}: merged result diverged from the 1-worker \
+                         reference ({:?} vs {want:?})",
+                        run.merged
+                    ));
+                }
+                Some(_) => {}
+            }
+            if best.as_ref().is_none_or(|b| run.elapsed < b.elapsed) {
+                best = Some(run);
+            }
+        }
+        let best = best.expect("at least one pass ran");
+        let scanned = u64::from(parts) * RECORDS;
+        eprintln!(
+            "bench_distrib: workers={parts} {:.2}s ({:.0} records/s fleet scan, \
+             {} checkpoints)",
+            best.elapsed,
+            scanned as f64 / best.elapsed,
+            best.checkpoints
+        );
+        rows.push((parts, best));
+    }
+    let one_elapsed = rows[0].1.elapsed;
+    let workers_json: Vec<String> = rows
+        .iter()
+        .map(|(parts, run)| {
+            let scanned = u64::from(*parts) * RECORDS;
+            format!(
+                "    \"{parts}\": {{ \"records_scanned\": {scanned}, \
+                 \"elapsed_secs\": {:.6}, \"records_per_sec\": {:.1}, \
+                 \"speedup\": {:.3}, \"checkpoints\": {} }}",
+                run.elapsed,
+                scanned as f64 / run.elapsed,
+                one_elapsed / run.elapsed,
+                run.checkpoints,
+            )
+        })
+        .collect();
+    let merged = reference.expect("reference recorded");
+    let (last_parts, last) = rows.last().expect("rows nonempty");
+    let best_rps = (u64::from(*last_parts) * RECORDS) as f64 / last.elapsed;
+    let body = format!(
+        "{{\n  \"bench\": \"pipeline_distributed\",\n  \
+         \"harness\": \"standalone-rustc\",\n  \"records\": {RECORDS},\n  \
+         \"sources\": {SOURCES},\n  \"checkpoint_every\": {CHECKPOINT_EVERY},\n  \
+         \"records_per_sec\": {best_rps:.1},\n  \
+         \"workers\": {{\n{workers}\n  }},\n  \
+         \"checks\": {{ \"kept\": {kept}, \"distinct_sources\": {distinct}, \
+         \"digest\": {digest}, \"checkpoint_bytes\": {ckpt_bytes} }},\n  \
+         \"note\": \"best of {PASSES} passes per worker count; coordinator + worker \
+         processes exchange SYNDIST frames (synscan_wire::frame) over pipes; every \
+         worker replays the full stream keeping shard_of(src, parts) == part and \
+         durably checkpoints its delta log (stage + fsync + rename, the \
+         core::checkpoint protocol), mirroring src/distrib.rs; merged digests must \
+         match the 1-worker reference; records_per_sec is fleet scan throughput \
+         (records replayed across all workers per second, W x N for W workers — \
+         the figure that scales past one machine), while elapsed_secs/speedup \
+         report fixed-job wall clock honestly: on a single-core box speedup \
+         stays at or below 1.0 and only multi-core hosts raise it; \
+         built by tools/standalone/run.sh with bare rustc\"\n}}\n",
+        workers = workers_json.join(",\n"),
+        kept = merged.kept,
+        distinct = merged.distinct,
+        digest = merged.digest,
+        ckpt_bytes = merged.checkpoint_bytes,
+    );
+    std::fs::write(out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("bench_distrib: baseline -> {out}");
+    Ok(())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let result = match args.next().as_deref() {
+        Some("--worker") => worker_main(),
+        Some(out) => coordinator_main(out),
+        None => Err("usage: bench_distrib <out.json> | bench_distrib --worker".to_string()),
+    };
+    if let Err(msg) = result {
+        eprintln!("bench_distrib: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -111,14 +111,18 @@ fn best_of(passes: usize, mut run: impl FnMut() -> (f64, u64, u64)) -> (f64, u64
 }
 
 fn mode_json(elapsed: f64, n: u64) -> String {
-    let rps = if elapsed > 0.0 { n as f64 / elapsed } else { 0.0 };
-    format!(
-        "{{ \"records\": {n}, \"elapsed_secs\": {elapsed:.6}, \"records_per_sec\": {rps:.1} }}"
-    )
+    let rps = if elapsed > 0.0 {
+        n as f64 / elapsed
+    } else {
+        0.0
+    };
+    format!("{{ \"records\": {n}, \"elapsed_secs\": {elapsed:.6}, \"records_per_sec\": {rps:.1} }}")
 }
 
 fn main() {
-    let out = std::env::args().nth(1).expect("usage: bench_ingest <out.json>");
+    let out = std::env::args()
+        .nth(1)
+        .expect("usage: bench_ingest <out.json>");
     let bytes = capture_bytes();
     let capture = Arc::new(MappedCapture::from_bytes(bytes.clone()));
     eprintln!(
@@ -129,20 +133,37 @@ fn main() {
     let (read_s, read_n, read_sum) = best_of(3, || timed_read(&bytes));
     let (mmap_s, mmap_n, mmap_sum) = best_of(3, || timed_mmap(&bytes));
     let (q_s, q_n, q_sum) = best_of(3, || timed_queues(&capture, QUEUES));
-    assert_eq!((read_n, read_sum), (mmap_n, mmap_sum), "mmap parse diverged");
+    // `IngestQueues::new` right-sizes the queue count to the machine's
+    // available parallelism (1 effective queue decodes inline, threadless);
+    // record what was actually measured.
+    let effective = IngestQueues::new(Arc::clone(&capture), QUEUES, FaultPolicy::Fail)
+        .expect("pcap header")
+        .queues();
+    assert_eq!(
+        (read_n, read_sum),
+        (mmap_n, mmap_sum),
+        "mmap parse diverged"
+    );
     assert_eq!((read_n, read_sum), (q_n, q_sum), "queue parse diverged");
 
-    let rps = if mmap_s > 0.0 { mmap_n as f64 / mmap_s } else { 0.0 };
+    let rps = if mmap_s > 0.0 {
+        mmap_n as f64 / mmap_s
+    } else {
+        0.0
+    };
     let body = format!(
         "{{\n  \"bench\": \"pipeline_ingest\",\n  \"year\": {YEAR},\n  \
          \"harness\": \"standalone-rustc\",\n  \"records\": {mmap_n},\n  \
          \"elapsed_secs\": {mmap_s:.6},\n  \"records_per_sec\": {rps:.1},\n  \
          \"modes\": {{\n    \"read\": {read},\n    \"mmap\": {mmap},\n    \
          \"mmap_queues\": {queues}\n  }},\n  \"queues\": {QUEUES},\n  \
+         \"queues_effective\": {effective},\n  \
          \"checks\": {{ \"records\": {read_n}, \"ts_sum\": {read_sum}, \
          \"capture_bytes\": {cap_bytes} }},\n  \
          \"note\": \"best of 3 passes per mode, identical in-memory bytes; \
          read mode drains PcapReader + ProbeRecord::from_ethernet per record; \
+         mmap_queues requests {QUEUES} queues and IngestQueues right-sizes \
+         to the machine's cores ({effective} effective here); \
          built by tools/standalone/run.sh with bare rustc\"\n}}\n",
         read = mode_json(read_s, read_n),
         mmap = mode_json(mmap_s, mmap_n),

@@ -1,0 +1,460 @@
+//! Standalone serve-path baseline: the daemon's steady-state read loop —
+//! per-line protocol parse + body render + response envelope — over a
+//! deterministic two-year image, written to `BENCH_serve.json`.
+//!
+//! Built with bare `rustc` by `tools/standalone/run.sh` for machines where
+//! the crates registry is unreachable and the cargo bench
+//! (`crates/bench/benches/pipeline_serve.rs`, which measures the real
+//! `answer_line` over a real `AnalysisStore`) cannot build. This harness
+//! mirrors that bench's shape exactly — the same two years, the same
+//! 400-source/60-probe/5-port deterministic mix, the same six-query set,
+//! `ROUNDS` passes, best of 3, answer-byte checksum — with the query loop
+//! re-implemented against the `synscan_wire` crate from this checkout:
+//! requests are parsed by a character-level JSON scan with the
+//! `store::query::parse_request` validation rules (unknown op, missing or
+//! out-of-range `year`/`port`, `ip` through the real
+//! `synscan_wire::Ipv4Address` parser), bodies are pretty-rendered JSON
+//! walks of the per-year aggregates, and every response is wrapped in the
+//! protocol envelope (`{"ok":true,"body":"…"}` with the body escaped into
+//! a JSON string), so each query pays parse + lookup + render + escape like
+//! the daemon's hot path. When a registry is available, `cargo bench -p
+//! synscan-bench --bench pipeline_serve` rewrites the baseline with
+//! harness `cargo-bench`.
+
+use std::time::Instant;
+
+use synscan_wire::Ipv4Address;
+
+/// Synthetic sources per year — same as the cargo bench.
+const SOURCES: u32 = 400;
+/// Probes per source.
+const PROBES: u32 = 60;
+/// Hand-timed rounds over the query set.
+const ROUNDS: u64 = 2_000;
+/// Ranking depth, mirroring `store::query::TOP_N`.
+const TOP_N: usize = 5;
+/// Port mix, mirroring the cargo bench's `build_year`.
+const PORTS: [u16; 5] = [443, 22, 80, 23, 8080];
+
+/// One source's year aggregate.
+struct SourceRow {
+    ip: Ipv4Address,
+    port: u16,
+    packets: u64,
+    first_ts: u64,
+    last_ts: u64,
+}
+
+/// One year of the image: per-source rows plus per-port rollups.
+struct YearData {
+    year: u16,
+    sources: Vec<SourceRow>,
+    /// `(port, packets, distinct_sources)` per mix port.
+    ports: Vec<(u16, u64, u64)>,
+    total_packets: u64,
+}
+
+/// The deterministic mix of `crates/bench/benches/pipeline_serve.rs`:
+/// SOURCES scanners at `10.0.0.0 + s`, each sending PROBES probes on one
+/// mix port with index-arithmetic timestamps.
+fn build_year(year: u16) -> YearData {
+    let mut sources = Vec::with_capacity(SOURCES as usize);
+    let mut ports: Vec<(u16, u64, u64)> = PORTS.iter().map(|&p| (p, 0, 0)).collect();
+    for s in 0..SOURCES {
+        let port = PORTS[(s as usize) % PORTS.len()];
+        let first_ts = u64::from(s) * 1_000;
+        sources.push(SourceRow {
+            ip: Ipv4Address(0x0a00_0000 + s),
+            port,
+            packets: u64::from(PROBES),
+            first_ts,
+            last_ts: first_ts + u64::from(PROBES - 1) * 250_000,
+        });
+        let row = ports
+            .iter_mut()
+            .find(|(p, _, _)| *p == port)
+            .expect("mix port");
+        row.1 += u64::from(PROBES);
+        row.2 += 1;
+    }
+    YearData {
+        year,
+        sources,
+        ports,
+        total_packets: u64::from(SOURCES) * u64::from(PROBES),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request parse: a character-level mirror of `store::query::parse_request`
+// ---------------------------------------------------------------------------
+
+enum Request {
+    Years,
+    Table1,
+    Summary { year: u16 },
+    Source { ip: Ipv4Address },
+    Port { port: u16 },
+    Campaigns { ip: Ipv4Address },
+}
+
+/// Scan one JSON object of string/number fields. Returns `(key, raw value)`
+/// pairs with string values unquoted. Enough JSON for the protocol's
+/// request grammar; anything else is a parse error, as in the daemon.
+fn scan_object(line: &str) -> Result<Vec<(String, String)>, String> {
+    let bad = |what: &str| format!("bad request JSON: {what}");
+    let mut chars = line.trim().chars().peekable();
+    if chars.next() != Some('{') {
+        return Err(bad("expected object"));
+    }
+    let mut fields = Vec::new();
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            _ => return Err(bad("expected key")),
+        }
+        let mut key = String::new();
+        chars.next();
+        loop {
+            match chars.next() {
+                Some('"') => break,
+                Some(c) => key.push(c),
+                None => return Err(bad("unterminated key")),
+            }
+        }
+        if chars.next() != Some(':') {
+            return Err(bad("expected colon"));
+        }
+        let mut value = String::new();
+        match chars.peek() {
+            Some('"') => {
+                chars.next();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(c) => value.push(c),
+                        None => return Err(bad("unterminated string")),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        value.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            _ => return Err(bad("expected value")),
+        }
+        fields.push((key, value));
+        match chars.next() {
+            Some(',') => {}
+            Some('}') => break,
+            _ => return Err(bad("expected comma or end")),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_request(line: &str) -> Result<Request, String> {
+    let fields = scan_object(line)?;
+    let field = |name: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let op = field("op").ok_or_else(|| "request has no \"op\" field".to_string())?;
+    let year_field = || -> Result<u16, String> {
+        field("year")
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|y| *y <= u64::from(u16::MAX))
+            .map(|y| y as u16)
+            .ok_or_else(|| format!("op {op:?} needs a \"year\" field"))
+    };
+    let ip_field = || -> Result<Ipv4Address, String> {
+        let text = field("ip").ok_or_else(|| format!("op {op:?} needs an \"ip\" field"))?;
+        text.parse::<Ipv4Address>()
+            .map_err(|_| format!("bad IPv4 address {text:?}"))
+    };
+    match op {
+        "years" => Ok(Request::Years),
+        "table1" => Ok(Request::Table1),
+        "summary" => Ok(Request::Summary {
+            year: year_field()?,
+        }),
+        "source" => Ok(Request::Source { ip: ip_field()? }),
+        "campaigns" => Ok(Request::Campaigns { ip: ip_field()? }),
+        "port" => {
+            let port = field("port")
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|p| *p <= u64::from(u16::MAX))
+                .ok_or_else(|| "op \"port\" needs a \"port\" field (0-65535)".to_string())?;
+            Ok(Request::Port { port: port as u16 })
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body render + response envelope
+// ---------------------------------------------------------------------------
+
+/// Escape a body into a JSON string the way `serde_json` does for the
+/// daemon's `ok_line` envelope.
+fn json_escape(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn ok_line(body: &str) -> String {
+    let mut line = String::with_capacity(body.len() + 24);
+    line.push_str("{\"ok\":true,\"body\":\"");
+    json_escape(body, &mut line);
+    line.push_str("\"}");
+    line
+}
+
+fn err_line(error: &str) -> String {
+    let mut line = String::with_capacity(error.len() + 24);
+    line.push_str("{\"ok\":false,\"error\":\"");
+    json_escape(error, &mut line);
+    line.push_str("\"}");
+    line
+}
+
+/// Top `TOP_N` sources of a year by packet count (ties by address, the
+/// report renderers' stable order).
+fn top_sources(year: &YearData) -> Vec<&SourceRow> {
+    let mut rows: Vec<&SourceRow> = year.sources.iter().collect();
+    rows.sort_by(|a, b| b.packets.cmp(&a.packets).then(a.ip.0.cmp(&b.ip.0)));
+    rows.truncate(TOP_N);
+    rows
+}
+
+fn render_year(year: &YearData, out: &mut String) {
+    out.push_str(&format!(
+        "  {{\n    \"year\": {},\n    \"packets\": {},\n    \"distinct_sources\": {},\n",
+        year.year,
+        year.total_packets,
+        year.sources.len()
+    ));
+    out.push_str("    \"top_ports\": [\n");
+    let mut ports = year.ports.clone();
+    ports.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (i, (port, packets, srcs)) in ports.iter().take(TOP_N).enumerate() {
+        let comma = if i + 1 < ports.len().min(TOP_N) {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "      {{ \"port\": {port}, \"packets\": {packets}, \"sources\": {srcs} }}{comma}\n"
+        ));
+    }
+    out.push_str("    ],\n    \"top_sources\": [\n");
+    let top = top_sources(year);
+    for (i, row) in top.iter().enumerate() {
+        let comma = if i + 1 < top.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      {{ \"ip\": \"{}\", \"packets\": {}, \"port\": {} }}{comma}\n",
+            row.ip, row.packets, row.port
+        ));
+    }
+    out.push_str("    ]\n  }");
+}
+
+fn answer(years: &[YearData], request: &Request) -> String {
+    match request {
+        Request::Years => {
+            let list: Vec<String> = years.iter().map(|y| y.year.to_string()).collect();
+            ok_line(&format!("[{}]", list.join(",")))
+        }
+        Request::Table1 => {
+            let mut body = String::from("[\n");
+            for (i, year) in years.iter().enumerate() {
+                render_year(year, &mut body);
+                body.push_str(if i + 1 < years.len() { ",\n" } else { "\n" });
+            }
+            body.push(']');
+            ok_line(&body)
+        }
+        Request::Summary { year } => match years.iter().find(|y| y.year == *year) {
+            Some(data) => {
+                let mut body = String::new();
+                render_year(data, &mut body);
+                ok_line(&body)
+            }
+            None => err_line(&format!("no store slice covers year {year}")),
+        },
+        Request::Source { ip } => {
+            let mut body = format!("{{\n  \"ip\": \"{ip}\",\n  \"years\": [\n");
+            let mut rows = Vec::new();
+            for year in years {
+                if let Some(row) = year.sources.iter().find(|r| r.ip == *ip) {
+                    rows.push(format!(
+                        "    {{ \"year\": {}, \"packets\": {}, \"port\": {}, \
+                         \"first_ts\": {}, \"last_ts\": {} }}",
+                        year.year, row.packets, row.port, row.first_ts, row.last_ts
+                    ));
+                }
+            }
+            body.push_str(&rows.join(",\n"));
+            body.push_str("\n  ]\n}");
+            ok_line(&body)
+        }
+        Request::Port { port } => {
+            let mut body = format!("{{\n  \"port\": {port},\n  \"years\": [\n");
+            let mut rows = Vec::new();
+            for year in years {
+                if let Some((_, packets, srcs)) = year.ports.iter().find(|(p, _, _)| p == port) {
+                    rows.push(format!(
+                        "    {{ \"year\": {}, \"packets\": {packets}, \"sources\": {srcs} }}",
+                        year.year
+                    ));
+                }
+            }
+            body.push_str(&rows.join(",\n"));
+            body.push_str("\n  ]\n}");
+            ok_line(&body)
+        }
+        Request::Campaigns { ip } => {
+            let mut body = format!("{{\n  \"ip\": \"{ip}\",\n  \"campaigns\": [\n");
+            let mut rows = Vec::new();
+            for year in years {
+                if let Some(row) = year.sources.iter().find(|r| r.ip == *ip) {
+                    let secs = (row.last_ts - row.first_ts) as f64 / 1e6;
+                    let rate = if secs > 0.0 {
+                        row.packets as f64 / secs
+                    } else {
+                        0.0
+                    };
+                    rows.push(format!(
+                        "    {{ \"year\": {}, \"probes\": {}, \"port\": {}, \
+                         \"rate_pps\": {rate:.3} }}",
+                        year.year, row.packets, row.port
+                    ));
+                }
+            }
+            body.push_str(&rows.join(",\n"));
+            body.push_str("\n  ]\n}");
+            ok_line(&body)
+        }
+    }
+}
+
+fn answer_line(years: &[YearData], line: &str) -> String {
+    match parse_request(line) {
+        Ok(request) => answer(years, &request),
+        Err(error) => err_line(&error),
+    }
+}
+
+/// The cargo bench's six-query mix, verbatim.
+fn queries() -> Vec<String> {
+    let probe_ip = Ipv4Address(0x0a00_0000);
+    vec![
+        "{\"op\":\"years\"}".to_string(),
+        "{\"op\":\"table1\"}".to_string(),
+        "{\"op\":\"summary\",\"year\":2020}".to_string(),
+        format!("{{\"op\":\"source\",\"ip\":\"{probe_ip}\"}}"),
+        "{\"op\":\"port\",\"port\":443}".to_string(),
+        format!("{{\"op\":\"campaigns\",\"ip\":\"{probe_ip}\"}}"),
+    ]
+}
+
+/// Answer the query set `rounds` times; returns (elapsed secs, answers,
+/// byte checksum) — the checksum defeats dead-code elimination and doubles
+/// as a determinism check across passes.
+fn timed_queries(years: &[YearData], queries: &[String], rounds: u64) -> (f64, u64, u64) {
+    let mut answered = 0u64;
+    let mut check = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for query in queries {
+            let line = answer_line(years, query);
+            check = check.wrapping_add(line.len() as u64);
+            answered += 1;
+        }
+    }
+    (start.elapsed().as_secs_f64(), answered, check)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .expect("usage: bench_serve <out.json>");
+    let years = [build_year(2019), build_year(2020)];
+
+    // Every mix query must succeed, and malformed lines must come back as
+    // protocol errors — the same guarantees the daemon's tests make.
+    for query in queries() {
+        assert!(
+            answer_line(&years, &query).starts_with("{\"ok\":true"),
+            "mix query failed: {query}"
+        );
+    }
+    for bad in ["junk", "{}", "{\"op\":\"nope\"}", "{\"op\":\"port\"}"] {
+        assert!(
+            answer_line(&years, bad).starts_with("{\"ok\":false"),
+            "malformed line was not an error: {bad}"
+        );
+    }
+
+    let set = queries();
+    let mut best = f64::INFINITY;
+    let mut answered = 0u64;
+    let mut check = None;
+    for _ in 0..3 {
+        let (secs, n, sum) = timed_queries(&years, &set, ROUNDS);
+        assert!(
+            check.is_none() || check == Some(sum),
+            "query answers must be deterministic across passes"
+        );
+        check = Some(sum);
+        answered = n;
+        if secs < best {
+            best = secs;
+        }
+    }
+    let queries_per_sec = if best > 0.0 {
+        answered as f64 / best
+    } else {
+        0.0
+    };
+    let body = format!(
+        "{{\n  \"bench\": \"pipeline_serve\",\n  \"harness\": \"standalone-rustc\",\n  \
+         \"queries\": {answered},\n  \"elapsed_secs\": {best:.6},\n  \
+         \"queries_per_sec\": {queries_per_sec:.1},\n  \"query_mix\": {mix},\n  \
+         \"sources_per_year\": {SOURCES},\n  \
+         \"checks\": {{ \"answer_bytes\": {sum} }},\n  \
+         \"note\": \"best of 3 passes over the daemon query loop (protocol parse + \
+         body render + envelope escape) against an in-memory two-year image with \
+         the cargo bench's deterministic mix; built by tools/standalone/run.sh \
+         with bare rustc; when a crates registry is available, cargo bench -p \
+         synscan-bench --bench pipeline_serve rewrites this with the real \
+         answer_line over a real AnalysisStore (harness cargo-bench)\"\n}}\n",
+        mix = set.len(),
+        sum = check.expect("at least one pass"),
+    );
+    std::fs::write(&out, body).expect("write baseline json");
+    eprintln!("bench_serve: {queries_per_sec:.0} queries/s -> {out}");
+}

@@ -1,14 +1,16 @@
 #!/usr/bin/env sh
 # Registry-free baseline harness: compile the real wire crate and the core
-# hot-path modules with bare rustc, run the two bench mains, and rewrite
-# BENCH_ingest.json / BENCH_hotpath.json at the repository root with
-# measured numbers (harness: "standalone-rustc").
+# hot-path modules with bare rustc, run the bench mains, and rewrite
+# BENCH_ingest.json / BENCH_hotpath.json / BENCH_serve.json /
+# BENCH_distributed.json at the repository root with measured numbers
+# (harness: "standalone-rustc").
 #
 # Use this when `cargo bench` is impossible (no crates registry). On a
 # normal machine prefer the cargo benches, which regenerate the same files
 # with harness "cargo-bench":
 #   cargo bench -p synscan-bench --bench pipeline_ingest -- --test
 #   cargo bench -p synscan-bench --bench pipeline_hotpath -- --test
+#   cargo bench -p synscan-bench --bench pipeline_serve -- --test
 set -eu
 
 here=$(cd "$(dirname "$0")" && pwd)
@@ -34,6 +36,12 @@ rustc --edition 2021 -O --cfg synscan_standalone \
     --extern "synscan_wire=$out/libsynscan_wire.rlib" \
     --extern "synscan_core_hotpath=$out/libsynscan_core_hotpath.rlib" \
     "$here/bench_hotpath.rs" -o "$out/bench_hotpath"
+rustc --edition 2021 -O --cfg synscan_standalone \
+    --extern "synscan_wire=$out/libsynscan_wire.rlib" \
+    "$here/bench_serve.rs" -o "$out/bench_serve"
+rustc --edition 2021 -O --cfg synscan_standalone \
+    --extern "synscan_wire=$out/libsynscan_wire.rlib" \
+    "$here/bench_distrib.rs" -o "$out/bench_distrib"
 
 echo "standalone: compiling the sketch differential suite" >&2
 rustc --edition 2021 -O --cfg synscan_standalone \
@@ -45,5 +53,7 @@ echo "standalone: running the sketch differential suite" >&2
 
 "$out/bench_ingest" "$root/BENCH_ingest.json"
 "$out/bench_hotpath" "$root/BENCH_hotpath.json"
+"$out/bench_serve" "$root/BENCH_serve.json"
+"$out/bench_distrib" "$root/BENCH_distributed.json"
 
-echo "standalone: baselines written to $root/BENCH_ingest.json and $root/BENCH_hotpath.json" >&2
+echo "standalone: baselines written to $root/BENCH_{ingest,hotpath,serve,distributed}.json" >&2

@@ -50,6 +50,20 @@
 //! `synscan::distrib`, because spawning processes and building generator
 //! streams need the synthesis layer; everything protocol- and
 //! analysis-shaped lives here.
+//!
+//! Checkpoints deliberately ride the protocol, not a filesystem: every
+//! `Progress` frame carries the full `SYNCKPT` state, the coordinator
+//! retains the latest one per slice, and a retry `Assign` ships it back —
+//! so a respawned worker on a *different host*, sharing no disk with its
+//! predecessor, resumes mid-slice and still produces the sequential bytes
+//! (the CI cross-host drill deletes the dead worker's local checkpoint
+//! spill before the respawn to prove it). Transport hardening comes from
+//! [`synscan_wire::net`]: dials retry under seeded jittered backoff, the
+//! stall watchdog and the serve daemon share one
+//! [`synscan_wire::net::DEFAULT_STALL_TIMEOUT_MS`] notion of "stalled",
+//! and frame corruption injected by
+//! [`synscan_wire::net::ChaosSocket`] must surface through
+//! [`FrameError`]'s typed taxonomy — the checksum row, not a hang.
 
 use std::io::{Read, Write};
 

@@ -24,6 +24,7 @@
 //! | `{"op":"port","port":N}` | `PortTrend` pretty JSON |
 //! | `{"op":"campaigns","ip":"A.B.C.D"}` | `CampaignLookup` pretty JSON |
 //! | `{"op":"heavy","year":Y}` | that year's `NetworkImpact` pretty JSON |
+//! | `{"op":"health"}` | daemon health (generation, uptime, gate counters) |
 //!
 //! `stats` additionally reports per-year slice accounting (file count,
 //! on-disk bytes, format version) next to the aggregate totals. `heavy` is
@@ -86,10 +87,56 @@ pub enum Request {
         /// The requested calendar year.
         year: u16,
     },
+    /// Daemon health: image generation plus the admission-gate counters.
+    Health,
     /// Ask the writer thread to reload the store from disk.
     Reload,
     /// Ask the daemon to exit.
     Shutdown,
+}
+
+/// Live daemon counters surfaced by the `health` op. The daemon fills these
+/// from its admission gate; offline contexts (the `--store-dir --query`
+/// client, tests) answer with the zeroed [`Default`] — the image fields are
+/// real either way.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HealthCounters {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Connections currently queued or being served.
+    pub in_flight: u64,
+    /// Connections served to completion since start.
+    pub served: u64,
+    /// Connections shed by the admission gate since start.
+    pub shed: u64,
+    /// Whether the daemon is draining (refusing new connections).
+    pub draining: bool,
+}
+
+/// The `health` body: image identity next to the live gate counters.
+#[derive(Debug, Serialize)]
+struct HealthBody {
+    generation: u64,
+    years: usize,
+    uptime_ms: u64,
+    in_flight: u64,
+    served: u64,
+    shed: u64,
+    draining: bool,
+}
+
+/// Render the `health` response line from an image and live counters.
+pub fn health_line(image: &StoreImage, live: &HealthCounters) -> String {
+    let body = HealthBody {
+        generation: image.generation,
+        years: image.year_list().len(),
+        uptime_ms: live.uptime_ms,
+        in_flight: live.in_flight,
+        served: live.served,
+        shed: live.shed,
+        draining: live.draining,
+    };
+    ok_line(&serde_json::to_string_pretty(&body).expect("health serializes"))
 }
 
 #[derive(Serialize)]
@@ -176,6 +223,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "campaigns" => Ok(Request::Campaigns {
             ip: ip_field(&value)?,
         }),
+        "health" => Ok(Request::Health),
         "reload" => Ok(Request::Reload),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op {other:?}")),
@@ -260,6 +308,7 @@ pub fn answer(image: &StoreImage, request: &Request) -> String {
             },
             None => err_line(&format!("no store slice covers year {year}")),
         },
+        Request::Health => health_line(image, &HealthCounters::default()),
         Request::Reload => ok_line("reload: no-op (no daemon writer on this path)"),
         Request::Shutdown => ok_line("shutdown: no-op (no daemon on this path)"),
     }
@@ -306,6 +355,7 @@ mod tests {
             Ok(Request::Port { port: 443 })
         );
         assert_eq!(parse_request("{\"op\":\"reload\"}"), Ok(Request::Reload));
+        assert_eq!(parse_request("{\"op\":\"health\"}"), Ok(Request::Health));
         assert_eq!(
             parse_request("{\"op\":\"heavy\",\"year\":2020}"),
             Ok(Request::Heavy { year: 2020 })
@@ -377,6 +427,18 @@ mod tests {
             body_of(&table).as_deref(),
             Some(DecadeReport::from_years(&[], TOP_N).to_json().as_str())
         );
+    }
+
+    #[test]
+    fn health_answers_offline_with_zeroed_counters() {
+        let image = StoreImage::empty();
+        let line = answer_line(&image, "{\"op\":\"health\"}");
+        let body = body_of(&line).expect("health body");
+        let value: serde_json::Value = serde_json::from_str(&body).expect("health JSON");
+        assert!(value.get("generation").is_some());
+        assert_eq!(value.get("in_flight").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(value.get("shed").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(value.get("draining").and_then(|v| v.as_bool()), Some(false));
     }
 
     #[test]

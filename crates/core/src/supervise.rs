@@ -39,9 +39,25 @@ pub struct SupervisionConfig {
 impl Default for SupervisionConfig {
     fn default() -> Self {
         Self {
-            stall_after: Duration::from_secs(30),
+            // The stall threshold is the one timeout shared across the
+            // system: the serve daemon's idle cutoff and the distributed
+            // coordinator's watchdog both default to this wire-layer
+            // constant, and the `--stall-timeout` flag overrides all of
+            // them together.
+            stall_after: Duration::from_millis(synscan_wire::net::DEFAULT_STALL_TIMEOUT_MS),
             poll_every: Duration::from_millis(100),
             beat_every: Duration::from_millis(50),
+        }
+    }
+}
+
+impl SupervisionConfig {
+    /// Defaults with a specific stall threshold — how both binaries apply
+    /// their `--stall-timeout` flag.
+    pub fn with_stall_timeout(stall_after: Duration) -> Self {
+        Self {
+            stall_after,
+            ..Self::default()
         }
     }
 }

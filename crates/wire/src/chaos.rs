@@ -159,7 +159,8 @@ impl InjectionLog {
 
 /// splitmix64 finalizer: the sole source of chaos values. Stateless — every
 /// injection derives its value from `(seed, position)` so replay is exact.
-fn mix64(mut z: u64) -> u64 {
+/// Shared with [`crate::net`] so transport faults draw from the same well.
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -169,7 +170,7 @@ fn mix64(mut z: u64) -> u64 {
 /// Whether a periodic fault fires at `index`. The phase within the period is
 /// seed-derived (per fault kind via `tag`) so different seeds hit different,
 /// but fixed, offsets.
-fn hits(seed: u64, tag: u64, period: u64, index: u64) -> bool {
+pub(crate) fn hits(seed: u64, tag: u64, period: u64, index: u64) -> bool {
     let period = period.max(1);
     index % period == mix64(seed ^ tag) % period
 }

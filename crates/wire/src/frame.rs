@@ -63,6 +63,8 @@ pub enum FrameError {
     ChecksumMismatch,
     /// The pipe ended mid-frame (mid-header or mid-payload).
     Truncated,
+    /// A read or write deadline expired mid-frame (see [`crate::net`]).
+    TimedOut,
 }
 
 impl std::fmt::Display for FrameError {
@@ -81,6 +83,7 @@ impl std::fmt::Display for FrameError {
             }
             FrameError::ChecksumMismatch => write!(f, "frame payload checksum mismatch"),
             FrameError::Truncated => write!(f, "pipe ended mid-frame"),
+            FrameError::TimedOut => write!(f, "frame deadline expired"),
         }
     }
 }
@@ -91,6 +94,8 @@ impl From<io::Error> for FrameError {
     fn from(e: io::Error) -> Self {
         if e.kind() == io::ErrorKind::UnexpectedEof {
             FrameError::Truncated
+        } else if crate::net::is_timeout(&e) {
+            FrameError::TimedOut
         } else {
             FrameError::Io(e.to_string())
         }

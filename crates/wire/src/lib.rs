@@ -57,6 +57,7 @@ pub mod ethernet;
 pub mod frame;
 pub mod ingest;
 pub mod ipv4;
+pub mod net;
 pub mod pcap;
 pub mod probe;
 pub mod stream;
@@ -73,6 +74,10 @@ pub use ingest::{
     RUNAHEAD_BYTES,
 };
 pub use ipv4::{Address as Ipv4Address, Ipv4Packet, Ipv4Repr, Protocol};
+pub use net::{
+    dial_with_backoff, Backoff, BoundedLineReader, ChaosSocket, Deadline, DeadlineStream,
+    NetChaosPlan, NetError, NetFault, NetInjectionLog,
+};
 pub use pcap::{PcapError, PcapReader, PcapRecord, PcapWriter};
 pub use probe::{ProbeRecord, SynFrameBuilder};
 pub use stream::{

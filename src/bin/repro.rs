@@ -81,7 +81,8 @@ const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out
                      [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
                      [--die-after-checkpoints K] \
                      [--distributed N] [--worker-cmd CMD] [--listen ENDPOINT] \
-                     [--distributed-kill-drill K] [TARGET...]\
+                     [--distributed-kill-drill K] [--stall-timeout SECS] \
+                     [--net-chaos-seed N] [--net-chaos-profile benign|corrupt] [TARGET...]\
                      \n       repro --worker [tcp:HOST:PORT|unix:PATH]\
                      \n  --scale NAME        generator scale: tiny | small | default\
                      \n  --seed N            override the generator seed (u64)\
@@ -120,7 +121,18 @@ const USAGE: &str = "usage: repro [--scale tiny|small|default] [--seed N] [--out
                      workers instead of spawning local ones\
                      \n  --distributed-kill-drill K  arm the recovery drill: the first \
                      assigned worker aborts after its K-th checkpoint and the \
-                     coordinator must resume the slice on another worker\
+                     coordinator must resume the slice on another worker; with \
+                     --checkpoint-dir the dead worker's local spill is scrubbed \
+                     before the respawn, proving resume ships through the \
+                     coordinator and needs no shared filesystem\
+                     \n  --stall-timeout SECS  distributed stall watchdog: kill and replace \
+                     a worker silent this long (default 30, shared with \
+                     synscan-serve's idle cutoff)\
+                     \n  --net-chaos-seed N  inject seeded transport faults on worker \
+                     connections (deterministic per seed; needs --distributed)\
+                     \n  --net-chaos-profile P  benign (short writes + stalls everywhere, \
+                     byte-identical run) | corrupt (corrupt the first connection, \
+                     coordinator must respawn; default benign)\
                      \n  --worker [ENDPOINT] serve slices over stdin/stdout (or dial the \
                      coordinator at tcp:/unix: ENDPOINT) until Shutdown\
                      \n  TARGET              table1 table2 fig1..fig10 prose etl pcap all \
@@ -195,6 +207,9 @@ fn run() -> Result<(), String> {
     let mut worker_cmd: Option<String> = None;
     let mut listen: Option<String> = None;
     let mut kill_drill: Option<u64> = None;
+    let mut stall_timeout: Option<u64> = None;
+    let mut net_chaos_seed: Option<u64> = None;
+    let mut net_chaos_mode = synscan::NetChaosMode::Benign;
     let mut targets: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -222,6 +237,17 @@ fn run() -> Result<(), String> {
                     "--distributed-kill-drill",
                     "a checkpoint count",
                 )?)
+            }
+            "--stall-timeout" => {
+                stall_timeout = Some(flag_value(&mut args, "--stall-timeout", "seconds")?)
+            }
+            "--net-chaos-seed" => {
+                net_chaos_seed = Some(flag_value(&mut args, "--net-chaos-seed", "a u64 seed")?)
+            }
+            "--net-chaos-profile" => {
+                let spec: String = flag_value(&mut args, "--net-chaos-profile", "benign|corrupt")?;
+                net_chaos_mode = synscan::NetChaosMode::parse(&spec)
+                    .map_err(|e| format!("--net-chaos-profile: {e}"))?;
             }
             "--checkpoint-dir" => {
                 checkpoint_dir = Some(PathBuf::from(flag_value::<String>(
@@ -293,6 +319,9 @@ fn run() -> Result<(), String> {
     if distributed.is_none() && (worker_cmd.is_some() || listen.is_some() || kill_drill.is_some()) {
         return Err("--worker-cmd / --listen / --distributed-kill-drill need --distributed".into());
     }
+    if distributed.is_none() && (stall_timeout.is_some() || net_chaos_seed.is_some()) {
+        return Err("--stall-timeout / --net-chaos-seed need --distributed".into());
+    }
     let mut gen = match scale.as_str() {
         "tiny" => GeneratorConfig::tiny(),
         "small" => GeneratorConfig {
@@ -356,13 +385,16 @@ fn run() -> Result<(), String> {
                     .into(),
             );
         }
-        if checkpoint_dir.is_some() || resume || die_after.is_some() {
-            return Err(
-                "--distributed keeps retry checkpoints in the coordinator, not \
-                        on disk; drop --checkpoint-dir / --resume / \
-                        --die-after-checkpoints"
-                    .into(),
-            );
+        // Retry checkpoints live in the coordinator and ride the retry
+        // Assign, so resume works across hosts with no shared filesystem.
+        // --checkpoint-dir is allowed as a worker-local *spill* (an
+        // operator-visible audit trail the run never reads back); resume
+        // and the sequential kill drill stay rejected.
+        if resume || die_after.is_some() {
+            return Err("--distributed resumes from coordinator-held checkpoints \
+                        automatically; drop --resume / --die-after-checkpoints \
+                        (use --distributed-kill-drill for the recovery drill)"
+                .into());
         }
         let source = match (&listen, &worker_cmd) {
             (Some(addr), _) => synscan::WorkerSource::Listen {
@@ -384,11 +416,26 @@ fn run() -> Result<(), String> {
                 }
             }
         };
+        if let Some(dir) = &checkpoint_dir {
+            fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+        }
+        let supervision = match stall_timeout {
+            Some(secs) => synscan::core::SupervisionConfig::with_stall_timeout(
+                std::time::Duration::from_secs(secs.max(1)),
+            ),
+            None => synscan::core::SupervisionConfig::default(),
+        };
         let options = synscan::DistribOptions {
             source,
             every: checkpoint_every,
             kill_drill,
-            supervision: synscan::core::SupervisionConfig::default(),
+            supervision,
+            checkpoint_dir: checkpoint_dir.clone(),
+            net_chaos: net_chaos_seed.map(|seed| synscan::NetChaos {
+                seed,
+                mode: net_chaos_mode,
+            }),
         };
         eprintln!(
             "[repro] distributing {} slices across {workers} worker(s), checkpoint \

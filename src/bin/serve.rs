@@ -29,19 +29,27 @@ use std::path::PathBuf;
 
 use synscan::core::store::query::{answer_line, body_of};
 use synscan::core::store::{AnalysisStore, StoreImage};
-use synscan::serve::{Listen, Server};
+use synscan::serve::{Listen, ServeOptions, Server};
 
 const USAGE: &str = "usage: synscan-serve (--listen SPEC | --connect SPEC | --query FILE) \
                      [--store-dir DIR] [--readers N] [--query FILE] [--bodies]\n\
                      \n  --store-dir DIR     analysis store directory (default out/store)\
                      \n  --listen SPEC       run the daemon on HOST:PORT or unix:PATH\
                      \n  --readers N         daemon reader threads (default 4)\
+                     \n  --max-in-flight N   admission gate: shed connections beyond N \
+                     queued-or-served (default 64)\
+                     \n  --request-deadline MS  per-request read/write budget in \
+                     milliseconds, 0 disables (default 10000)\
+                     \n  --stall-timeout SECS   idle-connection cutoff in seconds, shared \
+                     default with the distributed coordinator's stall watchdog (default 30)\
                      \n  --connect SPEC      send --query to a daemon at HOST:PORT or unix:PATH\
                      \n  --query FILE        NDJSON request file, `-` for stdin; without \
                      --connect the store is queried directly (no daemon)\
                      \n  --bodies            print only each response's rendered body \
                      (byte-identical to the batch artifacts); nonzero exit on any error \
-                     response";
+                     response\n\
+                     \nSIGTERM drains the daemon gracefully: in-flight conversations \
+                     finish, new connections get a typed `draining` reply.";
 
 /// Usage mistakes exit 2; runtime failures exit 1.
 enum Failure {
@@ -74,7 +82,7 @@ fn run() -> Result<(), Failure> {
     let mut listen: Option<String> = None;
     let mut connect: Option<String> = None;
     let mut query: Option<String> = None;
-    let mut readers: usize = 4;
+    let mut options = ServeOptions::default();
     let mut bodies = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -96,7 +104,19 @@ fn run() -> Result<(), Failure> {
                 )?)
             }
             "--query" => query = Some(flag_value(&mut args, "--query", "a file path or -")?),
-            "--readers" => readers = flag_value(&mut args, "--readers", "a thread count")?,
+            "--readers" => options.readers = flag_value(&mut args, "--readers", "a thread count")?,
+            "--max-in-flight" => {
+                options.max_in_flight =
+                    flag_value(&mut args, "--max-in-flight", "a connection count")?
+            }
+            "--request-deadline" => {
+                let ms: u64 = flag_value(&mut args, "--request-deadline", "milliseconds")?;
+                options.request_deadline = std::time::Duration::from_millis(ms);
+            }
+            "--stall-timeout" => {
+                let secs: u64 = flag_value(&mut args, "--stall-timeout", "seconds")?;
+                options.stall_timeout = std::time::Duration::from_secs(secs);
+            }
             "--bodies" => bodies = true,
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
@@ -112,7 +132,7 @@ fn run() -> Result<(), Failure> {
         (Some(_), Some(_), _) => Err(Failure::Usage(
             "--listen and --connect are mutually exclusive".to_string(),
         )),
-        (Some(spec), None, None) => run_daemon(&store_dir, &spec, readers),
+        (Some(spec), None, None) => run_daemon(&store_dir, &spec, options),
         (Some(_), None, Some(_)) => Err(Failure::Usage(
             "--listen runs a daemon; query it with --connect".to_string(),
         )),
@@ -125,16 +145,67 @@ fn run() -> Result<(), Failure> {
     }
 }
 
-fn run_daemon(store_dir: &std::path::Path, spec: &str, readers: usize) -> Result<(), Failure> {
+/// SIGTERM latch for the graceful drain (signal handlers may only do
+/// async-signal-safe work, so the handler just flips a flag a watcher
+/// thread polls).
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the SIGTERM hook (no-op off Unix).
+    pub fn install() {
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+            }
+            const SIGTERM: i32 = 15;
+            unsafe {
+                signal(SIGTERM, on_term);
+            }
+        }
+        #[cfg(not(unix))]
+        let _ = on_term as extern "C" fn(i32);
+    }
+}
+
+fn run_daemon(
+    store_dir: &std::path::Path,
+    spec: &str,
+    options: ServeOptions,
+) -> Result<(), Failure> {
     let listen = Listen::parse(spec).map_err(|e| Failure::Usage(e.to_string()))?;
-    let server = Server::start(store_dir, &listen, readers)
+    let readers = options.readers.max(1);
+    let max_in_flight = options.max_in_flight.max(1);
+    let server = Server::start(store_dir, &listen, options)
         .map_err(|e| format!("cannot start daemon: {e}"))?;
     eprintln!(
-        "[synscan-serve] serving {} on {} ({} readers)",
+        "[synscan-serve] serving {} on {} ({readers} readers, max {max_in_flight} in flight)",
         store_dir.display(),
         server.endpoint(),
-        readers.max(1)
     );
+
+    // Graceful drain on SIGTERM: finish in-flight conversations, refuse new
+    // ones with a typed reply, then stop once idle (30 s grace).
+    sig::install();
+    let control = server.control();
+    std::thread::Builder::new()
+        .name("serve-sigterm".to_string())
+        .spawn(move || loop {
+            if sig::TERM.load(std::sync::atomic::Ordering::SeqCst) {
+                eprintln!("[synscan-serve] SIGTERM: draining (in-flight finish, new refused)");
+                control.drain_then_stop(std::time::Duration::from_secs(30));
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        })
+        .map_err(|e| Failure::Runtime(format!("cannot spawn signal watcher: {e}")))?;
+
     server
         .join()
         .map_err(|e| Failure::Runtime(format!("daemon failed: {e}")))?;

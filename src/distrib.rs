@@ -38,10 +38,10 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
 use crate::experiment::{decode_capture_stats, DecadeRun, Experiment, SessionAdmit, YearRun};
 use synscan_core::checkpoint::{SnapReader, SnapWriter};
@@ -55,7 +55,20 @@ use synscan_core::{
 use synscan_synthesis::generate::GeneratorConfig;
 use synscan_synthesis::yearcfg::YearConfig;
 use synscan_telescope::CaptureStats;
+use synscan_wire::net::{dial_with_backoff, Backoff, ChaosSocket, NetChaosPlan, NetFault};
 use synscan_wire::stream::{FaultCounters, InfallibleStream};
+
+/// Environment variable through which the coordinator hands a spawned
+/// worker its local checkpoint spill directory. The spill is purely
+/// operator-visible state: resume never reads it (the retry `Assign`
+/// carries the checkpoint through the protocol), which the kill drill
+/// proves by deleting a dead worker's spill before the respawn.
+pub const WORKER_SPILL_ENV: &str = "SYNSCAN_WORKER_SPILL";
+
+/// How many times [`connect_worker`] tries to dial the coordinator before
+/// giving up. Workers and coordinators race to start in real deployments;
+/// jittered backoff absorbs the race instead of failing the fleet.
+pub const DIAL_ATTEMPTS: u32 = 6;
 
 /// How many times one slice may be attempted (first try + retries) before
 /// the coordinator declares the run failed. Retries resume from the
@@ -210,6 +223,11 @@ pub fn run_worker(
             worker: label.to_string(),
         },
     )?;
+    // Worker-local checkpoint spill, armed by the coordinator's
+    // environment in spawn mode. Operator-visible only: resume always
+    // rides the protocol, so losing (or scrubbing) this directory costs
+    // nothing but the audit trail.
+    let spill = std::env::var_os(WORKER_SPILL_ENV).map(PathBuf::from);
     let mut world: Option<(Vec<u8>, Experiment)> = None;
     loop {
         let message = match recv(input)? {
@@ -236,6 +254,7 @@ pub fn run_worker(
                     every,
                     die_after_checkpoints,
                     resume.as_deref(),
+                    spill.as_deref(),
                     output,
                 ) {
                     Ok(reply) => send(output, &reply)?,
@@ -268,6 +287,7 @@ fn serve_slice(
     every: u64,
     die_after_checkpoints: Option<u64>,
     resume: Option<&[u8]>,
+    spill: Option<&Path>,
     output: &mut impl Write,
 ) -> Result<Message, DistribError> {
     let resume = resume.map(Checkpoint::from_bytes).transpose()?;
@@ -301,6 +321,17 @@ fn serve_slice(
                 },
             )?;
             sent += 1;
+            // Best-effort local spill after the protocol send, so the
+            // coordinator's copy is never behind the disk's.
+            if let Some(dir) = spill {
+                let name = format!("slice-{}-p{}-{sent}.ckpt", slice.year, slice.part);
+                if std::fs::create_dir_all(dir)
+                    .and_then(|()| std::fs::write(dir.join(&name), cut.to_bytes()))
+                    .is_err()
+                {
+                    eprintln!("worker: could not spill checkpoint {name}");
+                }
+            }
             if die_after_checkpoints.is_some_and(|k| sent >= k) {
                 // The kill drill: vanish without a goodbye, exactly like a
                 // SIGKILL'd or OOM'd worker, right after the coordinator
@@ -355,19 +386,57 @@ impl Endpoint {
     }
 }
 
+/// FNV-1a-64 over the endpoint spec: a stable per-endpoint backoff seed,
+/// so two workers dialing different coordinators jitter differently but a
+/// given worker replays the same schedule.
+fn spec_seed(spec: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in spec.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Dial out to a coordinator listening on `spec` and return the two pipe
 /// halves a worker loop reads and writes.
+///
+/// The dial retries with jittered exponential backoff ([`DIAL_ATTEMPTS`]
+/// attempts, 100 ms doubling to 5 s), so a worker started before its
+/// coordinator — the normal race in a multi-host launch — connects as soon
+/// as the listener is up instead of dying on the first refused connection.
 pub fn connect_worker(
     spec: &str,
 ) -> Result<(Box<dyn Read + Send>, Box<dyn Write + Send>), CoordError> {
-    match Endpoint::parse(spec).map_err(CoordError::Io)? {
+    let endpoint = Endpoint::parse(spec).map_err(CoordError::Io)?;
+    let mut backoff = Backoff::dial(spec_seed(spec));
+    let on_retry = |attempt: u32, delay: std::time::Duration, err: &std::io::Error| {
+        eprintln!(
+            "worker: dial {spec} failed ({err}); retrying in {}ms \
+             (attempt {attempt}/{DIAL_ATTEMPTS})",
+            delay.as_millis()
+        );
+    };
+    match endpoint {
         Endpoint::Tcp(addr) => {
-            let stream = TcpStream::connect(&addr).map_err(io_err)?;
+            let stream = dial_with_backoff(
+                DIAL_ATTEMPTS,
+                &mut backoff,
+                || TcpStream::connect(&addr),
+                on_retry,
+            )
+            .map_err(io_err)?;
             let reader = stream.try_clone().map_err(io_err)?;
             Ok((Box::new(reader), Box::new(stream)))
         }
         Endpoint::Unix(path) => {
-            let stream = UnixStream::connect(&path).map_err(io_err)?;
+            let stream = dial_with_backoff(
+                DIAL_ATTEMPTS,
+                &mut backoff,
+                || UnixStream::connect(&path),
+                on_retry,
+            )
+            .map_err(io_err)?;
             let reader = stream.try_clone().map_err(io_err)?;
             Ok((Box::new(reader), Box::new(stream)))
         }
@@ -415,6 +484,63 @@ impl WorkerSource {
     }
 }
 
+/// Where transport chaos is injected, for the net-chaos drills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetChaosMode {
+    /// Benign faults (short writes, sub-deadline read stalls) on **every**
+    /// worker connection. A correct fleet is byte-identical under this.
+    Benign,
+    /// Corrupting faults on the **first** connection only; later
+    /// connections (including respawns) are clean. The first worker's
+    /// stream breaks with a typed frame error, the coordinator respawns
+    /// it, and the run still finishes byte-identical — deterministic
+    /// recovery, not silent absorption.
+    CorruptFirst,
+}
+
+impl NetChaosMode {
+    /// Parse a `--net-chaos-profile` value.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec {
+            "benign" => Ok(NetChaosMode::Benign),
+            "corrupt" => Ok(NetChaosMode::CorruptFirst),
+            other => Err(format!(
+                "unknown net-chaos profile '{other}' (expected benign or corrupt)"
+            )),
+        }
+    }
+}
+
+/// Seeded transport-fault injection over worker connections, the
+/// distributed-runtime face of [`synscan_wire::net::ChaosSocket`]. All
+/// fault positions derive from the seed, so a drill replays exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetChaos {
+    /// Seed for every fault position and corruption mask.
+    pub seed: u64,
+    /// Which connections get which faults.
+    pub mode: NetChaosMode,
+}
+
+impl NetChaos {
+    /// The fault plan for the `index`-th connection the coordinator makes
+    /// (respawns advance the index, so a replacement connection for a
+    /// corrupted one comes up clean under [`NetChaosMode::CorruptFirst`]).
+    pub fn plan_for(&self, index: u64) -> Option<NetChaosPlan> {
+        match self.mode {
+            NetChaosMode::Benign => Some(NetChaosPlan::benign(self.seed).reseeded(index)),
+            // period 64 guarantees the first corrupted byte lands inside the
+            // first Assign frame (always > 64 bytes), so the drill's failure
+            // is immediate and deterministic rather than load-dependent.
+            NetChaosMode::CorruptFirst if index == 0 => Some(NetChaosPlan {
+                seed: self.seed,
+                faults: vec![NetFault::CorruptWrite { period: 64 }],
+            }),
+            NetChaosMode::CorruptFirst => None,
+        }
+    }
+}
+
 /// Coordinator knobs.
 #[derive(Debug, Clone)]
 pub struct DistribOptions {
@@ -431,6 +557,14 @@ pub struct DistribOptions {
     /// Heartbeat cadence and stall threshold (shared with the in-process
     /// supervisor).
     pub supervision: SupervisionConfig,
+    /// Base directory for worker-local checkpoint spills (spawn mode sets
+    /// [`WORKER_SPILL_ENV`] to `<dir>/worker-<n>` per child). Purely
+    /// operator-visible: resume ships through the coordinator, which the
+    /// kill drill proves by scrubbing a dead worker's spill before its
+    /// replacement comes up.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Transport-fault injection over worker connections (drills only).
+    pub net_chaos: Option<NetChaos>,
 }
 
 impl DistribOptions {
@@ -448,6 +582,8 @@ impl DistribOptions {
             every,
             kill_drill: None,
             supervision: SupervisionConfig::default(),
+            checkpoint_dir: None,
+            net_chaos: None,
         })
     }
 }
@@ -524,6 +660,9 @@ struct WorkerConn {
     writer: Box<dyn Write + Send>,
     child: Option<Child>,
     shutdown: Option<Box<dyn FnMut() + Send>>,
+    /// The worker's local checkpoint spill directory, if spawn mode armed
+    /// one — scrubbed on death to prove resume never reads it.
+    spill: Option<PathBuf>,
 }
 
 impl WorkerConn {
@@ -534,6 +673,7 @@ impl WorkerConn {
         writer: Box<dyn Write + Send>,
         child: Option<Child>,
         shutdown: Option<Box<dyn FnMut() + Send>>,
+        spill: Option<PathBuf>,
     ) -> Self {
         let (tx, rx) = mpsc::channel();
         std::thread::spawn(move || loop {
@@ -548,6 +688,7 @@ impl WorkerConn {
             writer,
             child,
             shutdown,
+            spill,
         }
     }
 
@@ -571,54 +712,119 @@ impl WorkerConn {
     }
 }
 
-fn spawn_child(cmd: &[String]) -> Result<WorkerConn, CoordError> {
+/// Per-connection wiring shared by every way the coordinator reaches a
+/// worker: a monotone connection counter (respawns advance it), the spill
+/// base handed to spawned children, and the chaos plan selector.
+struct ConnPlumbing {
+    spill_base: Option<PathBuf>,
+    chaos: Option<NetChaos>,
+    seq: AtomicU64,
+}
+
+impl ConnPlumbing {
+    fn new(options: &DistribOptions) -> Self {
+        ConnPlumbing {
+            spill_base: options.checkpoint_dir.clone(),
+            chaos: options.net_chaos,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn next_index(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn spill_for(&self, index: u64) -> Option<PathBuf> {
+        self.spill_base
+            .as_ref()
+            .map(|base| base.join(format!("worker-{index}")))
+    }
+
+    /// Wrap both pipe halves in [`ChaosSocket`]s when this connection's
+    /// chaos plan says so. The read and write halves get distinct reseeds
+    /// so their fault positions are independent.
+    fn wrap(
+        &self,
+        index: u64,
+        reader: Box<dyn Read + Send>,
+        writer: Box<dyn Write + Send>,
+    ) -> (Box<dyn Read + Send>, Box<dyn Write + Send>) {
+        match self.chaos.and_then(|chaos| chaos.plan_for(index)) {
+            None => (reader, writer),
+            Some(plan) => {
+                eprintln!("coordinator: net-chaos plan armed on connection {index}");
+                (
+                    Box::new(ChaosSocket::new(reader, plan.reseeded(0x52))),
+                    Box::new(ChaosSocket::new(writer, plan.reseeded(0x57))),
+                )
+            }
+        }
+    }
+}
+
+fn spawn_child(cmd: &[String], plumbing: &ConnPlumbing) -> Result<WorkerConn, CoordError> {
     if cmd.is_empty() {
         return Err(CoordError::Io("empty worker command".into()));
     }
-    let mut child = Command::new(&cmd[0])
+    let index = plumbing.next_index();
+    let spill = plumbing.spill_for(index);
+    let mut command = Command::new(&cmd[0]);
+    command
         .args(&cmd[1..])
         .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .spawn()
-        .map_err(io_err)?;
+        .stdout(Stdio::piped());
+    if let Some(dir) = &spill {
+        command.env(WORKER_SPILL_ENV, dir);
+    }
+    let mut child = command.spawn().map_err(io_err)?;
     let stdin = child.stdin.take().expect("piped stdin");
     let stdout = child.stdout.take().expect("piped stdout");
+    let (reader, writer) = plumbing.wrap(index, Box::new(stdout), Box::new(stdin));
     Ok(WorkerConn::from_pipes(
-        Box::new(stdout),
-        Box::new(stdin),
+        reader,
+        writer,
         Some(child),
         None,
+        spill,
     ))
 }
 
-fn conn_from_tcp(stream: TcpStream) -> Result<WorkerConn, CoordError> {
+fn conn_from_tcp(stream: TcpStream, plumbing: &ConnPlumbing) -> Result<WorkerConn, CoordError> {
     let reader = stream.try_clone().map_err(io_err)?;
     let killer = stream.try_clone().map_err(io_err)?;
+    let (reader, writer) = plumbing.wrap(plumbing.next_index(), Box::new(reader), Box::new(stream));
     Ok(WorkerConn::from_pipes(
-        Box::new(reader),
-        Box::new(stream),
+        reader,
+        writer,
         None,
         Some(Box::new(move || {
             let _ = killer.shutdown(Shutdown::Both);
         })),
+        None,
     ))
 }
 
-fn conn_from_unix(stream: UnixStream) -> Result<WorkerConn, CoordError> {
+fn conn_from_unix(stream: UnixStream, plumbing: &ConnPlumbing) -> Result<WorkerConn, CoordError> {
     let reader = stream.try_clone().map_err(io_err)?;
     let killer = stream.try_clone().map_err(io_err)?;
+    let (reader, writer) = plumbing.wrap(plumbing.next_index(), Box::new(reader), Box::new(stream));
     Ok(WorkerConn::from_pipes(
-        Box::new(reader),
-        Box::new(stream),
+        reader,
+        writer,
         None,
         Some(Box::new(move || {
             let _ = killer.shutdown(Shutdown::Both);
         })),
+        None,
     ))
 }
 
 /// Accept `n` dialing-in workers on `endpoint`.
-fn accept_workers(endpoint: &Endpoint, n: usize) -> Result<Vec<WorkerConn>, CoordError> {
+fn accept_workers(
+    endpoint: &Endpoint,
+    n: usize,
+    plumbing: &ConnPlumbing,
+) -> Result<Vec<WorkerConn>, CoordError> {
     match endpoint {
         Endpoint::Tcp(addr) => {
             let listener = TcpListener::bind(addr).map_err(io_err)?;
@@ -626,7 +832,7 @@ fn accept_workers(endpoint: &Endpoint, n: usize) -> Result<Vec<WorkerConn>, Coor
                 .map(|_| {
                     let (stream, peer) = listener.accept().map_err(io_err)?;
                     eprintln!("coordinator: worker connected from {peer}");
-                    conn_from_tcp(stream)
+                    conn_from_tcp(stream, plumbing)
                 })
                 .collect()
         }
@@ -637,7 +843,7 @@ fn accept_workers(endpoint: &Endpoint, n: usize) -> Result<Vec<WorkerConn>, Coor
                 .map(|_| {
                     let (stream, _) = listener.accept().map_err(io_err)?;
                     eprintln!("coordinator: worker connected on {}", path.display());
-                    conn_from_unix(stream)
+                    conn_from_unix(stream, plumbing)
                 })
                 .collect()
         }
@@ -645,7 +851,7 @@ fn accept_workers(endpoint: &Endpoint, n: usize) -> Result<Vec<WorkerConn>, Coor
 }
 
 /// Spawn an in-process worker thread bridged over a unix socket pair.
-fn thread_worker(index: usize) -> Result<WorkerConn, CoordError> {
+fn thread_worker(index: usize, plumbing: &ConnPlumbing) -> Result<WorkerConn, CoordError> {
     let (ours, theirs) = UnixStream::pair().map_err(io_err)?;
     std::thread::spawn(move || {
         let mut input = theirs.try_clone().expect("clone worker socket");
@@ -655,7 +861,30 @@ fn thread_worker(index: usize) -> Result<WorkerConn, CoordError> {
             eprintln!("{label}: {e}");
         }
     });
-    conn_from_unix(ours)
+    conn_from_unix(ours, plumbing)
+}
+
+/// Delete a dead worker's checkpoint spill before its replacement comes
+/// up. This is the kill drill's proof obligation: the respawned worker —
+/// conceptually on a different host with no shared filesystem — must
+/// resume mid-slice from the checkpoint the coordinator retained, never
+/// from anything the dead worker left on disk.
+fn scrub_spill(conn: &mut WorkerConn) {
+    if let Some(dir) = conn.spill.take() {
+        if dir.exists() {
+            match std::fs::remove_dir_all(&dir) {
+                Ok(()) => eprintln!(
+                    "coordinator: scrubbed dead worker checkpoint dir {} \
+                     (resume ships through the coordinator)",
+                    dir.display()
+                ),
+                Err(e) => eprintln!(
+                    "coordinator: could not scrub checkpoint dir {}: {e}",
+                    dir.display()
+                ),
+            }
+        }
+    }
 }
 
 /// Wait for the worker's `Hello` and validate its protocol version.
@@ -748,6 +977,7 @@ fn drive_worker(
             }
             shared.queue.lock().expect("queue lock").push_front(slice);
             conn.reap();
+            scrub_spill(&mut conn);
             match respawn_or_stop(index, respawn, shared) {
                 Some(next) => {
                     conn = next;
@@ -769,18 +999,21 @@ fn drive_worker(
                 conn.kill();
                 break;
             }
-            SliceEnd::WorkerLost => match respawn_or_stop(index, respawn, shared) {
-                Some(next) => {
-                    conn = next;
-                    if let Err(e) = expect_hello(&conn, options).map(|_| ()) {
-                        conn.kill();
-                        shared.fail(e);
-                        break;
+            SliceEnd::WorkerLost => {
+                scrub_spill(&mut conn);
+                match respawn_or_stop(index, respawn, shared) {
+                    Some(next) => {
+                        conn = next;
+                        if let Err(e) = expect_hello(&conn, options).map(|_| ()) {
+                            conn.kill();
+                            shared.fail(e);
+                            break;
+                        }
+                        shared.board.beat(index);
                     }
-                    shared.board.beat(index);
+                    None => break,
                 }
-                None => break,
-            },
+            }
         }
     }
     shared.board.finish(index);
@@ -965,23 +1198,25 @@ pub fn run_distributed(
     };
 
     // Establish the fleet up front so a bind/spawn error fails fast.
+    let plumbing = Arc::new(ConnPlumbing::new(options));
     let mut conns: Vec<WorkerConn> = Vec::new();
     let respawn: Option<Box<dyn Fn() -> Result<WorkerConn, CoordError> + Sync>> =
         match &options.source {
             WorkerSource::Spawn { cmd, workers } => {
                 for _ in 0..*workers {
-                    conns.push(spawn_child(cmd)?);
+                    conns.push(spawn_child(cmd, &plumbing)?);
                 }
                 let cmd = cmd.clone();
-                Some(Box::new(move || spawn_child(&cmd)))
+                let plumbing = Arc::clone(&plumbing);
+                Some(Box::new(move || spawn_child(&cmd, &plumbing)))
             }
             WorkerSource::Listen { endpoint, workers } => {
-                conns = accept_workers(endpoint, *workers)?;
+                conns = accept_workers(endpoint, *workers, &plumbing)?;
                 None
             }
             WorkerSource::Threads(workers) => {
                 for i in 0..*workers {
-                    conns.push(thread_worker(i)?);
+                    conns.push(thread_worker(i, &plumbing)?);
                 }
                 None
             }
@@ -1145,6 +1380,34 @@ mod tests {
     }
 
     #[test]
+    fn net_chaos_plans_are_deterministic_and_mode_scoped() {
+        let benign = NetChaos {
+            seed: 9,
+            mode: NetChaosMode::Benign,
+        };
+        // Same connection, same plan; different connections, different seeds.
+        assert_eq!(benign.plan_for(3), benign.plan_for(3));
+        assert_ne!(
+            benign.plan_for(0).unwrap().seed,
+            benign.plan_for(1).unwrap().seed
+        );
+        // CorruptFirst corrupts only connection 0, so a respawned
+        // replacement (a later index) always comes up clean.
+        let corrupt = NetChaos {
+            seed: 9,
+            mode: NetChaosMode::CorruptFirst,
+        };
+        assert!(corrupt.plan_for(0).is_some());
+        assert!(corrupt.plan_for(1).is_none());
+        assert_eq!(NetChaosMode::parse("benign"), Ok(NetChaosMode::Benign));
+        assert_eq!(
+            NetChaosMode::parse("corrupt"),
+            Ok(NetChaosMode::CorruptFirst)
+        );
+        assert!(NetChaosMode::parse("nope").is_err());
+    }
+
+    #[test]
     fn worker_loop_serves_a_slice_over_a_socket_pair() {
         let (mut ours, theirs) = UnixStream::pair().expect("socketpair");
         std::thread::spawn(move || {
@@ -1247,6 +1510,8 @@ mod tests {
             every: 5_000,
             kill_drill: None,
             supervision: SupervisionConfig::default(),
+            checkpoint_dir: None,
+            net_chaos: None,
         };
         let (distributed, supervision) =
             run_distributed(Experiment::new(gen), &options, None).expect("distributed run");
@@ -1274,6 +1539,8 @@ mod tests {
                 stall_after: Duration::from_secs(30),
                 ..SupervisionConfig::default()
             },
+            checkpoint_dir: None,
+            net_chaos: None,
         };
         let sequential = Experiment::new(gen).run_decade();
         let (distributed, _) =

@@ -44,7 +44,8 @@ pub use synscan_telescope as telescope;
 pub use synscan_wire as wire;
 
 pub use distrib::{
-    connect_worker, run_distributed, run_worker, CoordError, DistribOptions, Endpoint, WorkerSource,
+    connect_worker, run_distributed, run_worker, CoordError, DistribOptions, Endpoint, NetChaos,
+    NetChaosMode, WorkerSource,
 };
 pub use experiment::{CheckpointSpec, DecadeStatus, Experiment, YearStatus};
 pub use synscan_core::{

@@ -25,12 +25,18 @@ use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use synscan_core::store::query::{answer, err_line, ok_line, parse_request, Request};
+use synscan_core::store::query::{
+    answer, err_line, health_line, ok_line, parse_request, HealthCounters, Request,
+};
 use synscan_core::store::{AnalysisStore, ImageCell, ImageReader, StoreError, StoreImage};
+use synscan_wire::net::{
+    self, BoundedLineReader, Deadline, HasDeadlines, NetError, MAX_REQUEST_BYTES,
+};
 
 /// Everything that can go wrong starting or running the daemon.
 #[derive(Debug)]
@@ -107,6 +113,100 @@ impl fmt::Display for Endpoint {
         match self {
             Endpoint::Tcp(addr) => write!(f, "{addr}"),
             Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// Hardening tunables for a daemon instance. Defaults mirror the shared
+/// [`synscan_wire::net`] constants, so serve and the distributed coordinator
+/// agree on what "stalled" means.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Reader-thread pool size.
+    pub readers: usize,
+    /// Admission-gate width: connections beyond this many simultaneously
+    /// queued-or-served are shed with a typed `overloaded` reply.
+    pub max_in_flight: usize,
+    /// Budget for one request to arrive in full (slow-loris cutoff) and for
+    /// each response write. Zero disables the deadline.
+    pub request_deadline: Duration,
+    /// Idle cutoff for a kept-alive connection between requests. Zero
+    /// disables the cutoff.
+    pub stall_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            readers: 4,
+            max_in_flight: net::DEFAULT_MAX_IN_FLIGHT,
+            request_deadline: Duration::from_millis(net::DEFAULT_REQUEST_DEADLINE_MS),
+            stall_timeout: Duration::from_millis(net::DEFAULT_STALL_TIMEOUT_MS),
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Defaults with a specific reader-pool size.
+    pub fn with_readers(readers: usize) -> Self {
+        ServeOptions {
+            readers,
+            ..ServeOptions::default()
+        }
+    }
+
+    fn conn_deadline(&self) -> Deadline {
+        // The socket-level read timeout is the request budget (the bounded
+        // reader turns repeated timeout ticks on an idle connection into the
+        // longer stall cutoff); writes get the request budget directly.
+        let read = nonzero(self.request_deadline).or_else(|| nonzero(self.stall_timeout));
+        Deadline {
+            read,
+            write: nonzero(self.request_deadline),
+        }
+    }
+}
+
+fn nonzero(d: Duration) -> Option<Duration> {
+    if d.is_zero() {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+/// The admission gate and liveness counters, shared by the acceptor (shed
+/// decisions), the readers (health answers), and [`ServerControl`] (drain).
+struct GateState {
+    started: Instant,
+    /// Connections currently queued or being served.
+    active: AtomicUsize,
+    /// Requests answered since start.
+    served: AtomicU64,
+    /// Connections shed by the gate since start.
+    shed: AtomicU64,
+    /// Refusing new connections (graceful drain).
+    draining: AtomicBool,
+}
+
+impl GateState {
+    fn new() -> Self {
+        GateState {
+            started: Instant::now(),
+            active: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    fn counters(&self) -> HealthCounters {
+        HealthCounters {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            in_flight: self.active.load(Ordering::Acquire) as u64,
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::Acquire),
         }
     }
 }
@@ -200,17 +300,20 @@ impl Listener {
         }
     }
 
-    /// Accept one connection, boxed for the queue. Errors are transient
+    /// Accept one connection with the per-connection deadlines already set
+    /// as native socket timeouts, boxed for the queue. Errors are transient
     /// (the acceptor logs and keeps going).
-    fn accept(&self) -> std::io::Result<Box<dyn Conn>> {
+    fn accept(&self, deadline: Deadline) -> std::io::Result<Box<dyn Conn>> {
         match self {
             Listener::Tcp(listener) => {
                 let (stream, _) = listener.accept()?;
+                stream.set_deadline(deadline)?;
                 Ok(Box::new(stream))
             }
             #[cfg(unix)]
             Listener::Unix(listener) => {
                 let (stream, _) = listener.accept()?;
+                stream.set_deadline(deadline)?;
                 Ok(Box::new(stream))
             }
         }
@@ -240,28 +343,38 @@ pub struct Server {
     endpoint: Endpoint,
     stop: Arc<AtomicBool>,
     queue: Arc<ConnQueue>,
+    gate: Arc<GateState>,
     writer_tx: mpsc::Sender<WriterMsg>,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Open the store under `store_dir`, load it, bind `listen`, and start
-    /// the acceptor, `readers` reader threads, and the writer thread.
+    /// the acceptor, the reader pool, and the writer thread under the
+    /// hardening `options`.
     ///
     /// An empty store is allowed — the daemon starts with no years and is
     /// fed by later `reload`s.
-    pub fn start(store_dir: &Path, listen: &Listen, readers: usize) -> Result<Self, ServeError> {
+    pub fn start(
+        store_dir: &Path,
+        listen: &Listen,
+        options: ServeOptions,
+    ) -> Result<Self, ServeError> {
         let store = AnalysisStore::open(store_dir)?;
         let image = StoreImage::load(&store)?;
         let cell = ImageCell::new(image);
         let (listener, endpoint) = Listener::bind(listen)?;
         let stop = Arc::new(AtomicBool::new(false));
         let queue = Arc::new(ConnQueue::new());
+        let gate = Arc::new(GateState::new());
         let (writer_tx, writer_rx) = mpsc::channel::<WriterMsg>();
 
         let mut threads = Vec::new();
 
-        // The single writer: owns all store I/O after startup.
+        // The single writer: owns all store I/O after startup. A failed
+        // reload (corrupt slice, vanished directory) keeps the last-good
+        // image installed — the error goes back to the requesting client,
+        // never into the cell.
         {
             let cell = Arc::clone(&cell);
             threads.push(
@@ -280,18 +393,23 @@ impl Server {
         }
 
         // The reader pool.
-        for n in 0..readers.max(1) {
+        for n in 0..options.readers.max(1) {
             let queue = Arc::clone(&queue);
             let stop = Arc::clone(&stop);
+            let gate = Arc::clone(&gate);
             let mut reader = cell.reader();
             let writer_tx = writer_tx.clone();
             let endpoint = endpoint.clone();
+            let options = options.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("serve-reader-{n}"))
                     .spawn(move || {
                         while let Some(conn) = queue.pop(&stop) {
-                            match serve_connection(conn, &mut reader, &writer_tx) {
+                            let outcome =
+                                serve_connection(conn, &mut reader, &writer_tx, &gate, &options);
+                            gate.active.fetch_sub(1, Ordering::AcqRel);
+                            match outcome {
                                 Ok(true) => {
                                     // A client asked for shutdown: raise the
                                     // flag, wake the pool, unpark the
@@ -311,10 +429,14 @@ impl Server {
             );
         }
 
-        // The acceptor.
+        // The acceptor: admission decisions happen here, before a
+        // connection can occupy a reader.
         {
             let queue = Arc::clone(&queue);
             let stop = Arc::clone(&stop);
+            let gate = Arc::clone(&gate);
+            let deadline = options.conn_deadline();
+            let max_in_flight = options.max_in_flight.max(1);
             threads.push(
                 std::thread::Builder::new()
                     .name("serve-acceptor".to_string())
@@ -322,11 +444,32 @@ impl Server {
                         if stop.load(Ordering::Acquire) {
                             break;
                         }
-                        match listener.accept() {
-                            Ok(conn) => {
+                        match listener.accept(deadline) {
+                            Ok(mut conn) => {
                                 if stop.load(Ordering::Acquire) {
                                     break;
                                 }
+                                if gate.draining.load(Ordering::Acquire) {
+                                    gate.shed.fetch_add(1, Ordering::Relaxed);
+                                    let _ = shed_reply(
+                                        conn.as_mut(),
+                                        "draining: daemon is shutting down, refusing new \
+                                         connections",
+                                    );
+                                    continue;
+                                }
+                                if gate.active.load(Ordering::Acquire) >= max_in_flight {
+                                    gate.shed.fetch_add(1, Ordering::Relaxed);
+                                    let _ = shed_reply(
+                                        conn.as_mut(),
+                                        &format!(
+                                            "overloaded: {max_in_flight} connections in flight; \
+                                             retry later"
+                                        ),
+                                    );
+                                    continue;
+                                }
+                                gate.active.fetch_add(1, Ordering::AcqRel);
                                 queue.push(conn);
                             }
                             // Transient accept failures (e.g. aborted
@@ -342,6 +485,7 @@ impl Server {
             endpoint,
             stop,
             queue,
+            gate,
             writer_tx,
             threads,
         })
@@ -352,11 +496,20 @@ impl Server {
         &self.endpoint
     }
 
+    /// A cloneable handle for drain/stop from signal hooks and tests while
+    /// another thread blocks in [`Server::join`].
+    pub fn control(&self) -> ServerControl {
+        ServerControl {
+            endpoint: self.endpoint.clone(),
+            stop: Arc::clone(&self.stop),
+            queue: Arc::clone(&self.queue),
+            gate: Arc::clone(&self.gate),
+        }
+    }
+
     /// Initiate shutdown from outside the protocol (tests, signal hooks).
     pub fn stop(&self) {
-        self.stop.store(true, Ordering::Release);
-        self.queue.wake_all();
-        self_connect(&self.endpoint);
+        self.control().stop();
     }
 
     /// Block until the daemon has shut down and every thread has exited.
@@ -382,6 +535,65 @@ impl Server {
     }
 }
 
+/// A cheap, cloneable remote control for a running [`Server`]: signal
+/// handlers and tests use it to drain and stop the daemon while the main
+/// thread blocks in [`Server::join`].
+#[derive(Clone)]
+pub struct ServerControl {
+    endpoint: Endpoint,
+    stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    gate: Arc<GateState>,
+}
+
+impl ServerControl {
+    /// Stop admitting new connections; in-flight conversations finish.
+    /// New connections get a typed `draining` reply and are closed.
+    pub fn drain(&self) {
+        self.gate.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether no connection is queued or being served.
+    pub fn idle(&self) -> bool {
+        self.gate.active.load(Ordering::Acquire) == 0
+    }
+
+    /// Current gate counters (what the `health` verb reports).
+    pub fn counters(&self) -> HealthCounters {
+        self.gate.counters()
+    }
+
+    /// Flip the stop flag and unblock every daemon thread.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.queue.wake_all();
+        self_connect(&self.endpoint);
+    }
+
+    /// Graceful shutdown: drain, wait up to `grace` for in-flight
+    /// conversations to finish, then stop. Returns whether the daemon went
+    /// idle within the grace period.
+    pub fn drain_then_stop(&self, grace: Duration) -> bool {
+        self.drain();
+        let start = Instant::now();
+        while !self.idle() && start.elapsed() < grace {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let clean = self.idle();
+        self.stop();
+        clean
+    }
+}
+
+/// Best-effort typed refusal on a connection the gate is not admitting.
+/// The socket's write deadline is already set, so a peer that never reads
+/// cannot park the acceptor past the budget.
+fn shed_reply(conn: &mut dyn Conn, msg: &str) -> std::io::Result<()> {
+    conn.write_all(err_line(msg).as_bytes())?;
+    conn.write_all(b"\n")?;
+    conn.flush()
+}
+
 /// Ask the writer thread for a reload and wait for the new generation.
 fn request_reload(writer_tx: &mpsc::Sender<WriterMsg>) -> Result<u64, String> {
     let (reply_tx, reply_rx) = mpsc::channel();
@@ -398,18 +610,40 @@ fn request_reload(writer_tx: &mpsc::Sender<WriterMsg>) -> Result<u64, String> {
 /// Serve one connection to completion: one JSON request per line, one
 /// response line each. Returns `Ok(true)` if the client requested daemon
 /// shutdown.
+///
+/// Hostile input is answered typed, never absorbed: an oversized line or an
+/// expired deadline gets one `{"ok":false,…}` reply and the connection is
+/// closed; garbage bytes get a parse-error reply and the connection lives.
 fn serve_connection(
     mut conn: Box<dyn Conn>,
     reader: &mut ImageReader,
     writer_tx: &mpsc::Sender<WriterMsg>,
+    gate: &GateState,
+    options: &ServeOptions,
 ) -> std::io::Result<bool> {
-    let mut lines = BufReader::new(&mut conn);
-    let mut line = String::new();
+    let mut lines = BoundedLineReader::with_deadlines(
+        &mut conn,
+        MAX_REQUEST_BYTES,
+        nonzero(options.request_deadline),
+        nonzero(options.stall_timeout),
+    );
     loop {
-        line.clear();
-        if lines.read_line(&mut line)? == 0 {
-            return Ok(false);
-        }
+        let line = match lines.next_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(false),
+            Err(err @ (NetError::TooLarge { .. } | NetError::TimedOut { .. })) => {
+                // Typed rejection, then hang up — the peer is hostile,
+                // stalled, or gone.
+                let out = lines.get_mut();
+                let _ = out.write_all(err_line(&err.to_string()).as_bytes());
+                let _ = out.write_all(b"\n");
+                let _ = out.flush();
+                return Ok(false);
+            }
+            Err(NetError::Io(msg)) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::Other, msg))
+            }
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -423,9 +657,11 @@ fn serve_connection(
                 ),
                 Err(error) => (err_line(&format!("reload failed: {error}")), false),
             },
+            Ok(Request::Health) => (health_line(reader.image(), &gate.counters()), false),
             Ok(Request::Shutdown) => (ok_line("shutting down"), true),
             Ok(request) => (answer(reader.image(), &request), false),
         };
+        gate.served.fetch_add(1, Ordering::Relaxed);
         let out = lines.get_mut();
         out.write_all(response.as_bytes())?;
         out.write_all(b"\n")?;
@@ -479,8 +715,12 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("synscan-serve-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = seeded_store(&dir);
-        let server =
-            Server::start(&dir, &Listen::Tcp("127.0.0.1:0".to_string()), 2).expect("daemon starts");
+        let server = Server::start(
+            &dir,
+            &Listen::Tcp("127.0.0.1:0".to_string()),
+            ServeOptions::with_readers(2),
+        )
+        .expect("daemon starts");
         let addr = match server.endpoint() {
             Endpoint::Tcp(addr) => *addr,
             other => panic!("unexpected endpoint {other}"),

@@ -142,6 +142,86 @@ fn kill_drill_recovers_from_checkpoint_and_stays_byte_identical() {
     );
 }
 
+#[test]
+fn cross_host_kill_drill_resumes_without_the_dead_workers_disk() {
+    // The cross-host resume proof: workers spill their checkpoints to
+    // per-worker local directories (stand-ins for per-host disks), the
+    // drilled worker aborts mid-slice, and the coordinator scrubs the dead
+    // worker's spill before the respawn. The replacement — conceptually on
+    // a different host with no shared filesystem — must resume from the
+    // coordinator-held checkpoint in the retry Assign and still produce
+    // the sequential bytes.
+    let spill = temp_dir("xhost-spill");
+    let spill_arg = spill.to_string_lossy().into_owned();
+    let output = assert_matches_sequential(
+        "xhost",
+        &[
+            "--distributed",
+            "4",
+            "--checkpoint-every",
+            "25",
+            "--distributed-kill-drill",
+            "1",
+            "--checkpoint-dir",
+            &spill_arg,
+        ],
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("respawning worker"),
+        "the kill drill must cost a worker its life:\n{stderr}"
+    );
+    let scrub_line = stderr
+        .lines()
+        .find(|l| l.contains("scrubbed dead worker checkpoint dir"))
+        .unwrap_or_else(|| panic!("no scrub line in stderr:\n{stderr}"));
+    // The scrubbed directory must actually be gone — resume cannot have
+    // read anything from it.
+    let scrubbed = scrub_line
+        .split("checkpoint dir ")
+        .nth(1)
+        .and_then(|rest| rest.split(" (resume").next())
+        .expect("scrub line names the directory");
+    assert!(
+        !Path::new(scrubbed).exists(),
+        "scrubbed spill {scrubbed} still exists"
+    );
+    // Surviving workers did spill: the audit trail exists for them.
+    let spilled_dirs = std::fs::read_dir(&spill)
+        .map(|entries| entries.count())
+        .unwrap_or(0);
+    assert!(
+        spilled_dirs > 0,
+        "no surviving worker left a checkpoint spill in {}",
+        spill.display()
+    );
+    let _ = std::fs::remove_dir_all(&spill);
+}
+
+#[test]
+fn benign_net_chaos_is_byte_identical() {
+    // Short writes and sub-deadline stalls on every worker connection must
+    // be absorbed by the frame layer with zero effect on the results.
+    let output = assert_matches_sequential(
+        "netchaos",
+        &[
+            "--distributed",
+            "2",
+            "--checkpoint-every",
+            "2000",
+            "--net-chaos-seed",
+            "42",
+            "--net-chaos-profile",
+            "benign",
+        ],
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("net-chaos plan armed"),
+        "chaos was requested but never armed:\n{stderr}"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Protocol-frame hardening matrix
 // ---------------------------------------------------------------------------

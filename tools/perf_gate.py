@@ -23,6 +23,12 @@ per-worker-count rows), the gate additionally requires the 4-worker
 threshold: fleet scan throughput must grow with worker count on every
 machine, or the distributed runtime is not earning its keep.
 
+When the fresh file carries a `hardened` object (the serve bench's
+deadline-and-gate connection path), its `overhead_frac` must stay at or
+under 10%: the hostile-network hardening may not tax the steady-state
+query loop by more than a tenth. Like the scaling gate, this compares two
+figures from the same fresh run, so no harness caveats apply.
+
 A missing or malformed baseline file, or a baseline without a `harness`
 field, fails with a one-line diagnosis instead of a traceback.
 
@@ -115,7 +121,10 @@ def gate(committed_path, fresh_path, max_regression):
     rc = gate_memory(committed, fresh, name, max_regression)
     if rc:
         return rc
-    return gate_scaling(fresh, name)
+    rc = gate_scaling(fresh, name)
+    if rc:
+        return rc
+    return gate_hardened(fresh, name)
 
 
 def gate_memory(committed, fresh, name, max_regression):
@@ -171,6 +180,40 @@ def gate_scaling(fresh, name):
     print(
         f"perf_gate: {name}: fleet scan throughput scales "
         f"{one:,.0f} -> {four:,.0f} rec/s (1 -> 4 workers, x{four / one:.2f})"
+    )
+    return 0
+
+
+HARDENED_BUDGET = 0.10
+
+
+def gate_hardened(fresh, name):
+    """Overhead gate over the serve bench's hardened connection path.
+
+    Gates within the fresh file: the ungated and hardened loops ran
+    back-to-back on the same machine, so the fraction is noise-free enough
+    for a fixed 10% ceiling.
+    """
+    hardened = fresh.get("hardened")
+    if not isinstance(hardened, dict):
+        return 0
+    frac = hardened.get("overhead_frac")
+    qps = hardened.get("queries_per_sec")
+    if frac is None or qps is None:
+        raise GateError(
+            f"{name}: hardened object is missing overhead_frac or queries_per_sec"
+        )
+    if frac > HARDENED_BUDGET:
+        print(
+            f"perf_gate: {name}: hardened path costs {frac:.1%} of ungated "
+            f"throughput ({qps:,.0f} q/s hardened) — exceeds the "
+            f"{HARDENED_BUDGET:.0%} ceiling",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"perf_gate: {name}: hardened path {qps:,.0f} q/s, "
+        f"{frac:.1%} overhead — within the {HARDENED_BUDGET:.0%} ceiling"
     )
     return 0
 

@@ -48,8 +48,16 @@ rustc --edition 2021 -O --cfg synscan_standalone \
     --extern "synscan_core_hotpath=$out/libsynscan_core_hotpath.rlib" \
     "$here/sketch_equiv.rs" -o "$out/sketch_equiv"
 
+echo "standalone: compiling the hostile-network drill" >&2
+rustc --edition 2021 -O --cfg synscan_standalone \
+    --extern "synscan_wire=$out/libsynscan_wire.rlib" \
+    "$here/net_chaos.rs" -o "$out/net_chaos"
+
 echo "standalone: running the sketch differential suite" >&2
 "$out/sketch_equiv"
+
+echo "standalone: running the hostile-network drill" >&2
+"$out/net_chaos"
 
 "$out/bench_ingest" "$root/BENCH_ingest.json"
 "$out/bench_hotpath" "$root/BENCH_hotpath.json"
